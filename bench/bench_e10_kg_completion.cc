@@ -1,0 +1,77 @@
+// E10 — knowledge-graph completion (Section 2.3: embeddings are named
+// as the mechanism for KG refinement/completion, refs [19], [43], [52]).
+// TransE is trained on a structured synthetic KG with 10% of worksAt
+// triples held out; link-prediction metrics must beat the random-scorer
+// baseline decisively — the "producing new knowledge" loop, measured.
+
+#include <iostream>
+
+#include "embed/transe.h"
+#include "rdf/triple_store.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace kgq;
+
+  Table t("E10 — TransE link prediction vs random baseline",
+          {"entities", "train triples", "test", "model", "MRR", "hits@1",
+           "hits@3", "hits@10", "t_train(s)"});
+  bool ok = true;
+
+  for (size_t num_people : {60, 150}) {
+    TripleStore train;
+    std::vector<std::array<std::string, 3>> test;
+    const size_t num_offices = 5;
+    for (size_t i = 0; i < num_people; ++i) {
+      std::string person = "person" + std::to_string(i);
+      std::string office = "office" + std::to_string(i % num_offices);
+      if (i % 10 == 3) {
+        test.push_back({person, "worksAt", office});
+      } else {
+        train.Insert(person, "worksAt", office);
+      }
+      train.Insert(person, "friendOf",
+                   "person" + std::to_string((i + num_offices) % num_people));
+      train.Insert(person, "livesIn",
+                   "city" + std::to_string(i % 3));
+    }
+
+    TransEOptions opts;
+    opts.dimension = 32;
+    opts.epochs = 300;
+    opts.learning_rate = 0.05;
+    Timer timer;
+    TransEModel model = *TransEModel::Train(train, opts);
+    double secs = timer.Seconds();
+    TransEModel::Metrics m = model.Evaluate(test);
+
+    // Random baseline: expected metrics for uniform tail ranking over E
+    // entities: hits@k ≈ k/E, MRR ≈ H(E)/E.
+    double entities = static_cast<double>(model.num_entities());
+    double h = 0.0;
+    for (size_t i = 1; i <= model.num_entities(); ++i) {
+      h += 1.0 / static_cast<double>(i);
+    }
+    TransEModel::Metrics random{h / entities, 1.0 / entities,
+                                3.0 / entities, 10.0 / entities};
+
+    t.AddRow({std::to_string(model.num_entities()),
+              std::to_string(train.size()), std::to_string(test.size()),
+              "TransE", FormatDouble(m.mrr, 3), FormatDouble(m.hits_at_1, 3),
+              FormatDouble(m.hits_at_3, 3), FormatDouble(m.hits_at_10, 3),
+              FormatDouble(secs, 1)});
+    t.AddRow({std::to_string(model.num_entities()),
+              std::to_string(train.size()), std::to_string(test.size()),
+              "random", FormatDouble(random.mrr, 3),
+              FormatDouble(random.hits_at_1, 3),
+              FormatDouble(random.hits_at_3, 3),
+              FormatDouble(random.hits_at_10, 3), "-"});
+    ok = ok && m.hits_at_10 > 4.0 * random.hits_at_10 && m.mrr > 0.15;
+  }
+  t.Print(std::cout);
+  std::printf("embeddings complete held-out knowledge well above chance "
+              "→ %s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+// E2 — polynomial-delay enumeration (Section 4.1): after a preprocessing
+// phase, answers stream with a bounded inter-answer delay regardless of
+// how many answers exist. The sweep grows the answer set exponentially
+// (layered DAGs) while the measured max delay stays flat; the ablation
+// compares against run-level DFS with post-hoc deduplication, whose
+// time-to-first-k answers degrades with ambiguity.
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_view.h"
+#include "pathalg/enumerate.h"
+#include "pathalg/exact.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kgq;
+
+/// Baseline: DFS over automaton *runs* (single states, not subsets),
+/// collecting paths into a set for deduplication. Duplicate runs over
+/// the same path are re-derived and rejected — the cost our
+/// configuration-level enumerator avoids by construction.
+size_t RunLevelDfsFirstK(const PathNfa& nfa, size_t length, size_t want,
+                         double* seconds) {
+  Timer timer;
+  std::set<Path> seen;
+  struct Frame {
+    NodeId node;
+    uint32_t q;
+  };
+  // Iterative DFS over (path, single automaton state).
+  std::vector<Path> stack_paths;
+  std::vector<uint32_t> stack_states;
+  for (NodeId n = 0; n < nfa.num_nodes() && seen.size() < want; ++n) {
+    PathNfa::StateMask start = nfa.StartMask(n);
+    PathNfa::StateMask rest = start;
+    while (rest != 0 && seen.size() < want) {
+      uint32_t q = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      stack_paths.push_back(Path::Trivial(n));
+      stack_states.push_back(q);
+      while (!stack_paths.empty() && seen.size() < want) {
+        Path p = std::move(stack_paths.back());
+        stack_paths.pop_back();
+        uint32_t state = stack_states.back();
+        stack_states.pop_back();
+        if (p.Length() == length) {
+          if (nfa.final_mask() & (1ull << state)) seen.insert(p);
+          continue;
+        }
+        nfa.ForEachStep(p.End(), [&](const PathNfa::Step& s) {
+          PathNfa::StateMask next = nfa.AdvanceSingle(state, s);
+          PathNfa::StateMask nrest = next;
+          while (nrest != 0) {
+            uint32_t nq = static_cast<uint32_t>(__builtin_ctzll(nrest));
+            nrest &= nrest - 1;
+            Path np = p;
+            np.edges.push_back(s.edge);
+            np.nodes.push_back(s.to);
+            stack_paths.push_back(std::move(np));
+            stack_states.push_back(nq);
+          }
+        });
+      }
+    }
+  }
+  *seconds = timer.Seconds();
+  return seen.size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace kgq;
+
+  Table t("E2 — enumeration: preprocessing + per-answer delay",
+          {"layers", "width", "total answers", "t_preproc(ms)",
+           "mean delay(us)", "max delay(us)", "answers timed"});
+
+  bool delays_flat = true;
+  double first_max_delay = 0.0;
+  for (size_t layers : {6, 10, 14}) {
+    const size_t width = 6;
+    LabeledGraph g = LayeredDag(layers, width, "n", "e");
+    LabeledGraphView view(g);
+    RegexPtr regex = *ParseRegex("e*");
+    PathNfa nfa = *PathNfa::Compile(view, *regex);
+
+    ExactPathIndex index(nfa, layers);
+    double total = index.Count(layers);
+
+    Timer preproc;
+    PathEnumerator enumerator(nfa, layers);
+    double t_preproc = preproc.Millis();
+
+    const size_t timed = 20000;
+    Path p;
+    double max_delay = 0.0, sum_delay = 0.0;
+    size_t produced = 0;
+    for (size_t i = 0; i < timed; ++i) {
+      Timer delay;
+      if (!enumerator.Next(&p)) break;
+      double us = delay.Micros();
+      max_delay = std::max(max_delay, us);
+      sum_delay += us;
+      ++produced;
+    }
+    if (layers == 6) first_max_delay = max_delay;
+    // "Flat": max delay on the biggest instance within 20x of smallest
+    // (wall-clock noise tolerated), although the answer count grew by
+    // 6^8 ≈ 1.7M times.
+    if (layers == 14 && max_delay > 20.0 * std::max(first_max_delay, 5.0)) {
+      delays_flat = false;
+    }
+    t.AddRow({std::to_string(layers), std::to_string(width),
+              FormatDouble(total, 0), FormatDouble(t_preproc, 2),
+              FormatDouble(sum_delay / produced, 2),
+              FormatDouble(max_delay, 1), std::to_string(produced)});
+  }
+  t.Print(std::cout);
+
+  // Ablation: configuration-level (dedup-free) vs run-level DFS + dedup
+  // on an ambiguous query, time to first 5000 distinct answers.
+  Table ab("E2b — ablation: config-level enumeration vs run-level DFS+dedup",
+           {"n", "query", "first-k", "t_config(ms)", "t_runlevel(ms)"});
+  Rng gen(4242);
+  LabeledGraph g = ErdosRenyi(150, 600, {"p"}, {"a", "b"}, &gen);
+  LabeledGraphView view(g);
+  for (const char* q : {"(a+b/b^-)*", "((a+b)/a + b/(a+b)/(a+b))*"}) {
+    RegexPtr regex = *ParseRegex(q);
+    PathNfa nfa = *PathNfa::Compile(view, *regex);
+    const size_t k = 8, want = 5000;
+    Timer t_config;
+    PathEnumerator enumerator(nfa, k);
+    Path p;
+    size_t produced = 0;
+    while (produced < want && enumerator.Next(&p)) ++produced;
+    double config_ms = t_config.Millis();
+    double run_secs = 0.0;
+    size_t run_got = RunLevelDfsFirstK(nfa, k, want, &run_secs);
+    ab.AddRow({"150", q, std::to_string(std::min(produced, run_got)),
+               FormatDouble(config_ms, 1), FormatDouble(run_secs * 1e3, 1)});
+  }
+  ab.Print(std::cout);
+
+  std::printf("Paper shape: delay bounded by a polynomial in the input, "
+              "independent of the answer count → %s\n",
+              delays_flat ? "OK" : "FAIL");
+  return delays_flat ? 0 : 1;
+}

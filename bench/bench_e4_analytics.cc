@@ -1,0 +1,180 @@
+// E4 — the graph-analytics substrate of Section 4.2 at practical cost:
+// google-benchmark timings for BFS, components, PageRank, HITS,
+// clustering, densest subgraph and Brandes betweenness on Barabási–
+// Albert graphs, plus a summary table of the computed global properties.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "analytics/betweenness.h"
+#include "analytics/centrality_extra.h"
+#include "analytics/clustering.h"
+#include "analytics/components.h"
+#include "analytics/densest.h"
+#include "analytics/pagerank.h"
+#include "analytics/shortest_paths.h"
+#include "graph/generators.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace kgq;
+
+LabeledGraph MakeBa(size_t n) {
+  Rng rng(n);
+  return BarabasiAlbert(n, 3, {"v"}, {"e"}, &rng);
+}
+
+void BM_BfsDistances(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto d = BfsDistances(g.topology(), 0, EdgeDirection::kUndirected);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_BfsDistances)->Arg(1000)->Arg(10000);
+
+void BM_WeakComponents(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto c = WeaklyConnectedComponents(g.topology());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_WeakComponents)->Arg(1000)->Arg(10000);
+
+void BM_StrongComponents(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto c = StronglyConnectedComponents(g.topology());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_StrongComponents)->Arg(1000)->Arg(10000);
+
+void BM_PageRank(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto pr = PageRank(g.topology());
+    benchmark::DoNotOptimize(pr);
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);
+
+void BM_Hits(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto h = Hits(g.topology());
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_Hits)->Arg(1000)->Arg(10000);
+
+void BM_Clustering(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto c = ClusteringCoefficients(g.topology());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Clustering)->Arg(1000)->Arg(10000);
+
+void BM_DensestPeel(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto d = DensestSubgraphPeel(g.topology());
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DensestPeel)->Arg(1000)->Arg(10000);
+
+void BM_Betweenness(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto bc = BetweennessCentrality(g.topology(),
+                                    EdgeDirection::kUndirected);
+    benchmark::DoNotOptimize(bc);
+  }
+}
+BENCHMARK(BM_Betweenness)->Arg(1000)->Arg(2000);
+
+void BM_HarmonicCloseness(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto c = HarmonicCloseness(g.topology(), EdgeDirection::kUndirected);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_HarmonicCloseness)->Arg(1000)->Arg(2000);
+
+void BM_EigenvectorCentrality(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto c = EigenvectorCentrality(g.topology());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_EigenvectorCentrality)->Arg(1000)->Arg(10000);
+
+void BM_CoreNumbers(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    auto c = CoreNumbers(g.topology());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CoreNumbers)->Arg(1000)->Arg(10000);
+
+void BM_Triangles(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g.topology()));
+  }
+}
+BENCHMARK(BM_Triangles)->Arg(1000)->Arg(10000);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  LabeledGraph g = MakeBa(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    auto c = LabelPropagationCommunities(g.topology(), 20, &rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_LabelPropagation)->Arg(1000)->Arg(10000);
+
+void PrintGlobalProperties() {
+  Table t("E4 — global properties of BA(n, 3) graphs",
+          {"n", "m", "weak comps", "diameter(und)", "avg clustering",
+           "densest density", "max pagerank", "max k-core", "triangles"});
+  for (size_t n : {1000, 10000}) {
+    LabeledGraph g = MakeBa(n);
+    auto wcc = WeaklyConnectedComponents(g.topology());
+    auto diam = Diameter(g.topology(), EdgeDirection::kUndirected);
+    double cc = AverageClusteringCoefficient(g.topology());
+    auto dense = DensestSubgraphPeel(g.topology());
+    auto pr = PageRank(g.topology());
+    double max_pr = 0;
+    for (double v : pr) max_pr = std::max(max_pr, v);
+    auto cores = CoreNumbers(g.topology());
+    uint32_t kmax = *std::max_element(cores.begin(), cores.end());
+    t.AddRow({std::to_string(n), std::to_string(g.num_edges()),
+              std::to_string(wcc.num_components),
+              diam ? std::to_string(*diam) : "-", FormatDouble(cc, 4),
+              FormatDouble(dense.density, 3), FormatDouble(max_pr, 5),
+              std::to_string(kmax),
+              std::to_string(CountTriangles(g.topology()))});
+  }
+  t.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintGlobalProperties();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

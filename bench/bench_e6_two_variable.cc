@@ -1,0 +1,79 @@
+// E6 — declarative vs bounded-variable evaluation (Section 4.3): the
+// paper's possibly-infected query evaluated (a) as the 3-variable φ(x)
+// with naive join materialization, and (b) in the bounded-variable
+// modal algebra ψ where every intermediate is a node set. Expected
+// shape: identical answers; naive intermediates grow with the data
+// (max rows tracks the rides relation), while the modal engine scales
+// linearly and wins by a widening factor.
+
+#include <cstdio>
+#include <iostream>
+
+#include "datasets/contact_scenario.h"
+#include "graph/conversions.h"
+#include "logic/fo.h"
+#include "logic/modal.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kgq;
+
+  using F = FoFormula;
+  FoPtr phi = F::And(
+      F::NodePred("person", 0),
+      F::Exists(1, F::Exists(2, F::And(F::And(F::EdgePred("rides", 0, 1),
+                                              F::NodePred("bus", 1)),
+                                       F::And(F::EdgePred("rides", 2, 1),
+                                              F::NodePred("infected", 2))))));
+  ModalPtr psi = ModalFormula::And(
+      ModalFormula::Label("person"),
+      ModalFormula::Diamond(
+          "rides", 1,
+          ModalFormula::And(ModalFormula::Label("bus"),
+                            ModalFormula::DiamondInv(
+                                "rides", 1,
+                                ModalFormula::Label("infected")))));
+
+  std::printf("phi(x): %s  — %zu distinct variables\n",
+              phi->ToString().c_str(), phi->NumDistinctVars());
+  std::printf("psi(x): %s  — 2-variable/modal form\n\n",
+              psi->ToString().c_str());
+
+  Table t("E6 — naive FO joins vs bounded-variable (modal) evaluation",
+          {"people", "edges", "answers", "naive max rows", "t_naive(ms)",
+           "t_modal(ms)", "speedup"});
+  bool ok = true;
+  double last_speedup = 0.0;
+  for (size_t people : {200, 1000, 5000, 20000}) {
+    ContactScenarioOptions opts;
+    opts.num_people = people;
+    opts.num_buses = 3 + people / 200;
+    opts.rides_per_person = 2.0;
+    Rng gen(31 + people);
+    LabeledGraph g = PropertyToLabeled(ContactScenario(opts, &gen));
+
+    FoEvalStats stats;
+    Timer t_naive;
+    Result<Bitset> naive = EvalFoNaive(g, *phi, 0, &stats);
+    double ms_naive = t_naive.Millis();
+
+    Timer t_modal;
+    Bitset modal = EvalModal(g, *psi);
+    double ms_modal = t_modal.Millis();
+
+    ok = ok && naive.ok() && *naive == modal;
+    last_speedup = ms_naive / std::max(ms_modal, 1e-3);
+    t.AddRow({std::to_string(people), std::to_string(g.num_edges()),
+              std::to_string(modal.Count()), std::to_string(stats.max_rows),
+              FormatDouble(ms_naive, 1), FormatDouble(ms_modal, 1),
+              FormatDouble(last_speedup, 1) + "x"});
+  }
+  t.Print(std::cout);
+  ok = ok && last_speedup > 2.0;
+  std::printf(
+      "identical answers at every size; modal evaluation wins at scale → "
+      "%s\n",
+      ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+// E7 — declarative logic vs procedural GNNs (Section 4.3). Three checks:
+// (1) the logic→GNN compiler reproduces the modal evaluator *exactly*
+// on a formula suite over random graphs (Barceló et al., constructive
+// direction); (2) the compiled networks are small (layers = formula
+// readiness, features = subformulas); (3) the WL ceiling: for random
+// networks, 1-WL-equivalent nodes always receive identical embeddings.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "gnn/logic_to_gnn.h"
+#include "gnn/train.h"
+#include "gnn/wl.h"
+#include "graph/generators.h"
+#include "logic/modal.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kgq;
+
+  std::vector<std::pair<std::string, ModalPtr>> suite;
+  suite.emplace_back("label", ModalFormula::Label("p"));
+  suite.emplace_back("neg",
+                     ModalFormula::Not(ModalFormula::Label("p")));
+  suite.emplace_back(
+      "diamond", ModalFormula::Diamond("a", 1, ModalFormula::Label("p")));
+  suite.emplace_back(
+      "graded3", ModalFormula::DiamondInv("b", 3, ModalFormula::True()));
+  suite.emplace_back(
+      "nested",
+      ModalFormula::Diamond(
+          "a", 1,
+          ModalFormula::And(ModalFormula::Label("q"),
+                            ModalFormula::Diamond(
+                                "b", 2, ModalFormula::Label("p")))));
+  suite.emplace_back(
+      "boolean-deep",
+      ModalFormula::Not(ModalFormula::Or(
+          ModalFormula::Diamond(
+              "a", 1, ModalFormula::Not(ModalFormula::Label("p"))),
+          ModalFormula::And(ModalFormula::Label("q"),
+                            ModalFormula::DiamondInv(
+                                "a", 2, ModalFormula::True())))));
+
+  Table t("E7 — compiled AC-GNN vs modal evaluator",
+          {"formula", "layers", "features", "graphs", "agreement",
+           "t_modal(ms)", "t_gnn(ms)"});
+  bool all_agree = true;
+  Rng gen(777);
+  std::vector<LabeledGraph> graphs;
+  for (int i = 0; i < 10; ++i) {
+    graphs.push_back(ErdosRenyi(60, 220, {"p", "q", "r"}, {"a", "b"}, &gen));
+  }
+
+  for (const auto& [name, formula] : suite) {
+    Result<CompiledGnn> compiled = CompileModalToGnn(*formula);
+    if (!compiled.ok()) {
+      std::cerr << name << ": " << compiled.status() << "\n";
+      return 1;
+    }
+    size_t agree = 0, total = 0;
+    double ms_modal = 0, ms_gnn = 0;
+    for (const LabeledGraph& g : graphs) {
+      Timer tm;
+      Bitset want = EvalModal(g, *formula);
+      ms_modal += tm.Millis();
+      Timer tg;
+      Result<Bitset> got = compiled->Evaluate(g);
+      ms_gnn += tg.Millis();
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        ++total;
+        if (want.Test(v) == got->Test(v)) ++agree;
+      }
+    }
+    bool perfect = agree == total;
+    all_agree = all_agree && perfect;
+    t.AddRow({name, std::to_string(compiled->gnn.num_layers()),
+              std::to_string(compiled->subformulas.size()),
+              std::to_string(graphs.size()),
+              std::to_string(agree) + "/" + std::to_string(total),
+              FormatDouble(ms_modal, 2), FormatDouble(ms_gnn, 2)});
+  }
+  t.Print(std::cout);
+
+  // WL ceiling with random networks, on symmetric graphs (layered DAGs
+  // and cycles) where WL-equivalent node pairs actually exist.
+  size_t pairs_checked = 0, pairs_equal = 0;
+  Rng wl_rng(888);
+  for (int trial = 0; trial < 6; ++trial) {
+    LabeledGraph g = trial % 2 == 0 ? LayeredDag(4, 5, "p", "a")
+                                    : Cycle(12 + trial, "p", "a");
+    WlResult wl = WlColorRefinement(g);
+    AcGnn gnn(2);
+    for (int l = 0; l < 3; ++l) {
+      GnnLayer& layer = gnn.AddLayer(5);
+      size_t in = l == 0 ? 2 : 5;
+      layer.self = Matrix(5, in);
+      layer.in_rel.emplace_back("a", Matrix(5, in));
+      layer.out_rel.emplace_back("a", Matrix(5, in));
+      layer.bias.assign(5, 0.0);
+    }
+    gnn.Randomize(&wl_rng);
+    Matrix x = AcGnn::OneHotLabels(g, {"p", "q"});
+    Matrix out = *gnn.Run(g, x);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+        if (wl.colors[u] != wl.colors[v]) continue;
+        ++pairs_checked;
+        bool equal = true;
+        for (size_t c = 0; c < out.cols(); ++c) {
+          if (std::fabs(out.at(u, c) - out.at(v, c)) > 1e-9) equal = false;
+        }
+        if (equal) ++pairs_equal;
+      }
+    }
+  }
+  bool wl_ok = pairs_checked == pairs_equal;
+  std::printf(
+      "WL ceiling: %zu/%zu WL-equivalent node pairs received identical\n"
+      "random-GNN embeddings (expected all) → %s\n",
+      pairs_equal, pairs_checked, wl_ok ? "OK" : "FAIL");
+  std::printf("compiler agreement across the suite → %s\n",
+              all_agree ? "OK" : "FAIL");
+
+  // Learned vs compiled: gradient descent approximates what compilation
+  // achieves exactly (the declarative/procedural loop closed from the
+  // other side).
+  {
+    ModalPtr target = ModalFormula::Diamond("a", 1, ModalFormula::Label("q"));
+    Rng lrng(999);
+    std::vector<LabeledGraph> graphs;
+    for (int i = 0; i < 6; ++i) {
+      graphs.push_back(ErdosRenyi(25, 55, {"p", "q"}, {"a", "b"}, &lrng));
+    }
+    std::vector<GnnExample> train;
+    for (const LabeledGraph& g : graphs) {
+      train.push_back(GnnExample{&g, EvalModal(g, *target)});
+    }
+    GnnTrainOptions topts;
+    topts.epochs = 500;
+    topts.learning_rate = 0.15;
+    Timer t_train;
+    Result<AcGnn> learned =
+        TrainGnnClassifier(train, {"p", "q"}, {"a", "b"}, topts);
+    double train_secs = t_train.Seconds();
+    double acc_sum = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      LabeledGraph test_g = ErdosRenyi(25, 55, {"p", "q"}, {"a", "b"}, &lrng);
+      acc_sum += *ClassifierAccuracy(
+          *learned, {"p", "q"}, GnnExample{&test_g, EvalModal(test_g, *target)});
+    }
+    double acc = acc_sum / 4.0;
+    bool learn_ok = acc > 0.9;
+    std::printf(
+        "learned GNN for %s: %.1f%% test accuracy after %.1fs training "
+        "(compiled network: 100%% by construction) → %s\n",
+        target->ToString().c_str(), acc * 100.0, train_secs,
+        learn_ok ? "OK" : "FAIL");
+    all_agree = all_agree && learn_ok;
+  }
+  return (all_agree && wl_ok) ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// E8 — "counting beyond a yottabyte": on path-explosive workloads the
+// answer set dwarfs anything materializable (the SPARQL 1.1 property-
+// path pitfall the paper cites), yet (a) the exact configuration DP
+// still counts when the product stays near-deterministic, (b) the FPRAS
+// estimates regardless, and (c) enumeration streams the first answers
+// immediately. The sweep also shows the determinization blowup that
+// ambiguity inflicts on the exact side (its config count), which the
+// FPRAS sidesteps — the crossover the tutorial's Section 4.1 is about.
+
+#include <cmath>
+#include <iostream>
+
+#include "graph/generators.h"
+#include "graph/graph_view.h"
+#include "pathalg/enumerate.h"
+#include "pathalg/exact.h"
+#include "pathalg/fpras.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kgq;
+  bool ok = true;
+
+  // ---- Yottabyte-scale answer sets on layered DAGs -----------------------
+  Table t("E8a — layered DAG width^layers explosion (query e*)",
+          {"layers", "width", "answers(len=layers)", "~bytes to store",
+           "t_exact(ms)", "fpras/exact", "first-100 enum(ms)"});
+  for (size_t layers : {10, 20, 30}) {
+    const size_t width = 8;
+    LabeledGraph g = LayeredDag(layers, width, "n", "e");
+    LabeledGraphView view(g);
+    RegexPtr regex = *ParseRegex("e*");
+    PathNfa nfa = *PathNfa::Compile(view, *regex);
+
+    Timer t_exact;
+    ExactPathIndex index(nfa, layers);
+    double exact = index.Count(layers);
+    double ms_exact = t_exact.Millis();
+
+    FprasOptions fopts;
+    fopts.samples_per_state = 24;
+    fopts.union_trials = 24;
+    FprasPathCounter counter(nfa, layers, {}, fopts);
+    double ratio = counter.Estimate() / exact;
+
+    Timer t_enum;
+    PathEnumerator enumerator(nfa, layers);
+    Path p;
+    for (int i = 0; i < 100; ++i) {
+      if (!enumerator.Next(&p)) break;
+    }
+    double ms_enum = t_enum.Millis();
+
+    // A stored path of length L ≈ 8(L+1) bytes of node/edge ids.
+    double bytes = exact * 8.0 * (layers + 1);
+    ok = ok && std::fabs(ratio - 1.0) < 0.2 && ms_enum < 100.0;
+    t.AddRow({std::to_string(layers), std::to_string(width),
+              FormatDouble(exact, 0), FormatDouble(bytes, 0),
+              FormatDouble(ms_exact, 2), FormatDouble(ratio, 3),
+              FormatDouble(ms_enum, 2)});
+  }
+  t.Print(std::cout);
+  std::printf("(1 yottabyte = 1e24 bytes; materialization is hopeless, "
+              "counting and streaming are not)\n\n");
+
+  // ---- Determinization blowup: exact configs vs FPRAS sketches ----------
+  Table amb("E8b — ambiguity ablation: exact configs vs FPRAS sketches",
+            {"k", "exact configs", "t_exact(ms)", "fpras sketches",
+             "t_fpras(ms)", "rel err"});
+  Rng gen(12);
+  LabeledGraph g = ErdosRenyi(120, 600, {"p"}, {"a", "b"}, &gen);
+  LabeledGraphView view(g);
+  RegexPtr regex = *ParseRegex("((a+b)/a + b/(a+b)/(a+b))*");
+  PathNfa nfa = *PathNfa::Compile(view, *regex);
+  for (size_t k : {6, 10, 14}) {
+    Timer t_exact;
+    ExactPathIndex index(nfa, k);
+    double exact = index.Count(k);
+    double ms_exact = t_exact.Millis();
+    FprasOptions fopts;
+    fopts.samples_per_state = 48;
+    fopts.union_trials = 48;
+    Timer t_fpras;
+    FprasPathCounter counter(nfa, k, {}, fopts);
+    double ms_fpras = t_fpras.Millis();
+    double rel = exact > 0
+                     ? std::fabs(counter.Estimate() - exact) / exact
+                     : 0.0;
+    ok = ok && rel < 0.2;
+    amb.AddRow({std::to_string(k), std::to_string(index.num_configs()),
+                FormatDouble(ms_exact, 1),
+                std::to_string(counter.num_sketches()),
+                FormatDouble(ms_fpras, 1), FormatDouble(rel, 4)});
+  }
+  amb.Print(std::cout);
+
+  std::printf("explosion handled by counting/streaming, not materializing "
+              "→ %s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

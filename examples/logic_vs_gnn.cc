@@ -1,0 +1,78 @@
+// Section 4.3 live: the same unary query answered three ways —
+// declaratively (3-variable FO, naive joins), in the bounded-variable
+// modal algebra, and procedurally by a compiled AC-GNN — plus the 1-WL
+// ceiling that bounds what any of them can distinguish.
+//
+// Run: ./build/examples/logic_vs_gnn
+
+#include <cstdio>
+#include <iostream>
+
+#include "datasets/figure2.h"
+#include "gnn/logic_to_gnn.h"
+#include "gnn/wl.h"
+#include "graph/generators.h"
+#include "logic/fo.h"
+#include "logic/modal.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kgq;
+
+  LabeledGraph fig2 = Figure2Labeled();
+
+  // ψ = person ∧ ◇rides(bus ∧ ◇⁻rides infected): the paper's example.
+  ModalPtr psi = ModalFormula::And(
+      ModalFormula::Label("person"),
+      ModalFormula::Diamond(
+          "rides", 1,
+          ModalFormula::And(
+              ModalFormula::Label("bus"),
+              ModalFormula::DiamondInv("rides", 1,
+                                       ModalFormula::Label("infected")))));
+  std::cout << "Query (modal form): " << psi->ToString() << "\n\n";
+
+  // 1. Bounded-variable (modal) evaluation.
+  Bitset modal_answer = EvalModal(fig2, *psi);
+
+  // 2. The 3-variable FO formula φ(x), evaluated with naive joins.
+  using F = FoFormula;
+  FoPtr phi = F::And(
+      F::NodePred("person", 0),
+      F::Exists(1, F::Exists(2, F::And(F::And(F::EdgePred("rides", 0, 1),
+                                              F::NodePred("bus", 1)),
+                                       F::And(F::EdgePred("rides", 2, 1),
+                                              F::NodePred("infected", 2))))));
+  FoEvalStats stats;
+  Result<Bitset> fo_answer = EvalFoNaive(fig2, *phi, 0, &stats);
+
+  // 3. Compiled AC-GNN.
+  Result<CompiledGnn> gnn = CompileModalToGnn(*psi);
+  Result<Bitset> gnn_answer = gnn->Evaluate(fig2);
+
+  std::cout << "Answers on Figure 2 (1 = possibly infected):\n";
+  std::printf("%-10s %6s %6s %6s\n", "node", "modal", "FO3", "GNN");
+  const char* names[] = {"Juan", "Ana", "bus", "Pedro", "Rosa", "company"};
+  for (NodeId v = 0; v < fig2.num_nodes(); ++v) {
+    std::printf("%-10s %6d %6d %6d\n", names[v], (int)modal_answer.Test(v),
+                (int)fo_answer->Test(v), (int)gnn_answer->Test(v));
+  }
+  std::printf(
+      "\nφ uses %zu variables; its largest naive intermediate held %zu "
+      "tuples of arity %zu.\nψ uses 2 variables; the modal engine never "
+      "materializes more than a node set.\nThe compiled GNN has %zu "
+      "layers × %zu features.\n",
+      phi->NumDistinctVars(), stats.max_rows, stats.max_arity,
+      gnn->gnn.num_layers(), gnn->subformulas.size());
+
+  // WL ceiling: equivalent nodes can never be separated.
+  Rng rng(7);
+  LabeledGraph random_graph = ErdosRenyi(40, 120, {"p", "q"}, {"a"}, &rng);
+  WlResult wl = WlColorRefinement(random_graph);
+  std::printf(
+      "\n1-WL on a random 40-node graph: %u stable colors after %zu "
+      "rounds.\nNodes sharing a color are indistinguishable to every "
+      "AC-GNN and every modal query.\n",
+      wl.num_colors, wl.rounds);
+  return 0;
+}

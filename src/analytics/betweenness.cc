@@ -1,0 +1,181 @@
+#include "analytics/betweenness.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "pathalg/enumerate.h"
+#include "pathalg/exact.h"
+#include "rpq/path_nfa.h"
+
+namespace kgq {
+
+namespace {
+
+/// One Brandes source iteration: accumulates dependencies of `s` into
+/// `bc` with the given weight.
+void BrandesFromSource(const Multigraph& g, EdgeDirection dir, NodeId s,
+                       double weight, std::vector<double>* bc) {
+  size_t n = g.num_nodes();
+  std::vector<uint32_t> dist(n, kUnreachable);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<std::vector<NodeId>> preds(n);
+  std::vector<NodeId> order;
+
+  std::queue<NodeId> work;
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  work.push(s);
+  while (!work.empty()) {
+    NodeId v = work.front();
+    work.pop();
+    order.push_back(v);
+    auto visit = [&](NodeId w) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        work.push(w);
+      }
+      if (dist[w] == dist[v] + 1) {
+        sigma[w] += sigma[v];
+        preds[w].push_back(v);
+      }
+    };
+    for (EdgeId e : g.OutEdges(v)) visit(g.EdgeTarget(e));
+    if (dir == EdgeDirection::kUndirected) {
+      for (EdgeId e : g.InEdges(v)) visit(g.EdgeSource(e));
+    }
+  }
+  for (size_t i = order.size(); i-- > 0;) {
+    NodeId w = order[i];
+    for (NodeId v : preds[w]) {
+      delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    }
+    if (w != s) (*bc)[w] += weight * delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
+                                                EdgeDirection dir,
+                                                size_t num_pivots, Rng* rng) {
+  size_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0 || num_pivots == 0) return bc;
+  num_pivots = std::min(num_pivots, n);
+  double weight = static_cast<double>(n) / static_cast<double>(num_pivots);
+  // Sample pivots without replacement (partial Fisher–Yates).
+  std::vector<NodeId> pool(n);
+  for (NodeId v = 0; v < n; ++v) pool[v] = v;
+  for (size_t i = 0; i < num_pivots; ++i) {
+    size_t j = i + rng->Below(n - i);
+    std::swap(pool[i], pool[j]);
+    BrandesFromSource(g, dir, pool[i], weight, &bc);
+  }
+  return bc;
+}
+
+std::vector<double> BetweennessCentrality(const Multigraph& g,
+                                          EdgeDirection dir) {
+  std::vector<double> bc(g.num_nodes(), 0.0);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    BrandesFromSource(g, dir, s, /*weight=*/1.0, &bc);
+  }
+  return bc;
+}
+
+Result<std::vector<double>> RegexBetweenness(const GraphView& view,
+                                             const Regex& regex,
+                                             const BcrOptions& opts) {
+  KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
+  size_t n = view.num_nodes();
+  std::vector<double> bc(n, 0.0);
+
+  for (NodeId a = 0; a < n; ++a) {
+    std::vector<std::optional<size_t>> dist =
+        ShortestAcceptedLengths(nfa, a, opts.max_path_length);
+    for (NodeId b = 0; b < n; ++b) {
+      if (b == a || !dist[b].has_value()) continue;
+      size_t d = *dist[b];
+      if (d == 0) continue;  // A trivial path has no interior nodes.
+
+      // Enumerate the shortest conforming paths once; their interior
+      // node memberships are exactly |S_{a,b,r}(x)|.
+      PathQueryOptions popts;
+      popts.start = a;
+      popts.end = b;
+      PathEnumerator enumerator(nfa, d, popts);
+      double sigma = 0.0;
+      std::vector<double> through(n, 0.0);
+      Path p;
+      std::set<NodeId> members;
+      while (enumerator.Next(&p)) {
+        sigma += 1.0;
+        members.clear();
+        members.insert(p.nodes.begin(), p.nodes.end());
+        for (NodeId x : members) {
+          if (x != a && x != b) through[x] += 1.0;
+        }
+      }
+      if (sigma == 0.0) continue;
+      for (NodeId x = 0; x < n; ++x) {
+        if (through[x] > 0.0) bc[x] += through[x] / sigma;
+      }
+    }
+  }
+  return bc;
+}
+
+Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
+                                                   const Regex& regex,
+                                                   const BcrOptions& opts,
+                                                   Rng* rng) {
+  KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
+  size_t n = view.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  const size_t samples_per_pair = 32;
+
+  for (NodeId a = 0; a < n; ++a) {
+    // Sources are sampled as whole blocks when thinning pairs: skipping
+    // a source skips its (expensive) configuration BFS too.
+    if (opts.pair_fraction < 1.0 && !rng->Bernoulli(opts.pair_fraction)) {
+      continue;
+    }
+    double scale = opts.pair_fraction < 1.0 ? 1.0 / opts.pair_fraction : 1.0;
+
+    std::vector<std::optional<size_t>> dist =
+        ShortestAcceptedLengths(nfa, a, opts.max_path_length);
+    for (NodeId b = 0; b < n; ++b) {
+      if (b == a || !dist[b].has_value()) continue;
+      size_t d = *dist[b];
+      if (d == 0) continue;
+
+      PathQueryOptions popts;
+      popts.start = a;
+      popts.end = b;
+      FprasOptions fopts = opts.fpras;
+      fopts.seed = rng->Next();
+      FprasPathCounter counter(nfa, d, popts, fopts);
+      if (counter.Estimate() <= 0.0) continue;
+
+      // |S(x)|/|S| estimated as the fraction of ≈uniform shortest-path
+      // samples that contain x.
+      std::set<NodeId> members;
+      for (size_t i = 0; i < samples_per_pair; ++i) {
+        Result<Path> p = counter.Sample(rng);
+        if (!p.ok()) break;
+        members.clear();
+        members.insert(p->nodes.begin(), p->nodes.end());
+        for (NodeId x : members) {
+          if (x != a && x != b) {
+            bc[x] += scale / static_cast<double>(samples_per_pair);
+          }
+        }
+      }
+    }
+  }
+  return bc;
+}
+
+}  // namespace kgq

@@ -1,0 +1,139 @@
+#include "analytics/centrality_extra.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgq {
+namespace {
+
+/// Sorted unique undirected neighbor lists, self-loops dropped.
+std::vector<std::vector<NodeId>> SimpleNeighbors(const Multigraph& g) {
+  std::vector<std::vector<NodeId>> nbr(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    NodeId a = g.EdgeSource(e);
+    NodeId b = g.EdgeTarget(e);
+    if (a == b) continue;
+    nbr[a].push_back(b);
+    nbr[b].push_back(a);
+  }
+  for (auto& list : nbr) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nbr;
+}
+
+}  // namespace
+
+std::vector<double> HarmonicCloseness(const Multigraph& g,
+                                      EdgeDirection dir) {
+  std::vector<double> out(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<uint32_t> dist = BfsDistances(g, v, dir);
+    double total = 0.0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == v || dist[u] == kUnreachable) continue;
+      total += 1.0 / static_cast<double>(dist[u]);
+    }
+    out[v] = total;
+  }
+  return out;
+}
+
+std::vector<double> EigenvectorCentrality(const Multigraph& g,
+                                          size_t iterations) {
+  size_t n = g.num_nodes();
+  std::vector<std::vector<NodeId>> nbr = SimpleNeighbors(g);
+  bool any_edge = false;
+  for (const auto& list : nbr) any_edge = any_edge || !list.empty();
+  if (!any_edge) return std::vector<double>(n, 0.0);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (NodeId v = 0; v < n; ++v) {
+      // Shifted iteration (A + I): keeps convergence on bipartite
+      // graphs, where plain power iteration oscillates between the ±λ
+      // eigenvectors.
+      double acc = x[v];
+      for (NodeId u : nbr[v]) acc += x[u];
+      next[v] = acc;
+    }
+    double norm = 0.0;
+    for (double d : next) norm += d * d;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) return std::vector<double>(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) next[v] /= norm;
+    x.swap(next);
+  }
+  return x;
+}
+
+std::vector<uint32_t> CoreNumbers(const Multigraph& g) {
+  size_t n = g.num_nodes();
+  std::vector<std::vector<NodeId>> nbr = SimpleNeighbors(g);
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(nbr[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort by degree (Matula–Beck).
+  std::vector<std::vector<NodeId>> buckets(max_degree + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+
+  std::vector<uint32_t> core(n, 0);
+  std::vector<char> removed(n, 0);
+  uint32_t current = 0;
+  size_t processed = 0;
+  while (processed < n) {
+    // Find the smallest non-empty bucket ≥ 0.
+    uint32_t d = 0;
+    while (d < buckets.size() && buckets[d].empty()) ++d;
+    if (d >= buckets.size()) break;
+    NodeId v = buckets[d].back();
+    buckets[d].pop_back();
+    if (removed[v] || degree[v] != d) continue;  // Stale bucket entry.
+    current = std::max(current, d);
+    core[v] = current;
+    removed[v] = 1;
+    ++processed;
+    for (NodeId u : nbr[v]) {
+      if (removed[u]) continue;
+      if (degree[u] > d) {
+        --degree[u];
+        buckets[degree[u]].push_back(u);
+      }
+    }
+  }
+  return core;
+}
+
+size_t CountTriangles(const Multigraph& g) {
+  std::vector<std::vector<NodeId>> nbr = SimpleNeighbors(g);
+  size_t triangles = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : nbr[v]) {
+      if (u <= v) continue;
+      // Count common neighbors w > u (each triangle once, v < u < w).
+      for (NodeId w : nbr[u]) {
+        if (w <= u) continue;
+        if (std::binary_search(nbr[v].begin(), nbr[v].end(), w)) {
+          ++triangles;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<size_t> DegreeHistogram(const Multigraph& g) {
+  std::vector<std::vector<NodeId>> nbr = SimpleNeighbors(g);
+  size_t max_degree = 0;
+  for (const auto& list : nbr) max_degree = std::max(max_degree, list.size());
+  std::vector<size_t> hist(max_degree + 1, 0);
+  for (const auto& list : nbr) hist[list.size()]++;
+  return hist;
+}
+
+}  // namespace kgq

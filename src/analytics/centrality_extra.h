@@ -1,0 +1,41 @@
+#ifndef KGQ_ANALYTICS_CENTRALITY_EXTRA_H_
+#define KGQ_ANALYTICS_CENTRALITY_EXTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/shortest_paths.h"
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// Harmonic closeness centrality: C(v) = Σ_{u≠v, reachable} 1/d(v,u).
+/// (The harmonic variant handles disconnected graphs gracefully, which
+/// the classic 1/Σd does not.) O(n·(n+m)).
+std::vector<double> HarmonicCloseness(const Multigraph& g,
+                                      EdgeDirection dir);
+
+/// Eigenvector centrality by shifted power iteration (A + I) on the
+/// undirected simple adjacency matrix, L2-normalized. The shift keeps
+/// the iteration convergent on bipartite graphs (plain power iteration
+/// oscillates between the ±λ eigenvectors there). Edgeless graphs
+/// return all-zeros.
+std::vector<double> EigenvectorCentrality(const Multigraph& g,
+                                          size_t iterations = 100);
+
+/// k-core decomposition over the undirected simple graph: core[v] is the
+/// largest k such that v belongs to a subgraph of minimum degree k
+/// (Matula–Beck peeling, O(m + n)-ish with bucket queues).
+std::vector<uint32_t> CoreNumbers(const Multigraph& g);
+
+/// Number of triangles in the undirected simple graph (each triangle
+/// counted once).
+size_t CountTriangles(const Multigraph& g);
+
+/// Per-node degree histogram of the undirected simple graph:
+/// result[d] = number of nodes with degree d.
+std::vector<size_t> DegreeHistogram(const Multigraph& g);
+
+}  // namespace kgq
+
+#endif  // KGQ_ANALYTICS_CENTRALITY_EXTRA_H_

@@ -1,0 +1,105 @@
+#include "analytics/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kgq {
+namespace {
+
+/// Sorted unique undirected neighbor lists, self-loops dropped.
+std::vector<std::vector<NodeId>> SimpleNeighbors(const Multigraph& g) {
+  std::vector<std::vector<NodeId>> nbr(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    NodeId a = g.EdgeSource(e);
+    NodeId b = g.EdgeTarget(e);
+    if (a == b) continue;
+    nbr[a].push_back(b);
+    nbr[b].push_back(a);
+  }
+  for (auto& list : nbr) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nbr;
+}
+
+}  // namespace
+
+std::vector<double> ClusteringCoefficients(const Multigraph& g) {
+  std::vector<std::vector<NodeId>> nbr = SimpleNeighbors(g);
+  std::vector<double> out(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t deg = nbr[v].size();
+    if (deg < 2) continue;
+    size_t links = 0;
+    for (size_t i = 0; i < deg; ++i) {
+      for (size_t j = i + 1; j < deg; ++j) {
+        NodeId a = nbr[v][i];
+        NodeId b = nbr[v][j];
+        if (std::binary_search(nbr[a].begin(), nbr[a].end(), b)) ++links;
+      }
+    }
+    out[v] = 2.0 * static_cast<double>(links) /
+             (static_cast<double>(deg) * static_cast<double>(deg - 1));
+  }
+  return out;
+}
+
+double AverageClusteringCoefficient(const Multigraph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  std::vector<double> coeffs = ClusteringCoefficients(g);
+  double total = 0.0;
+  for (double c : coeffs) total += c;
+  return total / static_cast<double>(coeffs.size());
+}
+
+std::vector<uint32_t> LabelPropagationCommunities(const Multigraph& g,
+                                                  size_t max_rounds,
+                                                  Rng* rng) {
+  size_t n = g.num_nodes();
+  std::vector<uint32_t> label(n);
+  for (NodeId v = 0; v < n; ++v) label[v] = v;
+  std::vector<std::vector<NodeId>> nbr = SimpleNeighbors(g);
+
+  // Random visiting order, reshuffled each round for symmetry breaking.
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+
+  for (size_t round = 0; round < max_rounds; ++round) {
+    // Fisher-Yates shuffle.
+    for (size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng->Below(i)]);
+    }
+    bool changed = false;
+    std::unordered_map<uint32_t, size_t> freq;
+    for (NodeId v : order) {
+      if (nbr[v].empty()) continue;
+      freq.clear();
+      size_t best_count = 0;
+      for (NodeId u : nbr[v]) best_count = std::max(best_count, ++freq[label[u]]);
+      // Collect argmax labels and pick one at random.
+      std::vector<uint32_t> best;
+      for (const auto& [lbl, count] : freq) {
+        if (count == best_count) best.push_back(lbl);
+      }
+      std::sort(best.begin(), best.end());  // Determinism across map order.
+      uint32_t chosen = best[rng->Below(best.size())];
+      if (chosen != label[v]) {
+        label[v] = chosen;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Compact to dense community ids.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (NodeId v = 0; v < n; ++v) {
+    auto [it, inserted] =
+        remap.emplace(label[v], static_cast<uint32_t>(remap.size()));
+    label[v] = it->second;
+  }
+  return label;
+}
+
+}  // namespace kgq

@@ -1,0 +1,28 @@
+#ifndef KGQ_ANALYTICS_CLUSTERING_H_
+#define KGQ_ANALYTICS_CLUSTERING_H_
+
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Local clustering coefficient per node, computed on the underlying
+/// simple undirected graph (parallel edges and self-loops collapsed):
+/// the fraction of a node's neighbor pairs that are themselves adjacent.
+std::vector<double> ClusteringCoefficients(const Multigraph& g);
+
+/// Mean of the local coefficients (0 for an empty graph).
+double AverageClusteringCoefficient(const Multigraph& g);
+
+/// Community detection by synchronous label propagation over the
+/// undirected graph. Returns a dense community id per node; `rng` breaks
+/// ties so runs are reproducible from the seed.
+std::vector<uint32_t> LabelPropagationCommunities(const Multigraph& g,
+                                                  size_t max_rounds,
+                                                  Rng* rng);
+
+}  // namespace kgq
+
+#endif  // KGQ_ANALYTICS_CLUSTERING_H_

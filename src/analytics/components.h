@@ -1,0 +1,27 @@
+#ifndef KGQ_ANALYTICS_COMPONENTS_H_
+#define KGQ_ANALYTICS_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// Result of a components decomposition: a dense component id per node
+/// plus the number of components. Ids are assigned in discovery order.
+struct ComponentAssignment {
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+};
+
+/// Weakly connected components (edges taken as undirected).
+ComponentAssignment WeaklyConnectedComponents(const Multigraph& g);
+
+/// Strongly connected components (Tarjan, iterative — safe on deep
+/// graphs).
+ComponentAssignment StronglyConnectedComponents(const Multigraph& g);
+
+}  // namespace kgq
+
+#endif  // KGQ_ANALYTICS_COMPONENTS_H_

@@ -1,0 +1,107 @@
+#include "analytics/densest.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace kgq {
+namespace {
+
+/// Undirected simple edges (unordered pairs, deduplicated, no loops).
+std::vector<std::pair<NodeId, NodeId>> SimpleEdges(const Multigraph& g) {
+  std::set<std::pair<NodeId, NodeId>> set;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    NodeId a = g.EdgeSource(e);
+    NodeId b = g.EdgeTarget(e);
+    if (a == b) continue;
+    set.insert({std::min(a, b), std::max(a, b)});
+  }
+  return {set.begin(), set.end()};
+}
+
+}  // namespace
+
+DenseSubgraph DensestSubgraphPeel(const Multigraph& g) {
+  size_t n = g.num_nodes();
+  DenseSubgraph best;
+  if (n == 0) return best;
+
+  auto edges = SimpleEdges(g);
+  std::vector<std::vector<NodeId>> nbr(n);
+  for (const auto& [a, b] : edges) {
+    nbr[a].push_back(b);
+    nbr[b].push_back(a);
+  }
+  std::vector<size_t> degree(n);
+  for (NodeId v = 0; v < n; ++v) degree[v] = nbr[v].size();
+
+  // Min-degree peeling with a sorted set as priority queue.
+  std::set<std::pair<size_t, NodeId>> queue;
+  for (NodeId v = 0; v < n; ++v) queue.insert({degree[v], v});
+  std::vector<char> removed(n, 0);
+  std::vector<NodeId> peel_order;
+  size_t remaining_edges = edges.size();
+  size_t remaining_nodes = n;
+
+  double best_density =
+      static_cast<double>(remaining_edges) / static_cast<double>(n);
+  size_t best_prefix = 0;  // Number of peels at the best density.
+
+  while (remaining_nodes > 0) {
+    auto [deg, v] = *queue.begin();
+    queue.erase(queue.begin());
+    removed[v] = 1;
+    peel_order.push_back(v);
+    remaining_edges -= deg;
+    --remaining_nodes;
+    for (NodeId u : nbr[v]) {
+      if (removed[u]) continue;
+      queue.erase({degree[u], u});
+      --degree[u];
+      queue.insert({degree[u], u});
+    }
+    if (remaining_nodes > 0) {
+      double density = static_cast<double>(remaining_edges) /
+                       static_cast<double>(remaining_nodes);
+      if (density > best_density) {
+        best_density = density;
+        best_prefix = peel_order.size();
+      }
+    }
+  }
+
+  std::vector<char> peeled(n, 0);
+  for (size_t i = 0; i < best_prefix; ++i) peeled[peel_order[i]] = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!peeled[v]) best.nodes.push_back(v);
+  }
+  best.density = best_density;
+  return best;
+}
+
+DenseSubgraph DensestSubgraphExact(const Multigraph& g) {
+  size_t n = g.num_nodes();
+  DenseSubgraph best;
+  if (n == 0 || n > 20) return best;  // Exhaustive only for tiny graphs.
+
+  auto edges = SimpleEdges(g);
+  for (uint32_t subset = 1; subset < (1u << n); ++subset) {
+    size_t size = static_cast<size_t>(__builtin_popcount(subset));
+    size_t internal = 0;
+    for (const auto& [a, b] : edges) {
+      if ((subset >> a & 1) && (subset >> b & 1)) ++internal;
+    }
+    double density =
+        static_cast<double>(internal) / static_cast<double>(size);
+    if (density > best.density) {
+      best.density = density;
+      best.nodes.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (subset >> v & 1) best.nodes.push_back(v);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace kgq

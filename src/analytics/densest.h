@@ -1,0 +1,30 @@
+#ifndef KGQ_ANALYTICS_DENSEST_H_
+#define KGQ_ANALYTICS_DENSEST_H_
+
+#include <vector>
+
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// A subgraph candidate: the chosen nodes and their density
+/// |E(S)| / |S| over the underlying undirected simple graph view.
+struct DenseSubgraph {
+  std::vector<NodeId> nodes;
+  double density = 0.0;
+};
+
+/// Charikar's greedy peeling 2-approximation for the densest-subgraph
+/// problem (Goldberg's exact flow formulation is the classic reference
+/// the paper cites; the greedy is the standard scalable surrogate):
+/// repeatedly remove the minimum-degree node, and return the prefix of
+/// peels with the best density. O((n + m) log n).
+DenseSubgraph DensestSubgraphPeel(const Multigraph& g);
+
+/// Exact densest subgraph by exhaustive search over node subsets —
+/// O(2^n), for cross-checking the approximation on tiny graphs.
+DenseSubgraph DensestSubgraphExact(const Multigraph& g);
+
+}  // namespace kgq
+
+#endif  // KGQ_ANALYTICS_DENSEST_H_

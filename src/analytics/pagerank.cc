@@ -1,0 +1,69 @@
+#include "analytics/pagerank.h"
+
+#include <cmath>
+
+namespace kgq {
+
+std::vector<double> PageRank(const Multigraph& g,
+                             const PageRankOptions& opts) {
+  size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.OutDegree(v) == 0) dangling += rank[v];
+    }
+    double base = (1.0 - opts.damping) / static_cast<double>(n) +
+                  opts.damping * dangling / static_cast<double>(n);
+    for (NodeId v = 0; v < n; ++v) next[v] = base;
+    for (NodeId v = 0; v < n; ++v) {
+      size_t deg = g.OutDegree(v);
+      if (deg == 0) continue;
+      double share = opts.damping * rank[v] / static_cast<double>(deg);
+      for (EdgeId e : g.OutEdges(v)) next[g.EdgeTarget(e)] += share;
+    }
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < opts.tolerance) break;
+  }
+  return rank;
+}
+
+HitsScores Hits(const Multigraph& g, size_t iterations) {
+  size_t n = g.num_nodes();
+  HitsScores out;
+  out.hub.assign(n, 1.0);
+  out.authority.assign(n, 1.0);
+  if (n == 0) return out;
+
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return;
+    for (double& x : v) x /= norm;
+  };
+
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    // authority(v) = Σ hub(u) over edges u→v.
+    for (NodeId v = 0; v < n; ++v) {
+      double score = 0.0;
+      for (EdgeId e : g.InEdges(v)) score += out.hub[g.EdgeSource(e)];
+      out.authority[v] = score;
+    }
+    normalize(out.authority);
+    // hub(v) = Σ authority(w) over edges v→w.
+    for (NodeId v = 0; v < n; ++v) {
+      double score = 0.0;
+      for (EdgeId e : g.OutEdges(v)) score += out.authority[g.EdgeTarget(e)];
+      out.hub[v] = score;
+    }
+    normalize(out.hub);
+  }
+  return out;
+}
+
+}  // namespace kgq

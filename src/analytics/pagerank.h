@@ -1,0 +1,31 @@
+#ifndef KGQ_ANALYTICS_PAGERANK_H_
+#define KGQ_ANALYTICS_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// Parameters of the power iteration.
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 100;
+  double tolerance = 1e-10;  ///< L1 change threshold for early stop.
+};
+
+/// PageRank by power iteration with uniform teleport; dangling mass is
+/// redistributed uniformly. Scores sum to 1.
+std::vector<double> PageRank(const Multigraph& g,
+                             const PageRankOptions& opts = {});
+
+/// Hub and authority scores (Kleinberg's HITS), L2-normalized.
+struct HitsScores {
+  std::vector<double> hub;
+  std::vector<double> authority;
+};
+HitsScores Hits(const Multigraph& g, size_t iterations = 50);
+
+}  // namespace kgq
+
+#endif  // KGQ_ANALYTICS_PAGERANK_H_

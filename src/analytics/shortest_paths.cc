@@ -1,0 +1,118 @@
+#include "analytics/shortest_paths.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace kgq {
+namespace {
+
+/// Visits each BFS-neighbor of n (respecting direction) exactly once per
+/// incident edge.
+template <typename Fn>
+void ForEachNeighbor(const Multigraph& g, NodeId n, EdgeDirection dir,
+                     Fn&& fn) {
+  for (EdgeId e : g.OutEdges(n)) fn(g.EdgeTarget(e));
+  if (dir == EdgeDirection::kUndirected) {
+    for (EdgeId e : g.InEdges(n)) fn(g.EdgeSource(e));
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> BfsDistances(const Multigraph& g, NodeId source,
+                                   EdgeDirection dir) {
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> work;
+  dist[source] = 0;
+  work.push(source);
+  while (!work.empty()) {
+    NodeId n = work.front();
+    work.pop();
+    ForEachNeighbor(g, n, dir, [&](NodeId to) {
+      if (dist[to] == kUnreachable) {
+        dist[to] = dist[n] + 1;
+        work.push(to);
+      }
+    });
+  }
+  return dist;
+}
+
+ShortestPathCounts CountShortestPaths(const Multigraph& g, NodeId source,
+                                      EdgeDirection dir) {
+  ShortestPathCounts out;
+  out.dist.assign(g.num_nodes(), kUnreachable);
+  out.count.assign(g.num_nodes(), 0.0);
+  std::queue<NodeId> work;
+  out.dist[source] = 0;
+  out.count[source] = 1.0;
+  work.push(source);
+  while (!work.empty()) {
+    NodeId n = work.front();
+    work.pop();
+    ForEachNeighbor(g, n, dir, [&](NodeId to) {
+      if (out.dist[to] == kUnreachable) {
+        out.dist[to] = out.dist[n] + 1;
+        work.push(to);
+      }
+      if (out.dist[to] == out.dist[n] + 1) {
+        out.count[to] += out.count[n];
+      }
+    });
+  }
+  return out;
+}
+
+Result<std::vector<double>> WeightedDistances(
+    const Multigraph& g, const std::vector<double>& weights, NodeId source,
+    EdgeDirection dir) {
+  if (weights.size() != g.num_edges()) {
+    return Status::InvalidArgument(
+        "weights must have one entry per edge (" +
+        std::to_string(g.num_edges()) + "), got " +
+        std::to_string(weights.size()));
+  }
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("Dijkstra requires weights >= 0");
+    }
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_nodes(), kInf);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, n] = queue.top();
+    queue.pop();
+    if (d > dist[n]) continue;  // Stale entry.
+    auto relax = [&](EdgeId e, NodeId to) {
+      double next = d + weights[e];
+      if (next < dist[to]) {
+        dist[to] = next;
+        queue.push({next, to});
+      }
+    };
+    for (EdgeId e : g.OutEdges(n)) relax(e, g.EdgeTarget(e));
+    if (dir == EdgeDirection::kUndirected) {
+      for (EdgeId e : g.InEdges(n)) relax(e, g.EdgeSource(e));
+    }
+  }
+  return dist;
+}
+
+std::optional<uint32_t> Diameter(const Multigraph& g, EdgeDirection dir) {
+  if (g.num_nodes() == 0) return std::nullopt;
+  uint32_t best = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (uint32_t d : BfsDistances(g, n, dir)) {
+      if (d != kUnreachable && d > best) best = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace kgq

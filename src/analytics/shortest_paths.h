@@ -1,0 +1,47 @@
+#ifndef KGQ_ANALYTICS_SHORTEST_PATHS_H_
+#define KGQ_ANALYTICS_SHORTEST_PATHS_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// Unreachable marker in distance vectors.
+inline constexpr uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// Treat edges as directed (follow ρ) or as undirected connections.
+enum class EdgeDirection { kDirected, kUndirected };
+
+/// BFS hop distances from `source` to every node (kUnreachable if none).
+std::vector<uint32_t> BfsDistances(const Multigraph& g, NodeId source,
+                                   EdgeDirection dir);
+
+/// Number of *shortest* paths from `source` to every node, alongside the
+/// distances (the Brandes σ counters; counts as double).
+struct ShortestPathCounts {
+  std::vector<uint32_t> dist;
+  std::vector<double> count;
+};
+ShortestPathCounts CountShortestPaths(const Multigraph& g, NodeId source,
+                                      EdgeDirection dir);
+
+/// Dijkstra single-source distances with per-edge weights
+/// (`weights[e]` ≥ 0, one entry per edge; negative weights are an
+/// InvalidArgument). Unreachable nodes get +infinity.
+Result<std::vector<double>> WeightedDistances(
+    const Multigraph& g, const std::vector<double>& weights, NodeId source,
+    EdgeDirection dir);
+
+/// Eccentricity-based diameter: the largest finite BFS distance between
+/// any ordered pair (directed) or unordered pair (undirected). Returns
+/// nullopt on an empty graph; ignores unreachable pairs.
+std::optional<uint32_t> Diameter(const Multigraph& g, EdgeDirection dir);
+
+}  // namespace kgq
+
+#endif  // KGQ_ANALYTICS_SHORTEST_PATHS_H_

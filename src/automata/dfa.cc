@@ -1,0 +1,194 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace kgq {
+
+Dfa::Dfa(StateId num_states, SymbolId num_symbols)
+    : num_symbols_(num_symbols),
+      table_(static_cast<size_t>(num_states) * num_symbols, 0),
+      final_flags_(num_states, 0) {}
+
+void Dfa::SetTransition(StateId from, SymbolId symbol, StateId to) {
+  assert(from < num_states() && to < num_states() && symbol < num_symbols_);
+  table_[from * num_symbols_ + symbol] = to;
+}
+
+bool Dfa::Accepts(const std::vector<SymbolId>& word) const {
+  StateId s = start_;
+  for (SymbolId a : word) s = Transition(s, a);
+  return IsFinal(s);
+}
+
+double Dfa::CountAcceptedWords(size_t k) const {
+  // counts[s] = number of distinct words of the current length that lead
+  // from the start state to s. In a DFA distinct words reach distinct
+  // state *sequences*, never merging counts incorrectly.
+  std::vector<double> counts(num_states(), 0.0);
+  counts[start_] = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    std::vector<double> next(num_states(), 0.0);
+    for (StateId s = 0; s < num_states(); ++s) {
+      if (counts[s] == 0.0) continue;
+      for (SymbolId a = 0; a < num_symbols_; ++a) {
+        next[Transition(s, a)] += counts[s];
+      }
+    }
+    counts = std::move(next);
+  }
+  double total = 0.0;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (IsFinal(s)) total += counts[s];
+  }
+  return total;
+}
+
+Dfa Dfa::Determinize(const Nfa& nfa) {
+  // The empty-NFA corner: one dead state, nothing accepted.
+  if (nfa.num_states() == 0) return Dfa(1, nfa.num_symbols());
+
+  std::unordered_map<Bitset, StateId, BitsetHash> index;
+  std::vector<Bitset> subsets;
+
+  Bitset init(nfa.num_states());
+  init.Set(nfa.start());
+  init = nfa.EpsilonClosure(init);
+
+  // State 0 is the dead (empty-subset) state.
+  Bitset empty(nfa.num_states());
+  index.emplace(empty, 0);
+  subsets.push_back(empty);
+  index.emplace(init, 1);
+  subsets.push_back(init);
+
+  std::vector<std::vector<StateId>> rows;  // transitions per subset state
+  std::queue<StateId> work;
+  // The dead state loops to itself on every symbol.
+  rows.push_back(std::vector<StateId>(nfa.num_symbols(), 0));
+  work.push(1);
+  rows.push_back({});
+
+  while (!work.empty()) {
+    StateId id = work.front();
+    work.pop();
+    std::vector<StateId> row(nfa.num_symbols(), 0);
+    for (SymbolId a = 0; a < nfa.num_symbols(); ++a) {
+      Bitset next = nfa.EpsilonClosure(nfa.Move(subsets[id], a));
+      auto [it, inserted] =
+          index.emplace(next, static_cast<StateId>(subsets.size()));
+      if (inserted) {
+        subsets.push_back(std::move(next));
+        rows.push_back({});
+        work.push(it->second);
+      }
+      row[a] = it->second;
+    }
+    rows[id] = std::move(row);
+  }
+
+  Dfa dfa(static_cast<StateId>(subsets.size()), nfa.num_symbols());
+  dfa.SetStart(1);
+  Bitset finals = nfa.finals();
+  for (StateId s = 0; s < subsets.size(); ++s) {
+    for (SymbolId a = 0; a < nfa.num_symbols(); ++a) {
+      dfa.SetTransition(s, a, rows[s][a]);
+    }
+    Bitset hit = subsets[s] & finals;
+    dfa.SetFinal(s, hit.Any());
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimize() const {
+  // Restrict to reachable states first.
+  std::vector<StateId> reachable;
+  std::vector<int> order(num_states(), -1);
+  reachable.push_back(start_);
+  order[start_] = 0;
+  for (size_t i = 0; i < reachable.size(); ++i) {
+    for (SymbolId a = 0; a < num_symbols_; ++a) {
+      StateId t = Transition(reachable[i], a);
+      if (order[t] < 0) {
+        order[t] = static_cast<int>(reachable.size());
+        reachable.push_back(t);
+      }
+    }
+  }
+
+  // Moore partition refinement over reachable states.
+  size_t n = reachable.size();
+  std::vector<int> block(n);
+  for (size_t i = 0; i < n; ++i) block[i] = IsFinal(reachable[i]) ? 1 : 0;
+
+  // Moore refinement: blocks only ever split, so iterate until the block
+  // count is stable.
+  size_t num_blocks_prev = 0;
+  for (;;) {
+    // Signature of a state: its block plus the blocks of its successors.
+    std::map<std::vector<int>, int> sig_index;
+    std::vector<int> new_block(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(num_symbols_ + 1);
+      sig.push_back(block[i]);
+      for (SymbolId a = 0; a < num_symbols_; ++a) {
+        sig.push_back(block[order[Transition(reachable[i], a)]]);
+      }
+      auto [it, inserted] = sig_index.emplace(
+          std::move(sig), static_cast<int>(sig_index.size()));
+      (void)inserted;
+      new_block[i] = it->second;
+    }
+    block = std::move(new_block);
+    if (sig_index.size() == num_blocks_prev) break;
+    num_blocks_prev = sig_index.size();
+  }
+
+  int num_blocks = *std::max_element(block.begin(), block.end()) + 1;
+  Dfa out(static_cast<StateId>(num_blocks), num_symbols_);
+  out.SetStart(static_cast<StateId>(block[0]));  // order[start_] == 0.
+  for (size_t i = 0; i < n; ++i) {
+    StateId s = reachable[i];
+    for (SymbolId a = 0; a < num_symbols_; ++a) {
+      out.SetTransition(static_cast<StateId>(block[i]), a,
+                        static_cast<StateId>(block[order[Transition(s, a)]]));
+    }
+    if (IsFinal(s)) out.SetFinal(static_cast<StateId>(block[i]));
+  }
+  return out;
+}
+
+bool Dfa::Equivalent(const Dfa& a, const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols()) return false;
+  std::set<std::pair<StateId, StateId>> visited;
+  std::queue<std::pair<StateId, StateId>> work;
+  work.push({a.start(), b.start()});
+  visited.insert({a.start(), b.start()});
+  while (!work.empty()) {
+    auto [sa, sb] = work.front();
+    work.pop();
+    if (a.IsFinal(sa) != b.IsFinal(sb)) return false;
+    for (SymbolId x = 0; x < a.num_symbols(); ++x) {
+      std::pair<StateId, StateId> next = {a.Transition(sa, x),
+                                          b.Transition(sb, x)};
+      if (visited.insert(next).second) work.push(next);
+    }
+  }
+  return true;
+}
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (StateId s = 0; s < num_states(); ++s) {
+    out.SetFinal(s, !IsFinal(s));
+  }
+  return out;
+}
+
+}  // namespace kgq

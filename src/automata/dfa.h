@@ -1,0 +1,67 @@
+#ifndef KGQ_AUTOMATA_DFA_H_
+#define KGQ_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace kgq {
+
+/// Deterministic finite automaton over a dense integer alphabet, with a
+/// total transition function (a dead state is materialized as needed).
+///
+/// The DFA is the exact-counting workhorse: once determinized, counting
+/// distinct accepted words of length k is a polynomial DP — the blowup of
+/// Determinize() is exactly where the intractability of the Count problem
+/// of Section 4.1 lives.
+class Dfa {
+ public:
+  /// Creates a DFA with `num_states` states over {0,...,σ-1}; all
+  /// transitions initially point at state 0 and no state is final.
+  Dfa(StateId num_states, SymbolId num_symbols);
+
+  void SetTransition(StateId from, SymbolId symbol, StateId to);
+  void SetStart(StateId s) { start_ = s; }
+  void SetFinal(StateId s, bool is_final = true) {
+    final_flags_[s] = is_final ? 1 : 0;
+  }
+
+  size_t num_states() const { return final_flags_.size(); }
+  SymbolId num_symbols() const { return num_symbols_; }
+  StateId start() const { return start_; }
+  bool IsFinal(StateId s) const { return final_flags_[s] != 0; }
+  StateId Transition(StateId from, SymbolId symbol) const {
+    return table_[from * num_symbols_ + symbol];
+  }
+
+  bool Accepts(const std::vector<SymbolId>& word) const;
+
+  /// Number of distinct accepted words of length exactly k (polynomial
+  /// DP over states; counts as double to survive explosive languages).
+  double CountAcceptedWords(size_t k) const;
+
+  /// Subset construction. The result accepts the same language; its size
+  /// is worst-case exponential in nfa.num_states().
+  static Dfa Determinize(const Nfa& nfa);
+
+  /// Moore partition refinement; returns the minimal equivalent DFA
+  /// (unreachable states removed).
+  Dfa Minimize() const;
+
+  /// Language equality via synchronized BFS over the product.
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+
+  /// DFA accepting the complement language (alphabet-wide).
+  Dfa Complement() const;
+
+ private:
+  SymbolId num_symbols_;
+  StateId start_ = 0;
+  std::vector<StateId> table_;  // num_states × num_symbols
+  std::vector<char> final_flags_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_AUTOMATA_DFA_H_

@@ -1,0 +1,108 @@
+#include "automata/nfa.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace kgq {
+
+StateId Nfa::AddState() {
+  StateId id = static_cast<StateId>(num_states());
+  by_symbol_.emplace_back(num_symbols_);
+  epsilon_.emplace_back();
+  final_flags_.push_back(0);
+  return id;
+}
+
+Bitset Nfa::finals() const {
+  Bitset out(num_states());
+  for (size_t s = 0; s < final_flags_.size(); ++s) {
+    if (final_flags_[s]) out.Set(s);
+  }
+  return out;
+}
+
+void Nfa::AddTransition(StateId from, SymbolId symbol, StateId to) {
+  assert(from < num_states() && to < num_states() && symbol < num_symbols_);
+  by_symbol_[from][symbol].push_back(to);
+}
+
+void Nfa::AddEpsilon(StateId from, StateId to) {
+  assert(from < num_states() && to < num_states());
+  epsilon_[from].push_back(to);
+}
+
+void Nfa::SetFinal(StateId s, bool is_final) {
+  assert(s < num_states());
+  final_flags_[s] = is_final ? 1 : 0;
+}
+
+Bitset Nfa::EpsilonClosure(const Bitset& states) const {
+  Bitset closure = states;
+  std::vector<StateId> stack = states.ToVector();
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (StateId t : epsilon_[s]) {
+      if (!closure.Test(t)) {
+        closure.Set(t);
+        stack.push_back(t);
+      }
+    }
+  }
+  return closure;
+}
+
+Bitset Nfa::Move(const Bitset& states, SymbolId symbol) const {
+  Bitset out(num_states());
+  states.ForEach([&](size_t s) {
+    for (StateId t : by_symbol_[s][symbol]) out.Set(t);
+  });
+  return out;
+}
+
+bool Nfa::Accepts(const std::vector<SymbolId>& word) const {
+  if (num_states() == 0) return false;
+  Bitset current(num_states());
+  current.Set(start_);
+  current = EpsilonClosure(current);
+  for (SymbolId a : word) {
+    current = EpsilonClosure(Move(current, a));
+    if (current.None()) return false;
+  }
+  for (size_t s = 0; s < num_states(); ++s) {
+    if (final_flags_[s] && current.Test(s)) return true;
+  }
+  return false;
+}
+
+double Nfa::CountAcceptedWords(size_t k) const {
+  if (num_states() == 0) return 0.0;
+  // Each distinct word corresponds to a unique sequence of subset states,
+  // so a DP over reachable subsets counts words exactly.
+  std::unordered_map<Bitset, double, BitsetHash> layer;
+  Bitset init(num_states());
+  init.Set(start_);
+  layer[EpsilonClosure(init)] = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    std::unordered_map<Bitset, double, BitsetHash> next;
+    for (const auto& [subset, count] : layer) {
+      for (SymbolId a = 0; a < num_symbols_; ++a) {
+        Bitset moved = EpsilonClosure(Move(subset, a));
+        if (moved.None()) continue;
+        next[moved] += count;
+      }
+    }
+    layer = std::move(next);
+  }
+  double total = 0.0;
+  for (const auto& [subset, count] : layer) {
+    bool accepting = false;
+    subset.ForEach([&](size_t s) {
+      if (final_flags_[s]) accepting = true;
+    });
+    if (accepting) total += count;
+  }
+  return total;
+}
+
+}  // namespace kgq

@@ -1,0 +1,80 @@
+#ifndef KGQ_AUTOMATA_NFA_H_
+#define KGQ_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace kgq {
+
+/// State index in an automaton.
+using StateId = uint32_t;
+/// Symbol index in a dense integer alphabet {0, ..., σ-1}.
+using SymbolId = uint32_t;
+
+/// Nondeterministic finite automaton over a dense integer alphabet, with
+/// ε-transitions. Regular expressions form the core of graph querying
+/// (Section 4); this class is the language-theoretic substrate under the
+/// query machinery, and is also used directly by the exact path-counting
+/// oracle (counting distinct words of length k accepted by an NFA is the
+/// SpanL-complete problem the FPRAS of Section 4.1 approximates).
+class Nfa {
+ public:
+  /// Creates an NFA with no states over alphabet {0, ..., σ-1}.
+  explicit Nfa(SymbolId num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Adds a state; returns its id.
+  StateId AddState();
+
+  /// Adds a transition on `symbol` (< num_symbols).
+  void AddTransition(StateId from, SymbolId symbol, StateId to);
+  /// Adds an ε-transition.
+  void AddEpsilon(StateId from, StateId to);
+
+  void SetStart(StateId s) { start_ = s; }
+  void SetFinal(StateId s, bool is_final = true);
+
+  size_t num_states() const { return by_symbol_.size(); }
+  SymbolId num_symbols() const { return num_symbols_; }
+  StateId start() const { return start_; }
+  bool IsFinal(StateId s) const { return final_flags_[s] != 0; }
+  /// The set of final states as a bitset over the states.
+  Bitset finals() const;
+
+  /// ε-closure of a state set.
+  Bitset EpsilonClosure(const Bitset& states) const;
+
+  /// States reachable from `states` by one `symbol` step (no closure).
+  Bitset Move(const Bitset& states, SymbolId symbol) const;
+
+  /// Membership: does the automaton accept `word`?
+  bool Accepts(const std::vector<SymbolId>& word) const;
+
+  /// Number of *distinct* words of length exactly k accepted, computed by
+  /// on-the-fly subset construction (exact but worst-case exponential in
+  /// the number of states — this is the hard direction of Section 4.1).
+  /// Counts are doubles so path-explosive instances don't overflow.
+  double CountAcceptedWords(size_t k) const;
+
+  /// All transitions on `symbol` out of `s`.
+  const std::vector<StateId>& Targets(StateId s, SymbolId symbol) const {
+    return by_symbol_[s][symbol];
+  }
+  /// All ε-targets of `s`.
+  const std::vector<StateId>& EpsilonTargets(StateId s) const {
+    return epsilon_[s];
+  }
+
+ private:
+  SymbolId num_symbols_;
+  StateId start_ = 0;
+  std::vector<char> final_flags_;
+  // by_symbol_[s][a] = targets of s on symbol a.
+  std::vector<std::vector<std::vector<StateId>>> by_symbol_;
+  std::vector<std::vector<StateId>> epsilon_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_AUTOMATA_NFA_H_

@@ -1,0 +1,87 @@
+#include "datasets/contact_scenario.h"
+
+#include <string>
+
+namespace kgq {
+namespace {
+
+std::string RandomDate(int num_days, Rng* rng) {
+  int day = static_cast<int>(rng->Below(num_days)) + 1;
+  return std::to_string(1 + day % 28) + "/" + std::to_string(1 + day / 28) +
+         "/21";
+}
+
+/// Poisson-ish small count: expected value `mean`, via per-unit
+/// Bernoulli draws (good enough for workload shaping).
+size_t DrawCount(double mean, Rng* rng) {
+  size_t whole = static_cast<size_t>(mean);
+  size_t count = whole;
+  if (rng->Bernoulli(mean - static_cast<double>(whole))) ++count;
+  return count;
+}
+
+}  // namespace
+
+PropertyGraph ContactScenario(const ContactScenarioOptions& opts, Rng* rng) {
+  PropertyGraph g;
+  // People (possibly infected).
+  for (size_t i = 0; i < opts.num_people; ++i) {
+    bool infected = rng->Bernoulli(opts.infected_fraction);
+    NodeId n = g.AddNode(infected ? "infected" : "person");
+    g.SetNodeProperty(n, "name", "p" + std::to_string(i));
+    g.SetNodeProperty(
+        n, "age", std::to_string(18 + rng->Below(60)));
+  }
+  NodeId first_bus = static_cast<NodeId>(opts.num_people);
+  for (size_t i = 0; i < opts.num_buses; ++i) {
+    NodeId n = g.AddNode("bus");
+    g.SetNodeProperty(n, "name", "bus" + std::to_string(i));
+  }
+  NodeId first_company =
+      static_cast<NodeId>(opts.num_people + opts.num_buses);
+  for (size_t i = 0; i < opts.num_companies; ++i) {
+    NodeId n = g.AddNode("company");
+    g.SetNodeProperty(n, "name", "company" + std::to_string(i));
+  }
+
+  // Ownership: each bus belongs to a random company.
+  for (size_t b = 0; b < opts.num_buses; ++b) {
+    if (opts.num_companies == 0) break;
+    NodeId company =
+        first_company + static_cast<NodeId>(rng->Below(opts.num_companies));
+    g.AddEdge(company, first_bus + static_cast<NodeId>(b), "owns").value();
+  }
+
+  for (size_t p = 0; p < opts.num_people; ++p) {
+    NodeId person = static_cast<NodeId>(p);
+    if (opts.num_buses > 0) {
+      size_t rides = DrawCount(opts.rides_per_person, rng);
+      for (size_t r = 0; r < rides; ++r) {
+        NodeId bus =
+            first_bus + static_cast<NodeId>(rng->Below(opts.num_buses));
+        EdgeId e = g.AddEdge(person, bus, "rides").value();
+        g.SetEdgeProperty(e, "date", RandomDate(opts.num_days, rng));
+      }
+    }
+    if (opts.num_people > 1) {
+      size_t contacts = DrawCount(opts.contacts_per_person, rng);
+      for (size_t c = 0; c < contacts; ++c) {
+        NodeId other = static_cast<NodeId>(rng->Below(opts.num_people));
+        if (other == person) continue;
+        EdgeId e = g.AddEdge(person, other, "contact").value();
+        g.SetEdgeProperty(e, "date", RandomDate(opts.num_days, rng));
+      }
+      size_t lives = DrawCount(opts.lives_per_person, rng);
+      for (size_t l = 0; l < lives; ++l) {
+        NodeId other = static_cast<NodeId>(rng->Below(opts.num_people));
+        if (other == person) continue;
+        EdgeId e = g.AddEdge(person, other, "lives").value();
+        g.SetEdgeProperty(e, "zip",
+                          std::to_string(8300000 + rng->Below(100) * 1000));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace kgq

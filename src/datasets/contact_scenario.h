@@ -1,0 +1,35 @@
+#ifndef KGQ_DATASETS_CONTACT_SCENARIO_H_
+#define KGQ_DATASETS_CONTACT_SCENARIO_H_
+
+#include "graph/property_graph.h"
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Scaled-up contact-tracing scenario in the vocabulary of Figure 2:
+/// people (some labeled "infected") ride buses on dated rides, contact
+/// each other on dated edges, share addresses (lives edges with zip
+/// codes), and companies own buses. Used by the bc_r experiments (E5)
+/// and the examples, where the paper's 6-node Figure 2 needs a bigger
+/// sibling.
+struct ContactScenarioOptions {
+  size_t num_people = 100;
+  size_t num_buses = 6;
+  size_t num_companies = 2;
+  double infected_fraction = 0.08;
+  /// Expected rides per person (each to a random bus, random day).
+  double rides_per_person = 1.6;
+  /// Expected contact edges per person.
+  double contacts_per_person = 1.2;
+  /// Expected lives (shared address) edges per person.
+  double lives_per_person = 0.5;
+  int num_days = 30;
+};
+
+/// Node layout: people first (0..num_people-1), then buses, then
+/// companies.
+PropertyGraph ContactScenario(const ContactScenarioOptions& opts, Rng* rng);
+
+}  // namespace kgq
+
+#endif  // KGQ_DATASETS_CONTACT_SCENARIO_H_

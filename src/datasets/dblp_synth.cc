@@ -1,0 +1,165 @@
+#include "datasets/dblp_synth.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace kgq {
+namespace {
+
+const char* const kFillerWords[] = {
+    "efficient", "scalable",  "learning",  "systems",   "analysis",
+    "towards",   "deep",      "neural",    "approach",  "framework",
+    "query",     "data",      "model",     "distributed", "adaptive",
+    "semantic",  "evaluation", "optimization", "networks", "algorithms",
+};
+constexpr size_t kNumFiller = sizeof(kFillerWords) / sizeof(kFillerWords[0]);
+
+/// Probability that a title of `year` contains `keyword`.
+double KeywordRate(const std::string& keyword, int year) {
+  double y = static_cast<double>(year);
+  if (keyword == "knowledge graph") {
+    // Logistic take-off centered 2016.5; ~0 before 2013, dominant after.
+    return 0.00002 + 0.0030 / (1.0 + std::exp(-(y - 2016.5) * 1.1));
+  }
+  if (keyword == "RDF") {
+    // Stable, mildly declining.
+    return 0.00075 - 0.000015 * (y - 2010.0);
+  }
+  if (keyword == "SPARQL") {
+    return 0.00030 - 0.000006 * (y - 2010.0);
+  }
+  if (keyword == "graph database") {
+    return 0.00009;  // Comparatively small, no significant growth.
+  }
+  if (keyword == "property graph") {
+    return 0.000015;  // Negligible.
+  }
+  return 0.0;
+}
+
+/// Among knowledge-graph titles, the chance of also mentioning
+/// RDF/SPARQL: 70 % through 2015, linear decay to 14 % in 2020.
+double KgRdfOverlapRate(int year) {
+  if (year <= 2015) return 0.70;
+  if (year >= 2020) return 0.14;
+  return 0.70 - (0.70 - 0.14) * (year - 2015) / 5.0;
+}
+
+std::string MakeTitle(const std::vector<std::string>& phrases, Rng* rng) {
+  std::string title;
+  size_t filler = 2 + rng->Below(4);
+  size_t phrase_slots = phrases.size();
+  size_t total = filler + phrase_slots;
+  size_t next_phrase = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (!title.empty()) title += " ";
+    // Interleave phrases at random positions.
+    bool place_phrase =
+        next_phrase < phrases.size() &&
+        (total - i == phrases.size() - next_phrase ||
+         rng->Bernoulli(static_cast<double>(phrases.size() - next_phrase) /
+                        static_cast<double>(total - i)));
+    if (place_phrase) {
+      title += phrases[next_phrase++];
+    } else {
+      title += kFillerWords[rng->Below(kNumFiller)];
+    }
+  }
+  return title;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Figure1Keywords() {
+  static const std::vector<std::string>* keywords =
+      new std::vector<std::string>{"graph database", "RDF", "SPARQL",
+                                   "property graph", "knowledge graph"};
+  return *keywords;
+}
+
+void GenerateTitles(
+    const DblpOptions& opts, Rng* rng,
+    const std::function<void(int, const std::string&)>& sink) {
+  const std::vector<std::string>& keywords = Figure1Keywords();
+  for (int year = opts.start_year; year <= opts.end_year; ++year) {
+    for (size_t i = 0; i < opts.papers_per_year; ++i) {
+      std::vector<std::string> phrases;
+      bool has_kg = rng->Bernoulli(KeywordRate("knowledge graph", year));
+      if (has_kg) {
+        phrases.push_back("knowledge graph");
+        // Correlated overlap with RDF/SPARQL.
+        if (rng->Bernoulli(KgRdfOverlapRate(year))) {
+          phrases.push_back(rng->Bernoulli(0.6) ? "RDF" : "SPARQL");
+        }
+      }
+      for (const std::string& kw : keywords) {
+        if (kw == "knowledge graph") continue;
+        // Independent base rates (the KG-overlap extra already added
+        // RDF/SPARQL for some KG papers; duplicates are fine — a title
+        // contains the keyword either way).
+        if (rng->Bernoulli(KeywordRate(kw, year))) phrases.push_back(kw);
+      }
+      sink(year, MakeTitle(phrases, rng));
+    }
+  }
+}
+
+bool TitleContains(const std::string& title, const std::string& keyword) {
+  if (keyword.empty() || title.size() < keyword.size()) return false;
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  for (size_t i = 0; i + keyword.size() <= title.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < keyword.size(); ++j) {
+      if (lower(title[i + j]) != lower(keyword[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+KeywordCounts RunFigure1Pipeline(const DblpOptions& opts, Rng* rng) {
+  KeywordCounts out;
+  for (int y = opts.start_year; y <= opts.end_year; ++y) {
+    out.years.push_back(y);
+  }
+  size_t num_years = out.years.size();
+  for (const std::string& kw : Figure1Keywords()) {
+    out.counts[kw] = std::vector<size_t>(num_years, 0);
+  }
+  std::vector<size_t> kg_total(num_years, 0);
+  std::vector<size_t> kg_with_rdf(num_years, 0);
+
+  GenerateTitles(opts, rng, [&](int year, const std::string& title) {
+    size_t yi = static_cast<size_t>(year - opts.start_year);
+    bool has_kg = false;
+    for (const std::string& kw : Figure1Keywords()) {
+      if (TitleContains(title, kw)) {
+        out.counts[kw][yi]++;
+        if (kw == "knowledge graph") has_kg = true;
+      }
+    }
+    if (has_kg) {
+      kg_total[yi]++;
+      if (TitleContains(title, "RDF") || TitleContains(title, "SPARQL")) {
+        kg_with_rdf[yi]++;
+      }
+    }
+  });
+
+  out.kg_rdf_overlap.assign(num_years, 0.0);
+  for (size_t i = 0; i < num_years; ++i) {
+    if (kg_total[i] > 0) {
+      out.kg_rdf_overlap[i] =
+          static_cast<double>(kg_with_rdf[i]) / kg_total[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace kgq

@@ -1,0 +1,66 @@
+#ifndef KGQ_DATASETS_DBLP_SYNTH_H_
+#define KGQ_DATASETS_DBLP_SYNTH_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Synthetic bibliography corpus standing in for the DBLP dump behind
+/// the paper's Figure 1 (substitution documented in DESIGN.md: the
+/// original data lives on data.world; we reproduce the *generating
+/// process* — per-keyword yearly title rates — with the trends the paper
+/// reports, then run the same counting query over the titles).
+///
+/// Modeled trends (probability that a title contains the keyword):
+///  * "knowledge graph"  — logistic take-off starting 2013 (the year
+///    after Google's announcement), dominating by 2020;
+///  * "RDF" / "SPARQL"   — stable with a mild decline;
+///  * "graph database"   — comparatively small, flat;
+///  * "property graph"   — negligible;
+///  * among knowledge-graph papers, the fraction also mentioning
+///    RDF/SPARQL decays from 70 % (2015) to 14 % (2020) — the overlap
+///    statistic the paper quotes.
+struct DblpOptions {
+  int start_year = 2010;
+  int end_year = 2020;
+  /// Titles generated per year (DBLP scale is a few hundred thousand;
+  /// tests use less).
+  size_t papers_per_year = 400000;
+  uint64_t seed = 20210101;
+};
+
+/// The tracked keywords, in the paper's order.
+const std::vector<std::string>& Figure1Keywords();
+
+/// Streams the corpus: calls sink(year, title) for every record.
+/// Titles are realistic-looking word sequences; keyword phrases are
+/// embedded verbatim so the counting query is a substring scan.
+void GenerateTitles(const DblpOptions& opts, Rng* rng,
+                    const std::function<void(int, const std::string&)>& sink);
+
+/// Case-insensitive substring containment (the Figure 1 query per
+/// keyword and title).
+bool TitleContains(const std::string& title, const std::string& keyword);
+
+/// Output of the Figure 1 pipeline.
+struct KeywordCounts {
+  std::vector<int> years;
+  /// keyword → per-year number of titles containing it.
+  std::map<std::string, std::vector<size_t>> counts;
+  /// Per-year fraction of "knowledge graph" titles that also contain
+  /// "RDF" or "SPARQL" (NaN-free: 0 when there are no KG titles).
+  std::vector<double> kg_rdf_overlap;
+};
+
+/// Generates the corpus and runs the counting analysis in one streaming
+/// pass (no corpus materialization).
+KeywordCounts RunFigure1Pipeline(const DblpOptions& opts, Rng* rng);
+
+}  // namespace kgq
+
+#endif  // KGQ_DATASETS_DBLP_SYNTH_H_

@@ -1,0 +1,61 @@
+#include "datasets/figure2.h"
+
+#include <cassert>
+
+namespace kgq {
+
+PropertyGraph Figure2Property() {
+  PropertyGraph g;
+  NodeId juan = g.AddNode("person");
+  NodeId ana = g.AddNode("person");
+  NodeId bus = g.AddNode("bus");
+  NodeId pedro = g.AddNode("infected");
+  NodeId rosa = g.AddNode("person");
+  NodeId company = g.AddNode("company");
+  assert(juan == fig2::kJuan && ana == fig2::kAna && bus == fig2::kBus &&
+         pedro == fig2::kPedro && rosa == fig2::kRosa &&
+         company == fig2::kCompany);
+
+  g.SetNodeProperty(juan, "name", "Juan");
+  g.SetNodeProperty(juan, "age", "34");
+  g.SetNodeProperty(ana, "name", "Ana");
+  g.SetNodeProperty(ana, "age", "28");
+  g.SetNodeProperty(pedro, "name", "Pedro");
+  g.SetNodeProperty(rosa, "name", "Rosa");
+  g.SetNodeProperty(company, "name", "TransSur");
+
+  EdgeId juan_rides = g.AddEdge(juan, bus, "rides").value();
+  g.SetEdgeProperty(juan_rides, "date", "3/4/21");
+  EdgeId pedro_rides = g.AddEdge(pedro, bus, "rides").value();
+  g.SetEdgeProperty(pedro_rides, "date", "3/4/21");
+  EdgeId contact_ja = g.AddEdge(juan, ana, "contact").value();
+  g.SetEdgeProperty(contact_ja, "date", "3/4/21");
+  EdgeId lives = g.AddEdge(juan, ana, "lives").value();
+  g.SetEdgeProperty(lives, "zip", "8320000");
+  EdgeId owns = g.AddEdge(company, bus, "owns").value();
+  EdgeId rosa_rides = g.AddEdge(rosa, bus, "rides").value();
+  g.SetEdgeProperty(rosa_rides, "date", "4/4/21");
+  EdgeId contact_ar = g.AddEdge(ana, rosa, "contact").value();
+  g.SetEdgeProperty(contact_ar, "date", "5/4/21");
+
+  assert(juan_rides == fig2::kJuanRides && pedro_rides == fig2::kPedroRides &&
+         contact_ja == fig2::kJuanAnaContact && lives == fig2::kJuanAnaLives &&
+         owns == fig2::kOwns && rosa_rides == fig2::kRosaRides &&
+         contact_ar == fig2::kAnaRosaContact);
+  (void)juan_rides;
+  (void)pedro_rides;
+  (void)contact_ja;
+  (void)lives;
+  (void)owns;
+  (void)rosa_rides;
+  (void)contact_ar;
+  return g;
+}
+
+LabeledGraph Figure2Labeled() { return PropertyToLabeled(Figure2Property()); }
+
+VectorGraph Figure2Vector(VectorSchema* schema) {
+  return PropertyToVector(Figure2Property(), schema);
+}
+
+}  // namespace kgq

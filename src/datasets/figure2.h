@@ -1,0 +1,57 @@
+#ifndef KGQ_DATASETS_FIGURE2_H_
+#define KGQ_DATASETS_FIGURE2_H_
+
+#include "graph/conversions.h"
+#include "graph/labeled_graph.h"
+#include "graph/property_graph.h"
+#include "graph/vector_graph.h"
+
+namespace kgq {
+
+/// The running example of the paper (Figure 2): a contact-tracing
+/// scenario with people, an infected person, a bus used as transport and
+/// the company that owns it. The same data is offered in all three data
+/// models, exactly mirroring Figure 2(a)/(b)/(c):
+///   * labeled graph      — labels only,
+///   * property graph     — names/ages, ride and contact dates, the zip
+///                          of the address two people share,
+///   * vector-labeled     — label + properties folded into one feature
+///                          vector per object (row 0 = label).
+///
+/// Node/edge ids are stable and exposed in the fig2 namespace so tests
+/// and examples can assert on specific answers (e.g. the centrality of
+/// bus n3 as a transport service, Section 4.2).
+namespace fig2 {
+
+// Node ids.
+inline constexpr NodeId kJuan = 0;     ///< person, rides the bus on 3/4/21.
+inline constexpr NodeId kAna = 1;      ///< person, lives with Juan.
+inline constexpr NodeId kBus = 2;      ///< the bus n3 of Section 4.2.
+inline constexpr NodeId kPedro = 3;    ///< infected person.
+inline constexpr NodeId kRosa = 4;     ///< person, rides the same bus.
+inline constexpr NodeId kCompany = 5;  ///< company that owns the bus.
+
+// Edge ids.
+inline constexpr EdgeId kJuanRides = 0;    ///< Juan -rides-> bus (3/4/21).
+inline constexpr EdgeId kPedroRides = 1;   ///< Pedro -rides-> bus (3/4/21).
+inline constexpr EdgeId kJuanAnaContact = 2;  ///< contact on 3/4/21.
+inline constexpr EdgeId kJuanAnaLives = 3;    ///< shared address (zip).
+inline constexpr EdgeId kOwns = 4;         ///< company -owns-> bus.
+inline constexpr EdgeId kRosaRides = 5;    ///< Rosa -rides-> bus (4/4/21).
+inline constexpr EdgeId kAnaRosaContact = 6;  ///< contact on 5/4/21.
+
+}  // namespace fig2
+
+/// Figure 2(b): the property graph (the richest model).
+PropertyGraph Figure2Property();
+
+/// Figure 2(a): the labeled graph (properties forgotten).
+LabeledGraph Figure2Labeled();
+
+/// Figure 2(c): the vector-labeled graph; optionally reports which
+/// feature row holds which property.
+VectorGraph Figure2Vector(VectorSchema* schema = nullptr);
+
+}  // namespace kgq
+
+#endif  // KGQ_DATASETS_FIGURE2_H_

@@ -1,0 +1,198 @@
+#include "embed/transe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgq {
+namespace {
+
+void Normalize(double* vec, size_t dim) {
+  double norm = 0.0;
+  for (size_t i = 0; i < dim; ++i) norm += vec[i] * vec[i];
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) return;
+  for (size_t i = 0; i < dim; ++i) vec[i] /= norm;
+}
+
+}  // namespace
+
+Result<TransEModel> TransEModel::Train(const TripleStore& store,
+                                       const TransEOptions& opts) {
+  const std::vector<Triple>& triples = store.AllTriples();
+  if (triples.empty()) {
+    return Status::InvalidArgument("cannot train TransE on an empty store");
+  }
+
+  TransEModel model;
+  model.dim_ = opts.dimension;
+
+  // Index entities (subjects/objects) and relations (predicates).
+  auto entity_id = [&](ConstId term) {
+    const std::string& text = store.dict().Lookup(term);
+    auto [it, inserted] =
+        model.entity_index_.emplace(text, model.entities_.size());
+    if (inserted) model.entities_.push_back(text);
+    return it->second;
+  };
+  auto relation_id = [&](ConstId term) {
+    const std::string& text = store.dict().Lookup(term);
+    auto [it, inserted] =
+        model.relation_index_.emplace(text, model.relations_.size());
+    if (inserted) model.relations_.push_back(text);
+    return it->second;
+  };
+
+  struct IdTriple {
+    size_t s, p, o;
+  };
+  std::vector<IdTriple> data;
+  data.reserve(triples.size());
+  for (const Triple& t : triples) {
+    data.push_back({entity_id(t.s), relation_id(t.p), entity_id(t.o)});
+  }
+
+  size_t ne = model.entities_.size();
+  size_t nr = model.relations_.size();
+  size_t d = model.dim_;
+  Rng rng(opts.seed);
+  model.entity_vecs_.resize(ne * d);
+  model.relation_vecs_.resize(nr * d);
+  double scale = 6.0 / std::sqrt(static_cast<double>(d));
+  for (double& x : model.entity_vecs_) {
+    x = (rng.NextDouble() * 2.0 - 1.0) * scale;
+  }
+  for (double& x : model.relation_vecs_) {
+    x = (rng.NextDouble() * 2.0 - 1.0) * scale;
+  }
+  for (size_t e = 0; e < ne; ++e) Normalize(&model.entity_vecs_[e * d], d);
+  for (size_t r = 0; r < nr; ++r) {
+    Normalize(&model.relation_vecs_[r * d], d);
+  }
+
+  // SGD over margin ranking loss with uniform negative sampling.
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Below(i)]);
+    }
+    for (size_t idx : order) {
+      const IdTriple& pos = data[idx];
+      // Corrupt head or tail.
+      IdTriple neg = pos;
+      if (rng.Bernoulli(0.5)) {
+        neg.s = rng.Below(ne);
+      } else {
+        neg.o = rng.Below(ne);
+      }
+
+      double* vs = &model.entity_vecs_[pos.s * d];
+      double* vo = &model.entity_vecs_[pos.o * d];
+      double* vr = &model.relation_vecs_[pos.p * d];
+      double* ns = &model.entity_vecs_[neg.s * d];
+      double* no = &model.entity_vecs_[neg.o * d];
+
+      double pos_dist = 0.0, neg_dist = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double dp = vs[j] + vr[j] - vo[j];
+        double dn = ns[j] + vr[j] - no[j];
+        pos_dist += dp * dp;
+        neg_dist += dn * dn;
+      }
+      // Hinge on squared L2 (standard practical variant).
+      if (pos_dist + opts.margin <= neg_dist) continue;
+      double lr = opts.learning_rate;
+      for (size_t j = 0; j < d; ++j) {
+        double dp = vs[j] + vr[j] - vo[j];
+        double dn = ns[j] + vr[j] - no[j];
+        // ∂/∂θ (pos_dist - neg_dist): positive triple pulled together,
+        // negative pushed apart.
+        vs[j] -= lr * 2.0 * dp;
+        vo[j] += lr * 2.0 * dp;
+        vr[j] -= lr * 2.0 * (dp - dn);
+        ns[j] += lr * 2.0 * dn;
+        no[j] -= lr * 2.0 * dn;
+      }
+      Normalize(vs, d);
+      Normalize(vo, d);
+      Normalize(ns, d);
+      Normalize(no, d);
+    }
+  }
+  return model;
+}
+
+int TransEModel::EntityIndex(std::string_view s) const {
+  auto it = entity_index_.find(std::string(s));
+  return it == entity_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+int TransEModel::RelationIndex(std::string_view s) const {
+  auto it = relation_index_.find(std::string(s));
+  return it == relation_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+double TransEModel::ScoreIdx(size_t s, size_t p, size_t o) const {
+  const double* vs = &entity_vecs_[s * dim_];
+  const double* vr = &relation_vecs_[p * dim_];
+  const double* vo = &entity_vecs_[o * dim_];
+  double dist = 0.0;
+  for (size_t j = 0; j < dim_; ++j) {
+    double diff = vs[j] + vr[j] - vo[j];
+    dist += diff * diff;
+  }
+  return -std::sqrt(dist);
+}
+
+double TransEModel::Score(std::string_view s, std::string_view p,
+                          std::string_view o) const {
+  int si = EntityIndex(s);
+  int pi = RelationIndex(p);
+  int oi = EntityIndex(o);
+  if (si < 0 || pi < 0 || oi < 0) return -1e18;
+  return ScoreIdx(si, pi, oi);
+}
+
+size_t TransEModel::TailRank(std::string_view s, std::string_view p,
+                             std::string_view o) const {
+  int si = EntityIndex(s);
+  int pi = RelationIndex(p);
+  int oi = EntityIndex(o);
+  if (si < 0 || pi < 0 || oi < 0) return entities_.size();
+  double target = ScoreIdx(si, pi, oi);
+  size_t rank = 1;
+  for (size_t e = 0; e < entities_.size(); ++e) {
+    if (static_cast<int>(e) == oi) continue;
+    if (ScoreIdx(si, pi, e) > target) ++rank;
+  }
+  return rank;
+}
+
+TransEModel::Metrics TransEModel::Evaluate(
+    const std::vector<std::array<std::string, 3>>& test) const {
+  Metrics m;
+  if (test.empty()) return m;
+  for (const auto& t : test) {
+    size_t rank = TailRank(t[0], t[1], t[2]);
+    m.mrr += 1.0 / static_cast<double>(rank);
+    if (rank <= 1) m.hits_at_1 += 1.0;
+    if (rank <= 3) m.hits_at_3 += 1.0;
+    if (rank <= 10) m.hits_at_10 += 1.0;
+  }
+  double n = static_cast<double>(test.size());
+  m.mrr /= n;
+  m.hits_at_1 /= n;
+  m.hits_at_3 /= n;
+  m.hits_at_10 /= n;
+  return m;
+}
+
+std::vector<double> TransEModel::EntityVector(
+    std::string_view entity) const {
+  int idx = EntityIndex(entity);
+  if (idx < 0) return {};
+  return std::vector<double>(entity_vecs_.begin() + idx * dim_,
+                             entity_vecs_.begin() + (idx + 1) * dim_);
+}
+
+}  // namespace kgq

@@ -1,0 +1,86 @@
+#ifndef KGQ_EMBED_TRANSE_H_
+#define KGQ_EMBED_TRANSE_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Training knobs for TransE (Bordes et al. 2013 — reference [19] of the
+/// paper; Section 2.3 names embeddings as the low-level representation
+/// powering knowledge-graph refinement and completion).
+struct TransEOptions {
+  size_t dimension = 32;
+  size_t epochs = 200;
+  double learning_rate = 0.02;
+  double margin = 1.0;
+  uint64_t seed = 0xE5BEDull;
+};
+
+/// Knowledge-graph embeddings à la TransE: each entity e gets a vector
+/// v_e and each relation p a vector r_p, trained so that v_s + r_p ≈ v_o
+/// for asserted triples and not for corrupted ones (margin ranking loss,
+/// SGD, entity vectors L2-normalized).
+///
+/// The model exposes the standard link-prediction interface: Score a
+/// candidate triple, rank tail candidates, and evaluate hits@k / MRR —
+/// the "knowledge graph completion" loop of Section 2.3.
+class TransEModel {
+ public:
+  /// Trains on every triple of `store`. Fails if the store is empty.
+  static Result<TransEModel> Train(const TripleStore& store,
+                                   const TransEOptions& opts);
+
+  /// Plausibility of (s, p, o): −‖v_s + r_p − v_o‖₂ (higher = better).
+  /// Unknown terms score −∞-ish (−1e18).
+  double Score(std::string_view s, std::string_view p,
+               std::string_view o) const;
+
+  /// Rank (1-based) of `o` among all entities as tail of (s, p, ?) —
+  /// the raw ranking protocol. Unknown terms rank last.
+  size_t TailRank(std::string_view s, std::string_view p,
+                  std::string_view o) const;
+
+  /// Link-prediction metrics over a test set of (s, p, o) string triples.
+  struct Metrics {
+    double mrr = 0.0;       ///< Mean reciprocal tail rank.
+    double hits_at_1 = 0.0;
+    double hits_at_3 = 0.0;
+    double hits_at_10 = 0.0;
+  };
+  Metrics Evaluate(
+      const std::vector<std::array<std::string, 3>>& test) const;
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_relations() const { return relations_.size(); }
+  size_t dimension() const { return dim_; }
+
+  /// The entity vector (for inspection / clustering experiments);
+  /// empty when the entity is unknown.
+  std::vector<double> EntityVector(std::string_view entity) const;
+
+ private:
+  TransEModel() = default;
+
+  int EntityIndex(std::string_view s) const;
+  int RelationIndex(std::string_view s) const;
+  double ScoreIdx(size_t s, size_t p, size_t o) const;
+
+  size_t dim_ = 0;
+  std::vector<std::string> entities_;
+  std::vector<std::string> relations_;
+  std::unordered_map<std::string, size_t> entity_index_;
+  std::unordered_map<std::string, size_t> relation_index_;
+  std::vector<double> entity_vecs_;    // entities × dim.
+  std::vector<double> relation_vecs_;  // relations × dim.
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_EMBED_TRANSE_H_

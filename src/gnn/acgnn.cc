@@ -1,0 +1,132 @@
+#include "gnn/acgnn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kgq {
+namespace {
+
+double TruncatedRelu(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Σ x_u over the relevant neighbors of v for one relation entry.
+void AggregateNeighbors(const LabeledGraph& g, const Matrix& features,
+                        NodeId v, const std::string& rel, bool incoming,
+                        double* acc /* features.cols() */) {
+  std::optional<ConstId> want =
+      rel.empty() ? std::nullopt : g.dict().Find(rel);
+  if (!rel.empty() && !want.has_value()) return;
+  const std::vector<EdgeId>& edges =
+      incoming ? g.InEdges(v) : g.OutEdges(v);
+  for (EdgeId e : edges) {
+    if (want.has_value() && g.EdgeLabel(e) != *want) continue;
+    NodeId u = incoming ? g.EdgeSource(e) : g.EdgeTarget(e);
+    const double* row = features.row(u);
+    for (size_t c = 0; c < features.cols(); ++c) acc[c] += row[c];
+  }
+}
+
+}  // namespace
+
+GnnLayer& AcGnn::AddLayer(size_t out_dim) {
+  size_t in_dim = output_dim();
+  GnnLayer layer;
+  layer.self = Matrix(out_dim, in_dim);
+  layer.bias.assign(out_dim, 0.0);
+  layers_.push_back(std::move(layer));
+  return layers_.back();
+}
+
+void AcGnn::SetReadout(std::vector<double> weights, double bias) {
+  readout_weights_ = std::move(weights);
+  readout_bias_ = bias;
+}
+
+Result<Matrix> AcGnn::Run(const LabeledGraph& graph,
+                          const Matrix& features) const {
+  if (features.rows() != graph.num_nodes() ||
+      features.cols() != input_dim_) {
+    return Status::InvalidArgument(
+        "feature matrix must be num_nodes × input_dim (" +
+        std::to_string(graph.num_nodes()) + "×" +
+        std::to_string(input_dim_) + "), got " +
+        std::to_string(features.rows()) + "×" +
+        std::to_string(features.cols()));
+  }
+  Matrix current = features;
+  std::vector<double> agg;
+  for (const GnnLayer& layer : layers_) {
+    size_t in_dim = layer.in_dim();
+    size_t out_dim = layer.out_dim();
+    assert(in_dim == current.cols());
+    Matrix next(current.rows(), out_dim);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      double* out = next.row(v);
+      for (size_t c = 0; c < out_dim; ++c) out[c] = layer.bias[c];
+      layer.self.MultiplyAccumulate(current.row(v), out);
+      for (const auto& [rel, weights] : layer.in_rel) {
+        agg.assign(in_dim, 0.0);
+        AggregateNeighbors(graph, current, v, rel, /*incoming=*/true,
+                           agg.data());
+        weights.MultiplyAccumulate(agg.data(), out);
+      }
+      for (const auto& [rel, weights] : layer.out_rel) {
+        agg.assign(in_dim, 0.0);
+        AggregateNeighbors(graph, current, v, rel, /*incoming=*/false,
+                           agg.data());
+        weights.MultiplyAccumulate(agg.data(), out);
+      }
+      for (size_t c = 0; c < out_dim; ++c) out[c] = TruncatedRelu(out[c]);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<Bitset> AcGnn::Classify(const LabeledGraph& graph,
+                               const Matrix& features) const {
+  if (readout_weights_.size() != output_dim()) {
+    return Status::InvalidArgument(
+        "readout has " + std::to_string(readout_weights_.size()) +
+        " weights but the network outputs " + std::to_string(output_dim()) +
+        " features");
+  }
+  KGQ_ASSIGN_OR_RETURN(Matrix out, Run(graph, features));
+  Bitset accepted(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    double score = readout_bias_;
+    const double* row = out.row(v);
+    for (size_t c = 0; c < out.cols(); ++c) {
+      score += readout_weights_[c] * row[c];
+    }
+    if (score >= 0.5) accepted.Set(v);
+  }
+  return accepted;
+}
+
+void AcGnn::Randomize(Rng* rng, double scale) {
+  for (GnnLayer& layer : layers_) {
+    layer.self.FillGaussian(rng, scale);
+    for (auto& [rel, weights] : layer.in_rel) weights.FillGaussian(rng, scale);
+    for (auto& [rel, weights] : layer.out_rel) {
+      weights.FillGaussian(rng, scale);
+    }
+    for (double& b : layer.bias) b = rng->NextGaussian() * scale;
+  }
+  for (double& w : readout_weights_) w = rng->NextGaussian() * scale;
+  readout_bias_ = rng->NextGaussian() * scale;
+}
+
+Matrix AcGnn::OneHotLabels(const LabeledGraph& graph,
+                           const std::vector<std::string>& universe) {
+  Matrix out(graph.num_nodes(), universe.size());
+  for (size_t j = 0; j < universe.size(); ++j) {
+    std::optional<ConstId> id = graph.dict().Find(universe[j]);
+    if (!id.has_value()) continue;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (graph.NodeLabel(v) == *id) out.at(v, j) = 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace kgq

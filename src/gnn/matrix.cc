@@ -1,0 +1,18 @@
+#include "gnn/matrix.h"
+
+namespace kgq {
+
+void Matrix::MultiplyAccumulate(const double* vec, double* out) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * vec[c];
+    out[r] += acc;
+  }
+}
+
+void Matrix::FillGaussian(Rng* rng, double scale) {
+  for (double& x : data_) x = rng->NextGaussian() * scale;
+}
+
+}  // namespace kgq

@@ -1,0 +1,48 @@
+#ifndef KGQ_GNN_MATRIX_H_
+#define KGQ_GNN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Minimal dense row-major matrix of doubles — the numeric substrate of
+/// the GNN layers. Deliberately small: the library needs exactly
+/// matrix·vector products per node, elementwise ops, and random init.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to row r (cols() doubles).
+  double* row(size_t r) { return &data_[r * cols_]; }
+  const double* row(size_t r) const { return &data_[r * cols_]; }
+
+  /// out += this · vec (this is rows×cols, vec has cols entries, out has
+  /// rows entries).
+  void MultiplyAccumulate(const double* vec, double* out) const;
+
+  /// Fills with i.i.d. N(0, scale²) entries.
+  void FillGaussian(Rng* rng, double scale);
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_GNN_MATRIX_H_

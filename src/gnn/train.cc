@@ -1,0 +1,280 @@
+#include "gnn/train.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace kgq {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Forward pass that keeps pre-activations for backprop.
+struct ForwardCache {
+  // activations[l] is the n×dim_l input of layer l; activations.back()
+  // is the final output.
+  std::vector<Matrix> activations;
+  // pre[l] is the n×dim_{l+1} pre-activation of layer l.
+  std::vector<Matrix> pre;
+};
+
+/// Neighbor sums of `features` for one relation at every node.
+Matrix Aggregate(const LabeledGraph& g, const Matrix& features,
+                 const std::string& rel, bool incoming) {
+  Matrix out(features.rows(), features.cols());
+  std::optional<ConstId> want =
+      rel.empty() ? std::nullopt : g.dict().Find(rel);
+  if (!rel.empty() && !want.has_value()) return out;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (want.has_value() && g.EdgeLabel(e) != *want) continue;
+    NodeId receiver = incoming ? g.EdgeTarget(e) : g.EdgeSource(e);
+    NodeId sender = incoming ? g.EdgeSource(e) : g.EdgeTarget(e);
+    const double* src = features.row(sender);
+    double* dst = out.row(receiver);
+    for (size_t c = 0; c < features.cols(); ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+/// Scatter of gradients back to senders: the transpose of Aggregate.
+void ScatterGrad(const LabeledGraph& g, const Matrix& grad,
+                 const std::string& rel, bool incoming, Matrix* out) {
+  std::optional<ConstId> want =
+      rel.empty() ? std::nullopt : g.dict().Find(rel);
+  if (!rel.empty() && !want.has_value()) return;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (want.has_value() && g.EdgeLabel(e) != *want) continue;
+    NodeId receiver = incoming ? g.EdgeTarget(e) : g.EdgeSource(e);
+    NodeId sender = incoming ? g.EdgeSource(e) : g.EdgeTarget(e);
+    const double* src = grad.row(receiver);
+    double* dst = out->row(sender);
+    for (size_t c = 0; c < grad.cols(); ++c) dst[c] += src[c];
+  }
+}
+
+ForwardCache Forward(const AcGnn& gnn, const LabeledGraph& g,
+                     const Matrix& input) {
+  ForwardCache cache;
+  cache.activations.push_back(input);
+  for (size_t l = 0; l < gnn.num_layers(); ++l) {
+    const GnnLayer& layer = gnn.layer(l);
+    const Matrix& x = cache.activations.back();
+    Matrix pre(x.rows(), layer.out_dim());
+    for (NodeId v = 0; v < x.rows(); ++v) {
+      double* row = pre.row(v);
+      for (size_t c = 0; c < layer.out_dim(); ++c) row[c] = layer.bias[c];
+      layer.self.MultiplyAccumulate(x.row(v), row);
+    }
+    for (const auto& [rel, weights] : layer.in_rel) {
+      Matrix agg = Aggregate(g, x, rel, /*incoming=*/true);
+      for (NodeId v = 0; v < x.rows(); ++v) {
+        weights.MultiplyAccumulate(agg.row(v), pre.row(v));
+      }
+    }
+    for (const auto& [rel, weights] : layer.out_rel) {
+      Matrix agg = Aggregate(g, x, rel, /*incoming=*/false);
+      for (NodeId v = 0; v < x.rows(); ++v) {
+        weights.MultiplyAccumulate(agg.row(v), pre.row(v));
+      }
+    }
+    Matrix act(pre.rows(), pre.cols());
+    for (NodeId v = 0; v < pre.rows(); ++v) {
+      for (size_t c = 0; c < pre.cols(); ++c) {
+        act.at(v, c) = std::min(1.0, std::max(0.0, pre.at(v, c)));
+      }
+    }
+    cache.pre.push_back(std::move(pre));
+    cache.activations.push_back(std::move(act));
+  }
+  return cache;
+}
+
+/// One gradient-descent step over one example; returns the BCE loss.
+/// `readout_w`/`readout_b` are trained alongside the layers.
+double Step(AcGnn* gnn, std::vector<double>* readout_w, double* readout_b,
+            const LabeledGraph& g, const Matrix& input,
+            const Bitset& targets, double lr) {
+  ForwardCache cache = Forward(*gnn, g, input);
+  const Matrix& out = cache.activations.back();
+  size_t n = out.rows();
+  size_t d = out.cols();
+
+  // Readout + BCE loss.
+  double loss = 0.0;
+  std::vector<double> dscore(n);
+  for (NodeId v = 0; v < n; ++v) {
+    double score = *readout_b;
+    const double* row = out.row(v);
+    for (size_t c = 0; c < d; ++c) score += (*readout_w)[c] * row[c];
+    double prob = Sigmoid(score);
+    double y = targets.Test(v) ? 1.0 : 0.0;
+    loss += -(y * std::log(std::max(prob, 1e-12)) +
+              (1.0 - y) * std::log(std::max(1.0 - prob, 1e-12)));
+    dscore[v] = prob - y;  // dL/dscore.
+  }
+  loss /= static_cast<double>(n);
+
+  // Gradient of the readout and of the final activations.
+  Matrix dact(n, d);
+  std::vector<double> dw(d, 0.0);
+  double db = 0.0;
+  double scale = 1.0 / static_cast<double>(n);
+  for (NodeId v = 0; v < n; ++v) {
+    double dsv = dscore[v] * scale;
+    db += dsv;
+    const double* row = out.row(v);
+    for (size_t c = 0; c < d; ++c) {
+      dw[c] += dsv * row[c];
+      dact.at(v, c) = dsv * (*readout_w)[c];
+    }
+  }
+
+  // Backprop through the layers.
+  for (size_t l = gnn->num_layers(); l-- > 0;) {
+    GnnLayer& layer = gnn->layer(l);
+    const Matrix& x = cache.activations[l];
+    const Matrix& pre = cache.pre[l];
+    size_t in_dim = layer.in_dim();
+    size_t out_dim = layer.out_dim();
+
+    // dpre = dact ⊙ σ'(pre), with σ the truncated ReLU.
+    Matrix dpre(pre.rows(), pre.cols());
+    for (NodeId v = 0; v < pre.rows(); ++v) {
+      for (size_t c = 0; c < out_dim; ++c) {
+        double p = pre.at(v, c);
+        dpre.at(v, c) = (p > 0.0 && p < 1.0) ? dact.at(v, c) : 0.0;
+      }
+    }
+
+    Matrix dx(x.rows(), in_dim);
+
+    // Bias and self weights.
+    for (NodeId v = 0; v < pre.rows(); ++v) {
+      const double* dp = dpre.row(v);
+      const double* xv = x.row(v);
+      for (size_t c = 0; c < out_dim; ++c) {
+        layer.bias[c] -= lr * dp[c];
+        for (size_t i = 0; i < in_dim; ++i) {
+          // Accumulate dx before updating the weight (use old weight).
+          dx.at(v, i) += layer.self.at(c, i) * dp[c];
+        }
+      }
+      for (size_t c = 0; c < out_dim; ++c) {
+        for (size_t i = 0; i < in_dim; ++i) {
+          layer.self.at(c, i) -= lr * dp[c] * xv[i];
+        }
+      }
+    }
+
+    // Relation weights: grad wrt W is dpre ⊗ agg; grad wrt x scatters
+    // W^T dpre back along the edges.
+    auto relation_backward = [&](std::vector<std::pair<std::string, Matrix>>&
+                                     rels,
+                                 bool incoming) {
+      for (auto& [rel, weights] : rels) {
+        Matrix agg = Aggregate(g, x, rel, incoming);
+        // dagg = W^T dpre (per node), scattered to senders.
+        Matrix dagg(x.rows(), in_dim);
+        for (NodeId v = 0; v < x.rows(); ++v) {
+          const double* dp = dpre.row(v);
+          for (size_t c = 0; c < out_dim; ++c) {
+            if (dp[c] == 0.0) continue;
+            for (size_t i = 0; i < in_dim; ++i) {
+              dagg.at(v, i) += weights.at(c, i) * dp[c];
+            }
+          }
+        }
+        ScatterGrad(g, dagg, rel, incoming, &dx);
+        for (NodeId v = 0; v < x.rows(); ++v) {
+          const double* dp = dpre.row(v);
+          const double* av = agg.row(v);
+          for (size_t c = 0; c < out_dim; ++c) {
+            if (dp[c] == 0.0) continue;
+            for (size_t i = 0; i < in_dim; ++i) {
+              weights.at(c, i) -= lr * dp[c] * av[i];
+            }
+          }
+        }
+      }
+    };
+    relation_backward(layer.in_rel, /*incoming=*/true);
+    relation_backward(layer.out_rel, /*incoming=*/false);
+
+    dact = std::move(dx);
+  }
+
+  for (size_t c = 0; c < d; ++c) (*readout_w)[c] -= lr * dw[c];
+  *readout_b -= lr * db;
+  return loss;
+}
+
+}  // namespace
+
+Result<AcGnn> TrainGnnClassifier(const std::vector<GnnExample>& examples,
+                                 const std::vector<std::string>& label_universe,
+                                 const std::vector<std::string>& relations,
+                                 const GnnTrainOptions& opts) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  for (const GnnExample& ex : examples) {
+    if (ex.targets.size() != ex.graph->num_nodes()) {
+      return Status::InvalidArgument(
+          "target bitset size must equal the graph's node count");
+    }
+  }
+
+  Rng rng(opts.seed);
+  AcGnn gnn(label_universe.size());
+  for (size_t l = 0; l < opts.num_layers; ++l) {
+    GnnLayer& layer = gnn.AddLayer(opts.hidden_dim);
+    size_t in_dim = layer.in_dim();
+    layer.self.FillGaussian(&rng, 0.4);
+    for (const std::string& rel : relations) {
+      layer.in_rel.emplace_back(rel, Matrix(opts.hidden_dim, in_dim));
+      layer.in_rel.back().second.FillGaussian(&rng, 0.4);
+      layer.out_rel.emplace_back(rel, Matrix(opts.hidden_dim, in_dim));
+      layer.out_rel.back().second.FillGaussian(&rng, 0.4);
+    }
+    // Bias toward the linear region of the truncated ReLU.
+    for (double& b : layer.bias) b = 0.3 + 0.1 * rng.NextGaussian();
+  }
+  std::vector<double> readout_w(opts.hidden_dim);
+  for (double& w : readout_w) w = rng.NextGaussian() * 0.4;
+  double readout_b = 0.0;
+
+  std::vector<Matrix> inputs;
+  inputs.reserve(examples.size());
+  for (const GnnExample& ex : examples) {
+    inputs.push_back(AcGnn::OneHotLabels(*ex.graph, label_universe));
+  }
+
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    for (size_t i = 0; i < examples.size(); ++i) {
+      Step(&gnn, &readout_w, &readout_b, *examples[i].graph, inputs[i],
+           examples[i].targets, opts.learning_rate);
+    }
+  }
+
+  // Classify() accepts when w·x + b >= 0.5, i.e. sigmoid score ... the
+  // trained threshold is score >= 0: shift the bias so the conventions
+  // line up.
+  gnn.SetReadout(readout_w, readout_b + 0.5);
+  return gnn;
+}
+
+Result<double> ClassifierAccuracy(const AcGnn& gnn,
+                                  const std::vector<std::string>& universe,
+                                  const GnnExample& example) {
+  Matrix input = AcGnn::OneHotLabels(*example.graph, universe);
+  KGQ_ASSIGN_OR_RETURN(Bitset predicted, gnn.Classify(*example.graph, input));
+  size_t n = example.graph->num_nodes();
+  size_t correct = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (predicted.Test(v) == example.targets.Test(v)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace kgq

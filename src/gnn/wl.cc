@@ -1,0 +1,111 @@
+#include "gnn/wl.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace kgq {
+
+WlResult WlColorRefinement(const LabeledGraph& graph) {
+  size_t n = graph.num_nodes();
+  WlResult out;
+  out.colors.assign(n, 0);
+
+  // Initial partition: node labels, densely renumbered.
+  {
+    std::map<ConstId, uint32_t> remap;
+    for (NodeId v = 0; v < n; ++v) {
+      auto [it, inserted] = remap.emplace(
+          graph.NodeLabel(v), static_cast<uint32_t>(remap.size()));
+      out.colors[v] = it->second;
+    }
+    out.num_colors = static_cast<uint32_t>(remap.size());
+  }
+
+  // Signature: (own color, sorted multiset of (edge label, dir, color)).
+  using Neighbor = std::tuple<ConstId, int, uint32_t>;
+  using Signature = std::pair<uint32_t, std::vector<Neighbor>>;
+
+  for (;;) {
+    std::map<Signature, uint32_t> remap;
+    std::vector<uint32_t> next(n);
+    for (NodeId v = 0; v < n; ++v) {
+      Signature sig;
+      sig.first = out.colors[v];
+      for (EdgeId e : graph.OutEdges(v)) {
+        sig.second.emplace_back(graph.EdgeLabel(e), 0,
+                                out.colors[graph.EdgeTarget(e)]);
+      }
+      for (EdgeId e : graph.InEdges(v)) {
+        sig.second.emplace_back(graph.EdgeLabel(e), 1,
+                                out.colors[graph.EdgeSource(e)]);
+      }
+      std::sort(sig.second.begin(), sig.second.end());
+      auto [it, inserted] =
+          remap.emplace(std::move(sig), static_cast<uint32_t>(remap.size()));
+      next[v] = it->second;
+    }
+    ++out.rounds;
+    uint32_t new_count = static_cast<uint32_t>(remap.size());
+    out.colors = std::move(next);
+    if (new_count == out.num_colors) {
+      out.num_colors = new_count;
+      break;
+    }
+    out.num_colors = new_count;
+  }
+  return out;
+}
+
+uint64_t WlGraphFingerprint(const LabeledGraph& graph) {
+  WlResult wl = WlColorRefinement(graph);
+  // The color ids are canonical only per run, so fingerprint the
+  // *canonicalized signature structure*: histogram sizes sorted, mixed
+  // with per-color canonical data. To make fingerprints comparable
+  // across graphs, rebuild colors from label strings upward.
+  //
+  // Practical approach: iterate refinement again but with globally
+  // canonical signatures (strings). Cheap at the sizes we test.
+  size_t n = graph.num_nodes();
+  std::vector<std::string> color(n);
+  for (NodeId v = 0; v < n; ++v) color[v] = graph.NodeLabelString(v);
+  for (size_t round = 0; round < wl.rounds; ++round) {
+    std::vector<std::string> next(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<std::string> parts;
+      for (EdgeId e : graph.OutEdges(v)) {
+        parts.push_back(">" + graph.EdgeLabelString(e) + ":" +
+                        color[graph.EdgeTarget(e)]);
+      }
+      for (EdgeId e : graph.InEdges(v)) {
+        parts.push_back("<" + graph.EdgeLabelString(e) + ":" +
+                        color[graph.EdgeSource(e)]);
+      }
+      std::sort(parts.begin(), parts.end());
+      std::string sig = "(" + color[v] + "|";
+      for (const std::string& p : parts) sig += p + ",";
+      sig += ")";
+      // Keep colors fixed-size across rounds: hash the signature.
+      uint64_t h = 0xcbf29ce484222325ull;
+      for (char ch : sig) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ull;
+      }
+      next[v] = std::to_string(h);
+    }
+    color = std::move(next);
+  }
+  std::sort(color.begin(), color.end());
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::string& c : color) {
+    for (char ch : c) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xFF;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace kgq

@@ -1,0 +1,138 @@
+#include "graph/conversions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace kgq {
+
+int VectorSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < feature_names.size(); ++i) {
+    if (feature_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+PropertyGraph LabeledToProperty(const LabeledGraph& graph) {
+  PropertyGraph out;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out.AddNode(graph.NodeLabelString(n));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto added = out.AddEdge(graph.EdgeSource(e), graph.EdgeTarget(e),
+                             graph.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+  }
+  return out;
+}
+
+LabeledGraph PropertyToLabeled(const PropertyGraph& graph) {
+  LabeledGraph out;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out.AddNode(graph.NodeLabelString(n));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto added = out.AddEdge(graph.EdgeSource(e), graph.EdgeTarget(e),
+                             graph.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+  }
+  return out;
+}
+
+VectorGraph LabeledToVector(const LabeledGraph& graph) {
+  VectorGraph out(1);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    auto added = out.AddNodeFromStrings({graph.NodeLabelString(n)});
+    assert(added.ok());
+    (void)added;
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto added =
+        out.AddEdgeFromStrings(graph.EdgeSource(e), graph.EdgeTarget(e),
+                               {graph.EdgeLabelString(e)});
+    assert(added.ok());
+    (void)added;
+  }
+  return out;
+}
+
+VectorGraph PropertyToVector(const PropertyGraph& graph,
+                             VectorSchema* schema) {
+  // Collect every property name used anywhere, by string, for a
+  // deterministic row order independent of interning order.
+  std::set<std::string> names;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    for (const auto& [name, value] : graph.NodeProperties(n).entries()) {
+      (void)value;
+      names.insert(graph.dict().Lookup(name));
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    for (const auto& [name, value] : graph.EdgeProperties(e).entries()) {
+      (void)value;
+      names.insert(graph.dict().Lookup(name));
+    }
+  }
+
+  VectorSchema local_schema;
+  local_schema.feature_names.push_back("label");
+  for (const std::string& name : names) {
+    local_schema.feature_names.push_back(name);
+  }
+  size_t d = local_schema.feature_names.size();
+
+  VectorGraph out(d);
+  auto features_of = [&](ConstId label, const PropertySet& props) {
+    std::vector<ConstId> feats(d, kNullConst);
+    feats[0] = out.dict().Intern(graph.dict().Lookup(label));
+    for (size_t i = 1; i < d; ++i) {
+      std::optional<ConstId> name_id =
+          graph.dict().Find(local_schema.feature_names[i]);
+      if (!name_id.has_value()) continue;
+      std::optional<ConstId> value = props.Get(*name_id);
+      if (value.has_value()) {
+        feats[i] = out.dict().Intern(graph.dict().Lookup(*value));
+      }
+    }
+    return feats;
+  };
+
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    auto added =
+        out.AddNode(features_of(graph.NodeLabel(n), graph.NodeProperties(n)));
+    assert(added.ok());
+    (void)added;
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto added = out.AddEdge(graph.EdgeSource(e), graph.EdgeTarget(e),
+                             features_of(graph.EdgeLabel(e),
+                                         graph.EdgeProperties(e)));
+    assert(added.ok());
+    (void)added;
+  }
+
+  if (schema != nullptr) *schema = std::move(local_schema);
+  return out;
+}
+
+Result<LabeledGraph> VectorToLabeled(const VectorGraph& graph, size_t index) {
+  if (index >= graph.dimension()) {
+    return Status::OutOfRange("VectorToLabeled: feature index " +
+                              std::to_string(index) + " >= dimension " +
+                              std::to_string(graph.dimension()));
+  }
+  LabeledGraph out;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out.AddNode(graph.NodeFeatureString(n, index));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    KGQ_RETURN_IF_ERROR(out.AddEdge(graph.EdgeSource(e), graph.EdgeTarget(e),
+                                    graph.EdgeFeatureString(e, index))
+                            .status());
+  }
+  return out;
+}
+
+}  // namespace kgq

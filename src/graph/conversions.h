@@ -1,0 +1,49 @@
+#ifndef KGQ_GRAPH_CONVERSIONS_H_
+#define KGQ_GRAPH_CONVERSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "graph/property_graph.h"
+#include "graph/vector_graph.h"
+
+namespace kgq {
+
+/// Names the feature rows of a VectorGraph produced by a conversion.
+/// Row 0 is always "label" (the paper's f_1); further rows are property
+/// names in deterministic (lexicographic) order.
+struct VectorSchema {
+  std::vector<std::string> feature_names;
+
+  /// Index of `name` in feature_names, or -1.
+  int IndexOf(const std::string& name) const;
+};
+
+/// Lifts a labeled graph to a property graph with no properties
+/// (property graphs extend labeled graphs; Section 3).
+PropertyGraph LabeledToProperty(const LabeledGraph& graph);
+
+/// Forgets properties, keeping (N, E, ρ, λ).
+LabeledGraph PropertyToLabeled(const PropertyGraph& graph);
+
+/// Converts a labeled graph to the 1-dimensional vector-labeled graph
+/// whose single feature is the label.
+VectorGraph LabeledToVector(const LabeledGraph& graph);
+
+/// Converts a property graph to a vector-labeled graph exactly as in
+/// Figure 2(b)→(c): the first feature row holds the label, and each
+/// property name used anywhere in the graph gets one row, with ⊥
+/// (kNullConst) where an object has no value for it. The produced schema
+/// reports which row is which.
+VectorGraph PropertyToVector(const PropertyGraph& graph,
+                             VectorSchema* schema);
+
+/// Projects feature row `index` of a vector-labeled graph back into a
+/// labeled graph (⊥ features become the label "⊥"). Fails if `index`
+/// is out of range.
+Result<LabeledGraph> VectorToLabeled(const VectorGraph& graph, size_t index);
+
+}  // namespace kgq
+
+#endif  // KGQ_GRAPH_CONVERSIONS_H_

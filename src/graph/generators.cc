@@ -1,0 +1,132 @@
+#include "graph/generators.h"
+
+#include <cassert>
+
+namespace kgq {
+namespace {
+
+const std::string& Pick(const std::vector<std::string>& alphabet, Rng* rng) {
+  assert(!alphabet.empty());
+  return alphabet[rng->Below(alphabet.size())];
+}
+
+}  // namespace
+
+LabeledGraph ErdosRenyi(size_t n, size_t m,
+                        const std::vector<std::string>& node_labels,
+                        const std::vector<std::string>& edge_labels,
+                        Rng* rng) {
+  LabeledGraph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(Pick(node_labels, rng));
+  for (size_t j = 0; j < m; ++j) {
+    NodeId from = static_cast<NodeId>(rng->Below(n));
+    NodeId to = static_cast<NodeId>(rng->Below(n));
+    auto added = g.AddEdge(from, to, Pick(edge_labels, rng));
+    assert(added.ok());
+    (void)added;
+  }
+  return g;
+}
+
+LabeledGraph BarabasiAlbert(size_t n, size_t attach,
+                            const std::vector<std::string>& node_labels,
+                            const std::vector<std::string>& edge_labels,
+                            Rng* rng) {
+  LabeledGraph g;
+  // Endpoint pool: every edge endpoint appears once, plus one entry per
+  // node, so sampling from the pool is degree+1-proportional.
+  std::vector<NodeId> pool;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = g.AddNode(Pick(node_labels, rng));
+    size_t links = std::min(attach, static_cast<size_t>(v));
+    for (size_t j = 0; j < links; ++j) {
+      NodeId target = pool[rng->Below(pool.size())];
+      auto added = g.AddEdge(v, target, Pick(edge_labels, rng));
+      assert(added.ok());
+      (void)added;
+      pool.push_back(target);
+      pool.push_back(v);
+    }
+    pool.push_back(v);
+  }
+  return g;
+}
+
+LabeledGraph LayeredDag(size_t layers, size_t width,
+                        const std::string& node_label,
+                        const std::string& edge_label) {
+  LabeledGraph g;
+  for (size_t layer = 0; layer <= layers; ++layer) {
+    for (size_t i = 0; i < width; ++i) g.AddNode(node_label);
+  }
+  for (size_t layer = 0; layer < layers; ++layer) {
+    for (size_t i = 0; i < width; ++i) {
+      NodeId from = static_cast<NodeId>(layer * width + i);
+      for (size_t j = 0; j < width; ++j) {
+        NodeId to = static_cast<NodeId>((layer + 1) * width + j);
+        auto added = g.AddEdge(from, to, edge_label);
+        assert(added.ok());
+        (void)added;
+      }
+    }
+  }
+  return g;
+}
+
+LabeledGraph Grid(size_t width, size_t height, const std::string& node_label,
+                  const std::string& edge_label) {
+  LabeledGraph g;
+  for (size_t i = 0; i < width * height; ++i) g.AddNode(node_label);
+  auto at = [width](size_t x, size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        auto added = g.AddEdge(at(x, y), at(x + 1, y), edge_label);
+        assert(added.ok());
+        (void)added;
+      }
+      if (y + 1 < height) {
+        auto added = g.AddEdge(at(x, y), at(x, y + 1), edge_label);
+        assert(added.ok());
+        (void)added;
+      }
+    }
+  }
+  return g;
+}
+
+LabeledGraph FixedOutDegreeGraph(const std::vector<size_t>& out_degrees,
+                                 const std::vector<std::string>& node_labels,
+                                 const std::vector<std::string>& edge_labels,
+                                 Rng* rng) {
+  LabeledGraph g;
+  size_t n = out_degrees.size();
+  for (size_t i = 0; i < n; ++i) g.AddNode(Pick(node_labels, rng));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < out_degrees[i]; ++d) {
+      NodeId to = static_cast<NodeId>(rng->Below(n));
+      auto added = g.AddEdge(static_cast<NodeId>(i), to,
+                             Pick(edge_labels, rng));
+      assert(added.ok());
+      (void)added;
+    }
+  }
+  return g;
+}
+
+LabeledGraph Cycle(size_t n, const std::string& node_label,
+                   const std::string& edge_label) {
+  LabeledGraph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(node_label);
+  for (size_t i = 0; i < n; ++i) {
+    auto added = g.AddEdge(static_cast<NodeId>(i),
+                           static_cast<NodeId>((i + 1) % n), edge_label);
+    assert(added.ok());
+    (void)added;
+  }
+  return g;
+}
+
+}  // namespace kgq

@@ -1,0 +1,66 @@
+#ifndef KGQ_GRAPH_GENERATORS_H_
+#define KGQ_GRAPH_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Workload generators: the paper evaluates nothing on proprietary data,
+/// but its algorithmic claims need graphs with controlled shape. These
+/// generators produce the classic families used in the benchmark harness
+/// (E1-E8 of DESIGN.md).
+
+/// G(n, m) Erdős–Rényi digraph: m edges drawn uniformly (with possible
+/// parallels/self-loops — we are in a multigraph world). Node and edge
+/// labels are drawn uniformly from the given alphabets (which must be
+/// non-empty).
+LabeledGraph ErdosRenyi(size_t n, size_t m,
+                        const std::vector<std::string>& node_labels,
+                        const std::vector<std::string>& edge_labels,
+                        Rng* rng);
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time
+/// and attach `attach` out-edges to existing nodes with probability
+/// proportional to degree + 1. Produces the heavy-tailed degree
+/// distributions under which centrality experiments are interesting.
+LabeledGraph BarabasiAlbert(size_t n, size_t attach,
+                            const std::vector<std::string>& node_labels,
+                            const std::vector<std::string>& edge_labels,
+                            Rng* rng);
+
+/// `layers`+1 columns of `width` nodes, every node fully connected to the
+/// next column. The number of source→sink paths is width^(layers-1) —
+/// the path-explosion workload behind the paper's "counting beyond a
+/// yottabyte" remark (E8). All nodes share label `node_label`; all edges
+/// share label `edge_label`.
+LabeledGraph LayeredDag(size_t layers, size_t width,
+                        const std::string& node_label,
+                        const std::string& edge_label);
+
+/// w×h directed grid (right and down edges); diameter and shortest-path
+/// behaviour are known in closed form, which makes it the canonical
+/// analytics sanity workload.
+LabeledGraph Grid(size_t width, size_t height, const std::string& node_label,
+                  const std::string& edge_label);
+
+/// Random digraph with a prescribed out-degree sequence: node i emits
+/// exactly out_degrees[i] edges to uniform random targets (in-degrees
+/// come out multinomial). Self-loops and parallel edges are kept — we
+/// live in multigraphs. Node/edge labels drawn from the alphabets.
+LabeledGraph FixedOutDegreeGraph(const std::vector<size_t>& out_degrees,
+                                const std::vector<std::string>& node_labels,
+                                const std::vector<std::string>& edge_labels,
+                                Rng* rng);
+
+/// Directed cycle of n nodes (single label each); used by the WL and
+/// enumeration tests because its path sets are computable by hand.
+LabeledGraph Cycle(size_t n, const std::string& node_label,
+                   const std::string& edge_label);
+
+}  // namespace kgq
+
+#endif  // KGQ_GRAPH_GENERATORS_H_

@@ -1,0 +1,202 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <vector>
+
+namespace kgq {
+namespace {
+
+bool PlainToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '.' || c == '/' || c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string Quote(const std::string& s) {
+  if (PlainToken(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Splits one line into tokens (quoted strings kept as single tokens).
+Result<std::vector<std::string>> SplitLine(const std::string& line,
+                                           size_t line_no) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;  // Comment.
+    std::string token;
+    if (c == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          token.push_back(line[i + 1]);
+          i += 2;
+        } else if (line[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        } else {
+          token.push_back(line[i++]);
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": unterminated string");
+      }
+      out.push_back(std::move(token));
+      continue;
+    }
+    // Bare token, possibly name=value with a quoted value.
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '#') {
+      if (line[i] == '"') {
+        token.push_back('"');  // Marker consumed below by the caller.
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            token.push_back(line[i + 1]);
+            i += 2;
+          } else if (line[i] == '"') {
+            ++i;
+            break;
+          } else {
+            token.push_back(line[i++]);
+          }
+        }
+        continue;
+      }
+      token.push_back(line[i++]);
+    }
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+/// Splits a "name=value" token; the value may carry a leading '"' marker
+/// from SplitLine (already unescaped).
+Result<std::pair<std::string, std::string>> SplitProp(
+    const std::string& token, size_t line_no) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": expected name=value, got '" + token + "'");
+  }
+  std::string name = token.substr(0, eq);
+  std::string value = token.substr(eq + 1);
+  if (!value.empty() && value[0] == '"') value = value.substr(1);
+  return std::make_pair(std::move(name), std::move(value));
+}
+
+}  // namespace
+
+std::string SavePropertyGraph(const PropertyGraph& graph) {
+  std::string out = "# kgq property graph v1\n";
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out += "node " + std::to_string(n) + " " +
+           Quote(graph.NodeLabelString(n));
+    for (const auto& [name, value] : graph.NodeProperties(n).entries()) {
+      out += " " + Quote(graph.dict().Lookup(name)) + "=" +
+             Quote(graph.dict().Lookup(value));
+    }
+    out += "\n";
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out += "edge " + std::to_string(e) + " " +
+           std::to_string(graph.EdgeSource(e)) + " " +
+           std::to_string(graph.EdgeTarget(e)) + " " +
+           Quote(graph.EdgeLabelString(e));
+    for (const auto& [name, value] : graph.EdgeProperties(e).entries()) {
+      out += " " + Quote(graph.dict().Lookup(name)) + "=" +
+             Quote(graph.dict().Lookup(value));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<PropertyGraph> LoadPropertyGraph(const std::string& text) {
+  PropertyGraph out;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+
+    KGQ_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                         SplitLine(line, line_no));
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+    if (kind == "node") {
+      if (tokens.size() < 3) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": node needs 'node <id> <label>'");
+      }
+      NodeId expected = static_cast<NodeId>(out.num_nodes());
+      if (tokens[1] != std::to_string(expected)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": node ids must be dense "
+            "and ordered (expected " + std::to_string(expected) + ")");
+      }
+      NodeId n = out.AddNode(tokens[2]);
+      for (size_t i = 3; i < tokens.size(); ++i) {
+        KGQ_ASSIGN_OR_RETURN(auto prop, SplitProp(tokens[i], line_no));
+        out.SetNodeProperty(n, prop.first, prop.second);
+      }
+    } else if (kind == "edge") {
+      if (tokens.size() < 5) {
+        return Status::ParseError(
+            "line " + std::to_string(line_no) +
+            ": edge needs 'edge <id> <src> <tgt> <label>'");
+      }
+      EdgeId expected = static_cast<EdgeId>(out.num_edges());
+      if (tokens[1] != std::to_string(expected)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": edge ids must be dense "
+            "and ordered (expected " + std::to_string(expected) + ")");
+      }
+      char* endp = nullptr;
+      NodeId src = static_cast<NodeId>(
+          std::strtoul(tokens[2].c_str(), &endp, 10));
+      if (endp == tokens[2].c_str() || *endp != '\0') {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad source id '" + tokens[2] + "'");
+      }
+      NodeId tgt = static_cast<NodeId>(
+          std::strtoul(tokens[3].c_str(), &endp, 10));
+      if (endp == tokens[3].c_str() || *endp != '\0') {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad target id '" + tokens[3] + "'");
+      }
+      KGQ_ASSIGN_OR_RETURN(EdgeId e, out.AddEdge(src, tgt, tokens[4]));
+      for (size_t i = 5; i < tokens.size(); ++i) {
+        KGQ_ASSIGN_OR_RETURN(auto prop, SplitProp(tokens[i], line_no));
+        out.SetEdgeProperty(e, prop.first, prop.second);
+      }
+    } else {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unknown record '" + kind + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace kgq

@@ -1,0 +1,32 @@
+#ifndef KGQ_GRAPH_IO_H_
+#define KGQ_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/property_graph.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// Plain-text serialization of property graphs (the library's native
+/// exchange format — line-oriented, diff-friendly, self-describing):
+///
+///   # kgq property graph v1
+///   node 0 person name=Juan age=34
+///   node 1 bus
+///   edge 0 0 1 rides date="3/4/21"
+///
+/// Tokens with characters outside [A-Za-z0-9_./:-] are double-quoted
+/// with \" and \\ escapes. Property *names* must already be plain
+/// tokens (values are arbitrary). Node/edge ids must be dense and in
+/// order (they are indexes). LoadPropertyGraph(SavePropertyGraph(g))
+/// reproduces g exactly.
+std::string SavePropertyGraph(const PropertyGraph& graph);
+
+/// Parses the format above. Fails with ParseError on malformed input
+/// and InvalidArgument on non-dense ids or dangling endpoints.
+Result<PropertyGraph> LoadPropertyGraph(const std::string& text);
+
+}  // namespace kgq
+
+#endif  // KGQ_GRAPH_IO_H_

@@ -1,0 +1,18 @@
+#include "graph/labeled_graph.h"
+
+namespace kgq {
+
+NodeId LabeledGraph::AddNode(std::string_view label) {
+  NodeId id = graph_.AddNode();
+  node_labels_.push_back(dict_.Intern(label));
+  return id;
+}
+
+Result<EdgeId> LabeledGraph::AddEdge(NodeId from, NodeId to,
+                                     std::string_view label) {
+  KGQ_ASSIGN_OR_RETURN(EdgeId id, graph_.AddEdge(from, to));
+  edge_labels_.push_back(dict_.Intern(label));
+  return id;
+}
+
+}  // namespace kgq

@@ -1,0 +1,39 @@
+#include "graph/multigraph.h"
+
+#include <string>
+
+namespace kgq {
+
+Multigraph::Multigraph(size_t num_nodes)
+    : out_edges_(num_nodes), in_edges_(num_nodes) {}
+
+NodeId Multigraph::AddNode() {
+  NodeId id = static_cast<NodeId>(num_nodes());
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+NodeId Multigraph::AddNodes(size_t count) {
+  NodeId first = static_cast<NodeId>(num_nodes());
+  out_edges_.resize(out_edges_.size() + count);
+  in_edges_.resize(in_edges_.size() + count);
+  return first;
+}
+
+Result<EdgeId> Multigraph::AddEdge(NodeId from, NodeId to) {
+  if (!HasNode(from) || !HasNode(to)) {
+    return Status::InvalidArgument(
+        "AddEdge: endpoint out of range (from=" + std::to_string(from) +
+        ", to=" + std::to_string(to) +
+        ", nodes=" + std::to_string(num_nodes()) + ")");
+  }
+  EdgeId id = static_cast<EdgeId>(num_edges());
+  sources_.push_back(from);
+  targets_.push_back(to);
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  return id;
+}
+
+}  // namespace kgq

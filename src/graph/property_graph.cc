@@ -1,0 +1,67 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace kgq {
+
+void PropertySet::Set(ConstId name, ConstId value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, ConstId key) { return entry.first < key; });
+  if (it != entries_.end() && it->first == name) {
+    it->second = value;
+  } else {
+    entries_.insert(it, {name, value});
+  }
+}
+
+std::optional<ConstId> PropertySet::Get(ConstId name) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, ConstId key) { return entry.first < key; });
+  if (it != entries_.end() && it->first == name) return it->second;
+  return std::nullopt;
+}
+
+NodeId PropertyGraph::AddNode(std::string_view label) {
+  NodeId id = base_.AddNode(label);
+  node_props_.emplace_back();
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(NodeId from, NodeId to,
+                                      std::string_view label) {
+  KGQ_ASSIGN_OR_RETURN(EdgeId id, base_.AddEdge(from, to, label));
+  edge_props_.emplace_back();
+  return id;
+}
+
+void PropertyGraph::SetNodeProperty(NodeId n, std::string_view name,
+                                    std::string_view value) {
+  node_props_[n].Set(dict().Intern(name), dict().Intern(value));
+}
+
+void PropertyGraph::SetEdgeProperty(EdgeId e, std::string_view name,
+                                    std::string_view value) {
+  edge_props_[e].Set(dict().Intern(name), dict().Intern(value));
+}
+
+std::optional<std::string> PropertyGraph::NodePropertyString(
+    NodeId n, std::string_view name) const {
+  std::optional<ConstId> name_id = dict().Find(name);
+  if (!name_id.has_value()) return std::nullopt;
+  std::optional<ConstId> value = NodeProperty(n, *name_id);
+  if (!value.has_value()) return std::nullopt;
+  return dict().Lookup(*value);
+}
+
+std::optional<std::string> PropertyGraph::EdgePropertyString(
+    EdgeId e, std::string_view name) const {
+  std::optional<ConstId> name_id = dict().Find(name);
+  if (!name_id.has_value()) return std::nullopt;
+  std::optional<ConstId> value = EdgeProperty(e, *name_id);
+  if (!value.has_value()) return std::nullopt;
+  return dict().Lookup(*value);
+}
+
+}  // namespace kgq

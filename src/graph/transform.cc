@@ -1,0 +1,83 @@
+#include "graph/transform.h"
+
+#include <cassert>
+
+namespace kgq {
+
+Subgraph InducedSubgraph(const LabeledGraph& graph, const Bitset& nodes) {
+  assert(nodes.size() == graph.num_nodes());
+  Subgraph out;
+  std::vector<NodeId> new_id(graph.num_nodes(), kNoNode);
+  nodes.ForEach([&](size_t n) {
+    new_id[n] = out.graph.AddNode(graph.NodeLabelString(n));
+    out.node_origin.push_back(static_cast<NodeId>(n));
+  });
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    NodeId s = new_id[graph.EdgeSource(e)];
+    NodeId t = new_id[graph.EdgeTarget(e)];
+    if (s == kNoNode || t == kNoNode) continue;
+    auto added = out.graph.AddEdge(s, t, graph.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+    out.edge_origin.push_back(e);
+  }
+  return out;
+}
+
+LabeledGraph ReverseGraph(const LabeledGraph& graph) {
+  LabeledGraph out;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out.AddNode(graph.NodeLabelString(n));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto added = out.AddEdge(graph.EdgeTarget(e), graph.EdgeSource(e),
+                             graph.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+  }
+  return out;
+}
+
+Subgraph FilterEdges(const LabeledGraph& graph,
+                     const std::function<bool(EdgeId)>& keep) {
+  Subgraph out;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out.graph.AddNode(graph.NodeLabelString(n));
+    out.node_origin.push_back(n);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!keep(e)) continue;
+    auto added = out.graph.AddEdge(graph.EdgeSource(e), graph.EdgeTarget(e),
+                                   graph.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+    out.edge_origin.push_back(e);
+  }
+  return out;
+}
+
+LabeledGraph DisjointUnion(const LabeledGraph& a, const LabeledGraph& b) {
+  LabeledGraph out;
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    out.AddNode(a.NodeLabelString(n));
+  }
+  for (NodeId n = 0; n < b.num_nodes(); ++n) {
+    out.AddNode(b.NodeLabelString(n));
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    auto added =
+        out.AddEdge(a.EdgeSource(e), a.EdgeTarget(e), a.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+  }
+  NodeId shift = static_cast<NodeId>(a.num_nodes());
+  for (EdgeId e = 0; e < b.num_edges(); ++e) {
+    auto added = out.AddEdge(b.EdgeSource(e) + shift,
+                             b.EdgeTarget(e) + shift, b.EdgeLabelString(e));
+    assert(added.ok());
+    (void)added;
+  }
+  return out;
+}
+
+}  // namespace kgq

@@ -1,0 +1,45 @@
+#ifndef KGQ_GRAPH_TRANSFORM_H_
+#define KGQ_GRAPH_TRANSFORM_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "util/bitset.h"
+
+namespace kgq {
+
+/// Structural transformations on labeled graphs — the "flexible
+/// structure that permits growing and shrinking ... and integration"
+/// the paper credits for graphs' ubiquity (Section 2.1), as library
+/// operations.
+
+/// Result of a node-subset extraction: the subgraph plus the mapping
+/// back to the original ids.
+struct Subgraph {
+  LabeledGraph graph;
+  /// original node id of each subgraph node (dense, ascending).
+  std::vector<NodeId> node_origin;
+  /// original edge id of each subgraph edge.
+  std::vector<EdgeId> edge_origin;
+};
+
+/// The subgraph induced by `nodes`: those nodes plus every edge with
+/// both endpoints inside.
+Subgraph InducedSubgraph(const LabeledGraph& graph, const Bitset& nodes);
+
+/// The same graph with every edge reversed (ρ(e) swapped); labels kept.
+LabeledGraph ReverseGraph(const LabeledGraph& graph);
+
+/// Keeps only the edges for which `keep(e)` is true (all nodes stay).
+Subgraph FilterEdges(const LabeledGraph& graph,
+                     const std::function<bool(EdgeId)>& keep);
+
+/// Disjoint union: nodes and edges of `b` appended after those of `a`
+/// (the graph-integration primitive; node ids of b shift by
+/// a.num_nodes()). Labels are re-interned into the result's dictionary.
+LabeledGraph DisjointUnion(const LabeledGraph& a, const LabeledGraph& b);
+
+}  // namespace kgq
+
+#endif  // KGQ_GRAPH_TRANSFORM_H_

@@ -1,0 +1,485 @@
+#include "logic/fo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace kgq {
+
+FoPtr FoFormula::NodePred(std::string label, Var x) {
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kNodePred));
+  f->label_ = std::move(label);
+  f->var_ = x;
+  return f;
+}
+
+FoPtr FoFormula::EdgePred(std::string label, Var from, Var to) {
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kEdgePred));
+  f->label_ = std::move(label);
+  f->var_ = from;
+  f->var2_ = to;
+  return f;
+}
+
+FoPtr FoFormula::And(FoPtr a, FoPtr b) {
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kAnd));
+  f->lhs_ = std::move(a);
+  f->rhs_ = std::move(b);
+  return f;
+}
+
+FoPtr FoFormula::Or(FoPtr a, FoPtr b) {
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kOr));
+  f->lhs_ = std::move(a);
+  f->rhs_ = std::move(b);
+  return f;
+}
+
+FoPtr FoFormula::Not(FoPtr inner) {
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kNot));
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+FoPtr FoFormula::Exists(Var x, FoPtr inner) {
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kExists));
+  f->var_ = x;
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+FoPtr FoFormula::ExistsAtLeast(size_t n, Var x, FoPtr inner) {
+  assert(n >= 1);
+  auto f = std::shared_ptr<FoFormula>(new FoFormula(Kind::kExistsAtLeast));
+  f->var_ = x;
+  f->count_ = n;
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+namespace {
+
+void CollectFree(const FoFormula& f, std::set<FoFormula::Var>* bound,
+                 std::set<FoFormula::Var>* free) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kNodePred:
+      if (!bound->count(f.var())) free->insert(f.var());
+      return;
+    case FoFormula::Kind::kEdgePred:
+      if (!bound->count(f.var())) free->insert(f.var());
+      if (!bound->count(f.var2())) free->insert(f.var2());
+      return;
+    case FoFormula::Kind::kAnd:
+    case FoFormula::Kind::kOr:
+      CollectFree(*f.lhs(), bound, free);
+      CollectFree(*f.rhs(), bound, free);
+      return;
+    case FoFormula::Kind::kNot:
+      CollectFree(*f.lhs(), bound, free);
+      return;
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kExistsAtLeast: {
+      bool was_bound = bound->count(f.var()) > 0;
+      bound->insert(f.var());
+      CollectFree(*f.lhs(), bound, free);
+      if (!was_bound) bound->erase(f.var());
+      return;
+    }
+  }
+}
+
+void CollectAllVars(const FoFormula& f, std::set<FoFormula::Var>* vars) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kNodePred:
+      vars->insert(f.var());
+      return;
+    case FoFormula::Kind::kEdgePred:
+      vars->insert(f.var());
+      vars->insert(f.var2());
+      return;
+    case FoFormula::Kind::kAnd:
+    case FoFormula::Kind::kOr:
+      CollectAllVars(*f.lhs(), vars);
+      CollectAllVars(*f.rhs(), vars);
+      return;
+    case FoFormula::Kind::kNot:
+      CollectAllVars(*f.lhs(), vars);
+      return;
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kExistsAtLeast:
+      vars->insert(f.var());
+      CollectAllVars(*f.lhs(), vars);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<FoFormula::Var> FoFormula::FreeVars() const {
+  std::set<Var> bound;
+  std::set<Var> free;
+  CollectFree(*this, &bound, &free);
+  return {free.begin(), free.end()};
+}
+
+size_t FoFormula::NumDistinctVars() const {
+  std::set<Var> vars;
+  CollectAllVars(*this, &vars);
+  return vars.size();
+}
+
+std::string FoFormula::ToString() const {
+  auto v = [](Var x) { return "x" + std::to_string(x); };
+  switch (kind_) {
+    case Kind::kNodePred:
+      return label_ + "(" + v(var_) + ")";
+    case Kind::kEdgePred:
+      return label_ + "(" + v(var_) + "," + v(var2_) + ")";
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " & " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " | " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "!(" + lhs_->ToString() + ")";
+    case Kind::kExists:
+      return "exists " + v(var_) + ". (" + lhs_->ToString() + ")";
+    case Kind::kExistsAtLeast:
+      return "exists>=" + std::to_string(count_) + " " + v(var_) + ". (" +
+             lhs_->ToString() + ")";
+  }
+  assert(false);
+  return "";
+}
+
+namespace {
+
+/// A materialized relation over a sorted variable list.
+struct Table {
+  std::vector<FoFormula::Var> vars;
+  std::vector<std::vector<NodeId>> rows;  // Each row aligned with vars.
+};
+
+void Record(const Table& t, FoEvalStats* stats) {
+  if (stats == nullptr) return;
+  stats->max_rows = std::max(stats->max_rows, t.rows.size());
+  stats->max_arity = std::max(stats->max_arity, t.vars.size());
+}
+
+void SortDedup(Table* t) {
+  std::sort(t->rows.begin(), t->rows.end());
+  t->rows.erase(std::unique(t->rows.begin(), t->rows.end()), t->rows.end());
+}
+
+/// Expands `t` so its variable list becomes exactly `vars` (a superset),
+/// crossing with the full node domain for missing variables.
+Table ExpandTo(const Table& t, const std::vector<FoFormula::Var>& vars,
+               size_t num_nodes) {
+  std::vector<int> src_pos(vars.size(), -1);
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    auto it = std::find(t.vars.begin(), t.vars.end(), vars[i]);
+    if (it == t.vars.end()) {
+      missing.push_back(i);
+    } else {
+      src_pos[i] = static_cast<int>(it - t.vars.begin());
+    }
+  }
+  Table out;
+  out.vars = vars;
+  // Cross product with the domain for every missing column.
+  std::vector<NodeId> row(vars.size(), 0);
+  for (const std::vector<NodeId>& src : t.rows) {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (src_pos[i] >= 0) row[i] = src[src_pos[i]];
+    }
+    // Odometer over missing columns.
+    std::vector<NodeId> counters(missing.size(), 0);
+    for (;;) {
+      for (size_t j = 0; j < missing.size(); ++j) {
+        row[missing[j]] = counters[j];
+      }
+      out.rows.push_back(row);
+      size_t j = 0;
+      for (; j < counters.size(); ++j) {
+        if (++counters[j] < num_nodes) break;
+        counters[j] = 0;
+      }
+      if (missing.empty() || j == counters.size()) break;
+    }
+  }
+  SortDedup(&out);
+  return out;
+}
+
+/// Natural join on shared variables (hash join on the shared key).
+Table Join(const Table& a, const Table& b) {
+  std::vector<FoFormula::Var> shared;
+  for (FoFormula::Var v : a.vars) {
+    if (std::find(b.vars.begin(), b.vars.end(), v) != b.vars.end()) {
+      shared.push_back(v);
+    }
+  }
+  std::vector<FoFormula::Var> out_vars = a.vars;
+  std::vector<size_t> b_extra;  // Positions in b not shared.
+  for (size_t i = 0; i < b.vars.size(); ++i) {
+    if (std::find(shared.begin(), shared.end(), b.vars[i]) == shared.end()) {
+      out_vars.push_back(b.vars[i]);
+      b_extra.push_back(i);
+    }
+  }
+
+  std::vector<size_t> a_key, b_key;
+  for (FoFormula::Var v : shared) {
+    a_key.push_back(std::find(a.vars.begin(), a.vars.end(), v) -
+                    a.vars.begin());
+    b_key.push_back(std::find(b.vars.begin(), b.vars.end(), v) -
+                    b.vars.begin());
+  }
+
+  std::unordered_map<uint64_t, std::vector<const std::vector<NodeId>*>> index;
+  auto hash_key = [](const std::vector<NodeId>& row,
+                     const std::vector<size_t>& key) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i : key) {
+      h ^= row[i];
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  };
+  for (const auto& row : b.rows) index[hash_key(row, b_key)].push_back(&row);
+
+  Table out;
+  out.vars = out_vars;
+  for (const auto& arow : a.rows) {
+    auto it = index.find(hash_key(arow, a_key));
+    if (it == index.end()) continue;
+    for (const std::vector<NodeId>* brow : it->second) {
+      bool match = true;
+      for (size_t i = 0; i < shared.size(); ++i) {
+        if (arow[a_key[i]] != (*brow)[b_key[i]]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<NodeId> row = arow;
+      for (size_t i : b_extra) row.push_back((*brow)[i]);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  SortDedup(&out);
+  return out;
+}
+
+Table Eval(const LabeledGraph& g, const FoFormula& f, FoEvalStats* stats);
+
+Table EvalAnd(const LabeledGraph& g, const FoFormula& f, FoEvalStats* stats) {
+  Table a = Eval(g, *f.lhs(), stats);
+  Table b = Eval(g, *f.rhs(), stats);
+  Table out = Join(a, b);
+  Record(out, stats);
+  return out;
+}
+
+Table Eval(const LabeledGraph& g, const FoFormula& f, FoEvalStats* stats) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kNodePred: {
+      Table out;
+      out.vars = {f.var()};
+      std::optional<ConstId> id = g.dict().Find(f.label());
+      if (id.has_value()) {
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (g.NodeLabel(v) == *id) out.rows.push_back({v});
+        }
+      }
+      Record(out, stats);
+      return out;
+    }
+    case FoFormula::Kind::kEdgePred: {
+      Table out;
+      std::optional<ConstId> id = g.dict().Find(f.label());
+      if (f.var() == f.var2()) {
+        // label(x, x): self-loops only.
+        out.vars = {f.var()};
+        if (id.has_value()) {
+          for (EdgeId e = 0; e < g.num_edges(); ++e) {
+            if (g.EdgeLabel(e) == *id &&
+                g.EdgeSource(e) == g.EdgeTarget(e)) {
+              out.rows.push_back({g.EdgeSource(e)});
+            }
+          }
+        }
+        SortDedup(&out);
+        Record(out, stats);
+        return out;
+      }
+      out.vars = {std::min(f.var(), f.var2()), std::max(f.var(), f.var2())};
+      bool var_first = f.var() < f.var2();
+      if (id.has_value()) {
+        for (EdgeId e = 0; e < g.num_edges(); ++e) {
+          if (g.EdgeLabel(e) != *id) continue;
+          NodeId s = g.EdgeSource(e);
+          NodeId t = g.EdgeTarget(e);
+          if (var_first) {
+            out.rows.push_back({s, t});
+          } else {
+            out.rows.push_back({t, s});
+          }
+        }
+      }
+      SortDedup(&out);
+      Record(out, stats);
+      return out;
+    }
+    case FoFormula::Kind::kAnd:
+      return EvalAnd(g, f, stats);
+    case FoFormula::Kind::kOr: {
+      std::vector<FoFormula::Var> vars = f.FreeVars();
+      Table a = ExpandTo(Eval(g, *f.lhs(), stats), vars, g.num_nodes());
+      Record(a, stats);
+      Table b = ExpandTo(Eval(g, *f.rhs(), stats), vars, g.num_nodes());
+      Record(b, stats);
+      a.rows.insert(a.rows.end(), b.rows.begin(), b.rows.end());
+      SortDedup(&a);
+      Record(a, stats);
+      return a;
+    }
+    case FoFormula::Kind::kNot: {
+      // Complement over domain^arity of the free variables.
+      std::vector<FoFormula::Var> vars = f.FreeVars();
+      Table inner = Eval(g, *f.lhs(), stats);
+      Table expanded = ExpandTo(inner, vars, g.num_nodes());
+      std::set<std::vector<NodeId>> present(expanded.rows.begin(),
+                                            expanded.rows.end());
+      Table out;
+      out.vars = vars;
+      std::vector<NodeId> row(vars.size(), 0);
+      for (;;) {
+        if (!present.count(row)) out.rows.push_back(row);
+        size_t j = 0;
+        for (; j < row.size(); ++j) {
+          if (++row[j] < g.num_nodes()) break;
+          row[j] = 0;
+        }
+        if (row.empty() || j == row.size()) break;
+      }
+      Record(out, stats);
+      return out;
+    }
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kExistsAtLeast: {
+      Table inner = Eval(g, *f.lhs(), stats);
+      auto it = std::find(inner.vars.begin(), inner.vars.end(), f.var());
+      if (it == inner.vars.end()) {
+        // Vacuous quantifier: ∃x φ ≡ φ when x not free; ∃^{≥n} over the
+        // whole domain needs n ≤ |N| nodes to exist.
+        if (f.kind() == FoFormula::Kind::kExistsAtLeast &&
+            f.count() > g.num_nodes()) {
+          Table empty;
+          empty.vars = inner.vars;
+          return empty;
+        }
+        return inner;
+      }
+      size_t pos = it - inner.vars.begin();
+      if (f.kind() == FoFormula::Kind::kExists) {
+        Table out;
+        out.vars = inner.vars;
+        out.vars.erase(out.vars.begin() + pos);
+        for (const auto& row : inner.rows) {
+          std::vector<NodeId> projected = row;
+          projected.erase(projected.begin() + pos);
+          out.rows.push_back(std::move(projected));
+        }
+        SortDedup(&out);
+        Record(out, stats);
+        return out;
+      }
+      // Counting: group by the remaining columns and keep groups with at
+      // least `count` distinct witnesses.
+      std::map<std::vector<NodeId>, size_t> witnesses;
+      for (const auto& row : inner.rows) {  // Rows are already distinct.
+        std::vector<NodeId> key = row;
+        key.erase(key.begin() + pos);
+        witnesses[key]++;
+      }
+      Table out;
+      out.vars = inner.vars;
+      out.vars.erase(out.vars.begin() + pos);
+      for (const auto& [key, hits] : witnesses) {
+        if (hits >= f.count()) out.rows.push_back(key);
+      }
+      SortDedup(&out);
+      Record(out, stats);
+      return out;
+    }
+  }
+  assert(false);
+  return {};
+}
+
+}  // namespace
+
+Result<Bitset> EvalFoNaive(const LabeledGraph& graph,
+                           const FoFormula& formula, FoFormula::Var free_var,
+                           FoEvalStats* stats) {
+  std::vector<FoFormula::Var> free = formula.FreeVars();
+  if (free != std::vector<FoFormula::Var>{free_var}) {
+    return Status::InvalidArgument(
+        "formula must have exactly one free variable x" +
+        std::to_string(free_var) + " (formula: " + formula.ToString() + ")");
+  }
+  Table t = Eval(graph, formula, stats);
+  Bitset out(graph.num_nodes());
+  for (const auto& row : t.rows) out.Set(row[0]);
+  return out;
+}
+
+Result<FoPtr> ModalToFo(const ModalFormula& formula, FoFormula::Var x) {
+  // Two-variable discipline: the "other" variable is always x ± 1 → use
+  // variables {0, 1} alternating.
+  FoFormula::Var y = (x == 0) ? 1 : 0;
+  switch (formula.kind()) {
+    case ModalFormula::Kind::kLabel:
+      return FoFormula::NodePred(formula.label(), x);
+    case ModalFormula::Kind::kTrue:
+      // ⊤ as the tautology p(x) ∨ ¬p(x) over a reserved predicate.
+      return FoFormula::Or(
+          FoFormula::NodePred("__kgq_top", x),
+          FoFormula::Not(FoFormula::NodePred("__kgq_top", x)));
+    case ModalFormula::Kind::kNot: {
+      KGQ_ASSIGN_OR_RETURN(FoPtr inner, ModalToFo(*formula.lhs(), x));
+      return FoFormula::Not(std::move(inner));
+    }
+    case ModalFormula::Kind::kAnd: {
+      KGQ_ASSIGN_OR_RETURN(FoPtr a, ModalToFo(*formula.lhs(), x));
+      KGQ_ASSIGN_OR_RETURN(FoPtr b, ModalToFo(*formula.rhs(), x));
+      return FoFormula::And(std::move(a), std::move(b));
+    }
+    case ModalFormula::Kind::kOr: {
+      KGQ_ASSIGN_OR_RETURN(FoPtr a, ModalToFo(*formula.lhs(), x));
+      KGQ_ASSIGN_OR_RETURN(FoPtr b, ModalToFo(*formula.rhs(), x));
+      return FoFormula::Or(std::move(a), std::move(b));
+    }
+    case ModalFormula::Kind::kDiamond:
+    case ModalFormula::Kind::kDiamondInv: {
+      if (formula.label().empty()) {
+        return Status::Unsupported(
+            "any-label diamonds need a disjunction over the edge alphabet; "
+            "name the edge label explicitly");
+      }
+      KGQ_ASSIGN_OR_RETURN(FoPtr inner, ModalToFo(*formula.lhs(), y));
+      FoPtr edge = formula.kind() == ModalFormula::Kind::kDiamond
+                       ? FoFormula::EdgePred(formula.label(), x, y)
+                       : FoFormula::EdgePred(formula.label(), y, x);
+      FoPtr body = FoFormula::And(std::move(edge), std::move(inner));
+      if (formula.grade() == 1) return FoFormula::Exists(y, std::move(body));
+      return FoFormula::ExistsAtLeast(formula.grade(), y, std::move(body));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace kgq

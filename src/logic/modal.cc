@@ -1,0 +1,174 @@
+#include "logic/modal.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kgq {
+
+ModalPtr ModalFormula::Label(std::string label) {
+  auto f = std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kLabel));
+  f->label_ = std::move(label);
+  return f;
+}
+
+ModalPtr ModalFormula::True() {
+  return std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kTrue));
+}
+
+ModalPtr ModalFormula::Not(ModalPtr inner) {
+  auto f = std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kNot));
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+ModalPtr ModalFormula::And(ModalPtr a, ModalPtr b) {
+  auto f = std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kAnd));
+  f->lhs_ = std::move(a);
+  f->rhs_ = std::move(b);
+  return f;
+}
+
+ModalPtr ModalFormula::Or(ModalPtr a, ModalPtr b) {
+  auto f = std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kOr));
+  f->lhs_ = std::move(a);
+  f->rhs_ = std::move(b);
+  return f;
+}
+
+ModalPtr ModalFormula::Diamond(std::string edge_label, size_t grade,
+                               ModalPtr inner) {
+  assert(grade >= 1);
+  auto f = std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kDiamond));
+  f->label_ = std::move(edge_label);
+  f->grade_ = grade;
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+ModalPtr ModalFormula::DiamondInv(std::string edge_label, size_t grade,
+                                  ModalPtr inner) {
+  assert(grade >= 1);
+  auto f =
+      std::shared_ptr<ModalFormula>(new ModalFormula(Kind::kDiamondInv));
+  f->label_ = std::move(edge_label);
+  f->grade_ = grade;
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+size_t ModalFormula::Depth() const {
+  switch (kind_) {
+    case Kind::kLabel:
+    case Kind::kTrue:
+      return 0;
+    case Kind::kNot:
+      return lhs_->Depth();
+    case Kind::kAnd:
+    case Kind::kOr:
+      return std::max(lhs_->Depth(), rhs_->Depth());
+    case Kind::kDiamond:
+    case Kind::kDiamondInv:
+      return 1 + lhs_->Depth();
+  }
+  assert(false);
+  return 0;
+}
+
+size_t ModalFormula::Size() const {
+  switch (kind_) {
+    case Kind::kLabel:
+    case Kind::kTrue:
+      return 1;
+    case Kind::kNot:
+    case Kind::kDiamond:
+    case Kind::kDiamondInv:
+      return 1 + lhs_->Size();
+    case Kind::kAnd:
+    case Kind::kOr:
+      return 1 + lhs_->Size() + rhs_->Size();
+  }
+  assert(false);
+  return 0;
+}
+
+std::string ModalFormula::ToString() const {
+  switch (kind_) {
+    case Kind::kLabel:
+      return label_;
+    case Kind::kTrue:
+      return "true";
+    case Kind::kNot:
+      return "!(" + lhs_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " & " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " | " + rhs_->ToString() + ")";
+    case Kind::kDiamond:
+    case Kind::kDiamondInv: {
+      std::string out = "<";
+      if (kind_ == Kind::kDiamondInv) out += "~";
+      out += label_.empty() ? "*" : label_;
+      if (grade_ > 1) out += ">=" + std::to_string(grade_);
+      out += ">(" + lhs_->ToString() + ")";
+      return out;
+    }
+  }
+  assert(false);
+  return "";
+}
+
+Bitset EvalModal(const LabeledGraph& graph, const ModalFormula& formula) {
+  size_t n = graph.num_nodes();
+  switch (formula.kind()) {
+    case ModalFormula::Kind::kLabel: {
+      Bitset out(n);
+      std::optional<ConstId> id = graph.dict().Find(formula.label());
+      if (!id.has_value()) return out;
+      for (NodeId v = 0; v < n; ++v) {
+        if (graph.NodeLabel(v) == *id) out.Set(v);
+      }
+      return out;
+    }
+    case ModalFormula::Kind::kTrue: {
+      Bitset out(n);
+      out.SetAll();
+      return out;
+    }
+    case ModalFormula::Kind::kNot:
+      return EvalModal(graph, *formula.lhs()).Complement();
+    case ModalFormula::Kind::kAnd:
+      return EvalModal(graph, *formula.lhs()) &
+             EvalModal(graph, *formula.rhs());
+    case ModalFormula::Kind::kOr:
+      return EvalModal(graph, *formula.lhs()) |
+             EvalModal(graph, *formula.rhs());
+    case ModalFormula::Kind::kDiamond:
+    case ModalFormula::Kind::kDiamondInv: {
+      Bitset inner = EvalModal(graph, *formula.lhs());
+      bool any_label = formula.label().empty();
+      std::optional<ConstId> id =
+          any_label ? std::nullopt : graph.dict().Find(formula.label());
+      Bitset out(n);
+      if (!any_label && !id.has_value()) return out;
+      bool forward = formula.kind() == ModalFormula::Kind::kDiamond;
+      for (NodeId v = 0; v < n; ++v) {
+        size_t hits = 0;
+        const std::vector<EdgeId>& edges =
+            forward ? graph.OutEdges(v) : graph.InEdges(v);
+        for (EdgeId e : edges) {
+          if (!any_label && graph.EdgeLabel(e) != *id) continue;
+          NodeId other = forward ? graph.EdgeTarget(e) : graph.EdgeSource(e);
+          if (inner.Test(other)) {
+            if (++hits >= formula.grade()) break;
+          }
+        }
+        if (hits >= formula.grade()) out.Set(v);
+      }
+      return out;
+    }
+  }
+  assert(false);
+  return Bitset(n);
+}
+
+}  // namespace kgq

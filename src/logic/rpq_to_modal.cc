@@ -1,0 +1,109 @@
+#include "logic/rpq_to_modal.h"
+
+#include <optional>
+#include <vector>
+
+namespace kgq {
+namespace {
+
+/// Node tests translate structurally; only label atoms are available in
+/// the modal vocabulary.
+Result<ModalPtr> NodeTestToModal(const TestExpr& test) {
+  switch (test.kind()) {
+    case TestExpr::Kind::kLabel:
+      return ModalFormula::Label(test.label());
+    case TestExpr::Kind::kTrue:
+      return ModalFormula::True();
+    case TestExpr::Kind::kNot: {
+      KGQ_ASSIGN_OR_RETURN(ModalPtr inner, NodeTestToModal(*test.lhs()));
+      return ModalFormula::Not(std::move(inner));
+    }
+    case TestExpr::Kind::kAnd: {
+      KGQ_ASSIGN_OR_RETURN(ModalPtr a, NodeTestToModal(*test.lhs()));
+      KGQ_ASSIGN_OR_RETURN(ModalPtr b, NodeTestToModal(*test.rhs()));
+      return ModalFormula::And(std::move(a), std::move(b));
+    }
+    case TestExpr::Kind::kOr: {
+      KGQ_ASSIGN_OR_RETURN(ModalPtr a, NodeTestToModal(*test.lhs()));
+      KGQ_ASSIGN_OR_RETURN(ModalPtr b, NodeTestToModal(*test.rhs()));
+      return ModalFormula::Or(std::move(a), std::move(b));
+    }
+    case TestExpr::Kind::kPropEq:
+    case TestExpr::Kind::kFeatEq:
+      return Status::Unsupported(
+          "property/feature atoms have no modal counterpart over labeled "
+          "graphs: " +
+          test.ToString());
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Edge tests must denote a set of labels: a single label, `true` (any),
+/// or a disjunction thereof. Returns nullopt in the optional for "any".
+Result<std::vector<std::optional<std::string>>> EdgeTestLabels(
+    const TestExpr& test) {
+  switch (test.kind()) {
+    case TestExpr::Kind::kLabel:
+      return std::vector<std::optional<std::string>>{test.label()};
+    case TestExpr::Kind::kTrue:
+      return std::vector<std::optional<std::string>>{std::nullopt};
+    case TestExpr::Kind::kOr: {
+      KGQ_ASSIGN_OR_RETURN(auto a, EdgeTestLabels(*test.lhs()));
+      KGQ_ASSIGN_OR_RETURN(auto b, EdgeTestLabels(*test.rhs()));
+      a.insert(a.end(), b.begin(), b.end());
+      return a;
+    }
+    default:
+      return Status::Unsupported(
+          "edge test must be a label, true, or a disjunction of labels "
+          "for the modal translation: " +
+          test.ToString());
+  }
+}
+
+/// Start(r, φ): nodes where some r-path starts that ends in a φ-node.
+Result<ModalPtr> Start(const Regex& r, ModalPtr after) {
+  switch (r.kind()) {
+    case Regex::Kind::kNodeTest: {
+      KGQ_ASSIGN_OR_RETURN(ModalPtr test, NodeTestToModal(*r.test()));
+      return ModalFormula::And(std::move(test), std::move(after));
+    }
+    case Regex::Kind::kEdgeFwd:
+    case Regex::Kind::kEdgeBwd: {
+      KGQ_ASSIGN_OR_RETURN(auto labels, EdgeTestLabels(*r.test()));
+      ModalPtr out;
+      for (const auto& label : labels) {
+        ModalPtr diamond =
+            r.kind() == Regex::Kind::kEdgeFwd
+                ? ModalFormula::Diamond(label.value_or(""), 1, after)
+                : ModalFormula::DiamondInv(label.value_or(""), 1, after);
+        out = out ? ModalFormula::Or(std::move(out), std::move(diamond))
+                  : std::move(diamond);
+      }
+      return out;
+    }
+    case Regex::Kind::kUnion: {
+      KGQ_ASSIGN_OR_RETURN(ModalPtr a, Start(*r.lhs(), after));
+      KGQ_ASSIGN_OR_RETURN(ModalPtr b, Start(*r.rhs(), after));
+      return ModalFormula::Or(std::move(a), std::move(b));
+    }
+    case Regex::Kind::kConcat: {
+      KGQ_ASSIGN_OR_RETURN(ModalPtr rest, Start(*r.rhs(), after));
+      return Start(*r.lhs(), std::move(rest));
+    }
+    case Regex::Kind::kStar:
+      return Status::Unsupported(
+          "Kleene star needs a fixpoint; graded modal logic (and hence "
+          "AC-GNNs of fixed depth) cannot express it — use the RPQ engine "
+          "for connectivity queries");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<ModalPtr> StartNodesAsModal(const Regex& regex) {
+  return Start(regex, ModalFormula::True());
+}
+
+}  // namespace kgq

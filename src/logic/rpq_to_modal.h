@@ -1,0 +1,36 @@
+#ifndef KGQ_LOGIC_RPQ_TO_MODAL_H_
+#define KGQ_LOGIC_RPQ_TO_MODAL_H_
+
+#include "logic/modal.h"
+#include "rpq/regex.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// The Section 4.3 bridge made executable: a *star-free* regular
+/// expression, read as the node-extraction query "x such that some
+/// conforming path starts at x", translates into graded modal logic
+/// (and from there, via gnn/logic_to_gnn.h, into an AC-GNN).
+///
+/// Exactly the paper's example:
+///   ?person/rides/?bus/rides⁻/?infected
+///     ↦ person ∧ ◇^rides(bus ∧ ◇⁻^rides infected)
+///
+/// The translation works right-to-left: Start(r, φ) is the set of nodes
+/// from which a path conforming to r ends in a φ-node:
+///   Start(?t, φ)   = t ∧ φ
+///   Start(t, φ)    = ◇^t φ        (edge forward)
+///   Start(t⁻, φ)   = ◇⁻^t φ
+///   Start(r+s, φ)  = Start(r, φ) ∨ Start(s, φ)
+///   Start(r/s, φ)  = Start(r, Start(s, φ))
+///
+/// Restrictions (Unsupported otherwise):
+///  * no Kleene star — modal logic has no fixpoints (that is exactly
+///    why RPQs are *more* expressive on connectivity, Section 2.1);
+///  * tests must be label tests combined with ¬/∧/∨ (property and
+///    feature atoms have no modal counterpart over labeled graphs).
+Result<ModalPtr> StartNodesAsModal(const Regex& regex);
+
+}  // namespace kgq
+
+#endif  // KGQ_LOGIC_RPQ_TO_MODAL_H_

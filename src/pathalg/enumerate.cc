@@ -1,0 +1,75 @@
+#include "pathalg/enumerate.h"
+
+namespace kgq {
+
+PathEnumerator::PathEnumerator(const PathNfa& nfa, size_t length,
+                               const PathQueryOptions& opts)
+    : nfa_(nfa), length_(length), opts_(opts), reach_(nfa, length, opts) {}
+
+void PathEnumerator::PushFrame(NodeId node, PathNfa::StateMask mask,
+                               EdgeId in_edge) {
+  Frame frame{node, mask, in_edge, {}, 0};
+  size_t depth = stack_.size();  // Depth this frame will occupy.
+  if (depth < length_) {
+    size_t remaining = length_ - depth;  // Steps still to take from here.
+    nfa_.ForEachStep(node, [&](const PathNfa::Step& s) {
+      if (opts_.avoid != kNoNode && s.to == opts_.avoid) return;
+      PathNfa::StateMask next = nfa_.Advance(mask, s);
+      if (next == 0) return;
+      if (!reach_.CanFinish(remaining - 1, s.to, next)) return;
+      frame.branches.push_back(Branch{s, next});
+    });
+  }
+  stack_.push_back(std::move(frame));
+}
+
+bool PathEnumerator::AdvanceStart() {
+  while (next_start_ < nfa_.num_nodes()) {
+    NodeId n = next_start_++;
+    if (opts_.start != kNoNode && n != opts_.start) continue;
+    if (opts_.avoid != kNoNode && n == opts_.avoid) continue;
+    PathNfa::StateMask mask = nfa_.StartMask(n);
+    if (!reach_.CanFinish(length_, n, mask)) continue;
+    PushFrame(n, mask, kNoEdge);
+    return true;
+  }
+  return false;
+}
+
+bool PathEnumerator::Next(Path* out) {
+  for (;;) {
+    if (stack_.empty() && !AdvanceStart()) return false;
+
+    // Flashlight DFS: every branch stored in a frame is guaranteed to
+    // lead to at least one answer, so descending never wastes work.
+    while (!stack_.empty() && stack_.size() < length_ + 1) {
+      Frame& f = stack_.back();
+      if (f.next_branch >= f.branches.size()) {
+        stack_.pop_back();
+        continue;
+      }
+      const Branch& b = f.branches[f.next_branch++];
+      PushFrame(b.step.to, b.mask, b.step.edge);
+    }
+    if (stack_.empty()) continue;  // This start is exhausted; try next.
+
+    // Full depth: the stack spells out one answer.
+    out->nodes.clear();
+    out->edges.clear();
+    for (const Frame& f : stack_) {
+      if (f.in_edge != kNoEdge) out->edges.push_back(f.in_edge);
+      out->nodes.push_back(f.node);
+    }
+    stack_.pop_back();  // Resume from the parent on the next call.
+    return true;
+  }
+}
+
+std::vector<Path> PathEnumerator::Drain() {
+  std::vector<Path> out;
+  Path p;
+  while (Next(&p)) out.push_back(p);
+  return out;
+}
+
+}  // namespace kgq

@@ -1,0 +1,176 @@
+#include "pathalg/exact.h"
+
+#include <cassert>
+#include <queue>
+
+namespace kgq {
+
+ExactPathIndex::ExactPathIndex(const PathNfa& nfa, size_t max_len,
+                               const PathQueryOptions& opts)
+    : nfa_(nfa), max_len_(max_len), opts_(opts), memo_(max_len + 1) {}
+
+bool ExactPathIndex::StartAllowed(NodeId n) const {
+  if (opts_.start != kNoNode && n != opts_.start) return false;
+  if (opts_.avoid != kNoNode && n == opts_.avoid) return false;
+  return true;
+}
+
+double ExactPathIndex::Suffixes(size_t remaining, const Config& c) {
+  if (remaining == 0) {
+    bool ok = nfa_.Accepting(c.mask) &&
+              (opts_.end == kNoNode || c.node == opts_.end);
+    return ok ? 1.0 : 0.0;
+  }
+  auto it = memo_[remaining].find(c);
+  if (it != memo_[remaining].end()) return it->second;
+  double total = 0.0;
+  nfa_.ForEachStep(c.node, [&](const PathNfa::Step& s) {
+    if (opts_.avoid != kNoNode && s.to == opts_.avoid) return;
+    PathNfa::StateMask next = nfa_.Advance(c.mask, s);
+    if (next == 0) return;
+    total += Suffixes(remaining - 1, Config{s.to, next});
+  });
+  memo_[remaining][c] = total;
+  return total;
+}
+
+double ExactPathIndex::Count(size_t length) {
+  assert(length <= max_len_);
+  double total = 0.0;
+  for (NodeId n = 0; n < nfa_.num_nodes(); ++n) {
+    if (!StartAllowed(n)) continue;
+    total += Suffixes(length, Config{n, nfa_.StartMask(n)});
+  }
+  return total;
+}
+
+double ExactPathIndex::CountUpTo(size_t length) {
+  assert(length <= max_len_);
+  double total = 0.0;
+  for (size_t j = 0; j <= length; ++j) total += Count(j);
+  return total;
+}
+
+Result<Path> ExactPathIndex::Sample(size_t length, Rng* rng) {
+  assert(length <= max_len_);
+  // Start-node weights.
+  std::vector<NodeId> starts;
+  std::vector<double> weights;
+  for (NodeId n = 0; n < nfa_.num_nodes(); ++n) {
+    if (!StartAllowed(n)) continue;
+    double w = Suffixes(length, Config{n, nfa_.StartMask(n)});
+    if (w > 0.0) {
+      starts.push_back(n);
+      weights.push_back(w);
+    }
+  }
+  if (starts.empty()) {
+    return Status::NotFound("no conforming path of length " +
+                            std::to_string(length));
+  }
+  Config c{starts[rng->WeightedIndex(weights)], 0};
+  c.mask = nfa_.StartMask(c.node);
+
+  Path path = Path::Trivial(c.node);
+  for (size_t remaining = length; remaining > 0; --remaining) {
+    std::vector<PathNfa::Step> steps;
+    std::vector<Config> nexts;
+    std::vector<double> step_weights;
+    nfa_.ForEachStep(c.node, [&](const PathNfa::Step& s) {
+      if (opts_.avoid != kNoNode && s.to == opts_.avoid) return;
+      PathNfa::StateMask m = nfa_.Advance(c.mask, s);
+      if (m == 0) return;
+      Config next{s.to, m};
+      double w = Suffixes(remaining - 1, next);
+      if (w > 0.0) {
+        steps.push_back(s);
+        nexts.push_back(next);
+        step_weights.push_back(w);
+      }
+    });
+    assert(!steps.empty());
+    size_t pick = rng->WeightedIndex(step_weights);
+    path.edges.push_back(steps[pick].edge);
+    path.nodes.push_back(steps[pick].to);
+    c = nexts[pick];
+  }
+  return path;
+}
+
+Result<Path> ExactPathIndex::SampleUpTo(size_t length, Rng* rng) {
+  assert(length <= max_len_);
+  std::vector<double> weights(length + 1);
+  double total = 0.0;
+  for (size_t j = 0; j <= length; ++j) {
+    weights[j] = Count(j);
+    total += weights[j];
+  }
+  if (total <= 0.0) {
+    return Status::NotFound("no conforming path of length <= " +
+                            std::to_string(length));
+  }
+  return Sample(rng->WeightedIndex(weights), rng);
+}
+
+size_t ExactPathIndex::num_configs() const {
+  size_t total = 0;
+  for (const auto& layer : memo_) total += layer.size();
+  return total;
+}
+
+std::vector<std::optional<size_t>> ShortestAcceptedLengths(
+    const PathNfa& nfa, NodeId start, size_t max_len,
+    const PathQueryOptions& opts) {
+  std::vector<std::optional<size_t>> dist(nfa.num_nodes());
+  if (opts.avoid != kNoNode && start == opts.avoid) return dist;
+
+  // BFS over configurations; a configuration repeats only with the same
+  // or longer distance, so a visited set gives shortest lengths.
+  struct Config {
+    NodeId node;
+    PathNfa::StateMask mask;
+  };
+  // Visited set over (node, mask) configurations.
+  auto key = [&](const Config& c) {
+    return (static_cast<uint64_t>(c.node) << 7) ^
+           (c.mask * 0x9E3779B97F4A7C15ull) ^ c.mask;
+  };
+  std::unordered_map<uint64_t, std::vector<Config>> visited;
+  auto mark = [&](const Config& c) -> bool {
+    auto& bucket = visited[key(c)];
+    for (const Config& v : bucket) {
+      if (v.node == c.node && v.mask == c.mask) return false;
+    }
+    bucket.push_back(c);
+    return true;
+  };
+
+  std::vector<Config> frontier;
+  Config init{start, nfa.StartMask(start)};
+  mark(init);
+  frontier.push_back(init);
+
+  for (size_t layer = 0; layer <= max_len; ++layer) {
+    for (const Config& c : frontier) {
+      if (!dist[c.node].has_value() && nfa.Accepting(c.mask)) {
+        dist[c.node] = layer;
+      }
+    }
+    if (layer == max_len) break;
+    std::vector<Config> next_frontier;
+    for (const Config& c : frontier) {
+      nfa.ForEachStep(c.node, [&](const PathNfa::Step& s) {
+        if (opts.avoid != kNoNode && s.to == opts.avoid) return;
+        PathNfa::StateMask m = nfa.Advance(c.mask, s);
+        if (m == 0) return;
+        Config next{s.to, m};
+        if (mark(next)) next_frontier.push_back(next);
+      });
+    }
+    frontier = std::move(next_frontier);
+    if (frontier.empty()) break;
+  }
+  return dist;
+}
+
+}  // namespace kgq

@@ -1,0 +1,95 @@
+#ifndef KGQ_PATHALG_EXACT_H_
+#define KGQ_PATHALG_EXACT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pathalg/options.h"
+#include "rpq/path.h"
+#include "rpq/path_nfa.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Exact solver for the Count and Gen problems of Section 4.1, by
+/// dynamic programming over *configurations* (node, ε-closed state set).
+///
+/// A path determines its configuration sequence uniquely (the automaton
+/// nondeterminism is folded into the mask), so configuration counts are
+/// counts of distinct paths — the determinization that makes counting
+/// exact. The price is the state space: the number of distinct reachable
+/// masks can grow exponentially with the automaton size, which is
+/// precisely the intractability (SpanL-completeness) the FPRAS of
+/// fpras.h sidesteps. Use this class as the ground-truth oracle and for
+/// small-to-moderate instances; num_configs() reports the blowup.
+///
+/// Counts are doubles: exact up to 2^53, a faithful approximation beyond
+/// (path-explosive workloads overflow uint64 almost immediately).
+class ExactPathIndex {
+ public:
+  /// Builds the memo for paths of length up to `max_len`.
+  ExactPathIndex(const PathNfa& nfa, size_t max_len,
+                 const PathQueryOptions& opts = {});
+
+  /// Count(L, r, k) — the number of distinct paths of length exactly
+  /// `length` in ⟦r⟧ satisfying the options. length must be ≤ max_len.
+  double Count(size_t length);
+
+  /// Σ_{j ≤ max_len} Count(j): all answers up to the length bound.
+  double CountUpTo(size_t length);
+
+  /// Gen — draws a path of length exactly `length` uniformly at random
+  /// among all such paths. Fails with NotFound if none exist.
+  Result<Path> Sample(size_t length, Rng* rng);
+
+  /// Draws uniformly among *all* conforming paths with |p| ≤ `length`
+  /// (length picked ∝ Count(j), then Sample(j)). Fails with NotFound if
+  /// the whole set is empty.
+  Result<Path> SampleUpTo(size_t length, Rng* rng);
+
+  /// Number of memoized (length, configuration) entries — the size of
+  /// the determinized search space (E8's blowup diagnostic).
+  size_t num_configs() const;
+
+ private:
+  struct Config {
+    NodeId node;
+    PathNfa::StateMask mask;
+    bool operator==(const Config&) const = default;
+  };
+  struct ConfigHash {
+    size_t operator()(const Config& c) const {
+      uint64_t h = c.mask * 0x9E3779B97F4A7C15ull;
+      h ^= (h >> 29);
+      h += static_cast<uint64_t>(c.node) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  /// Number of accepted suffix paths of length `remaining` from `c`.
+  double Suffixes(size_t remaining, const Config& c);
+
+  bool StartAllowed(NodeId n) const;
+
+  const PathNfa& nfa_;
+  size_t max_len_;
+  PathQueryOptions opts_;
+  // memo_[j] maps a configuration to its number of accepted suffixes of
+  // length exactly j.
+  std::vector<std::unordered_map<Config, double, ConfigHash>> memo_;
+};
+
+/// Shortest accepted path lengths from a fixed start node to every node:
+/// result[b] is the least k ≤ max_len such that some path of length k
+/// from `start` to b conforms to the query (respecting opts.avoid), or
+/// nullopt. BFS over configurations — the building block of bc_r.
+std::vector<std::optional<size_t>> ShortestAcceptedLengths(
+    const PathNfa& nfa, NodeId start, size_t max_len,
+    const PathQueryOptions& opts = {});
+
+}  // namespace kgq
+
+#endif  // KGQ_PATHALG_EXACT_H_

@@ -1,0 +1,327 @@
+#include "pathalg/fpras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kgq {
+namespace {
+
+int Popcount(uint64_t x) { return __builtin_popcountll(x); }
+
+}  // namespace
+
+FprasOptions FprasOptions::FromEpsilon(double epsilon) {
+  epsilon = std::clamp(epsilon, 0.01, 1.0);
+  FprasOptions opts;
+  opts.union_trials =
+      static_cast<size_t>(std::ceil(1.5 / (epsilon * epsilon)));
+  opts.samples_per_state = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(0.75 / (epsilon * epsilon))), 16, 2048);
+  return opts;
+}
+
+FprasPathCounter::FprasPathCounter(const PathNfa& nfa, size_t length,
+                                   const PathQueryOptions& opts,
+                                   const FprasOptions& fopts)
+    : nfa_(nfa),
+      length_(length),
+      opts_(opts),
+      fopts_(fopts),
+      reach_(nfa, length, opts),
+      layers_(length + 1),
+      kept_(length + 1,
+            std::vector<StateMask>(nfa.num_nodes(), 0)) {
+  Rng rng(fopts.seed);
+  Preprocess(&rng);
+}
+
+void FprasPathCounter::Preprocess(Rng* rng) {
+  const size_t n_nodes = nfa_.num_nodes();
+
+  // Forward-reachable masks per layer (cheap determinized sweep).
+  std::vector<StateMask> reachable(n_nodes, 0);
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    if (opts_.start != kNoNode && n != opts_.start) continue;
+    if (opts_.avoid != kNoNode && n == opts_.avoid) continue;
+    reachable[n] = nfa_.StartMask(n);
+  }
+
+  // Layer 0 sketches: W((n,q),0) = { trivial path at n } for q in the
+  // start mask; useful states only.
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    StateMask useful = reachable[n] & reach_.Mask(length_, n);
+    if (useful == 0) continue;
+    kept_[0][n] = useful;
+    StateMask rest = useful;
+    while (rest != 0) {
+      uint32_t q = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      Sketch sketch;
+      sketch.estimate = 1.0;
+      sketch.samples.push_back(
+          SampleWord{{static_cast<uint32_t>(n)}, reachable[n]});
+      layers_[0].emplace(Key(n, q), std::move(sketch));
+    }
+  }
+
+  // Layer recurrence.
+  for (size_t i = 1; i <= length_; ++i) {
+    // Advance forward reachability.
+    std::vector<StateMask> next_reachable(n_nodes, 0);
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      if (reachable[n] == 0) continue;
+      nfa_.ForEachStep(n, [&](const PathNfa::Step& s) {
+        if (opts_.avoid != kNoNode && s.to == opts_.avoid) return;
+        next_reachable[s.to] |= nfa_.Advance(reachable[n], s);
+      });
+    }
+    reachable = std::move(next_reachable);
+
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      StateMask useful = reachable[n] & reach_.Mask(length_ - i, n);
+      if (useful == 0) continue;
+      kept_[i][n] = useful;
+    }
+
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      StateMask useful = kept_[i][n];
+      StateMask rest = useful;
+      while (rest != 0) {
+        uint32_t q = static_cast<uint32_t>(__builtin_ctzll(rest));
+        rest &= rest - 1;
+
+        Sketch sketch;
+        // Build the union components: for each incoming step, the
+        // predecessor states that can produce q.
+        nfa_.ForEachStepInto(n, [&](const PathNfa::Step& s) {
+          StateMask preds =
+              nfa_.PredMask(q, s) & kept_[i - 1][s.from];
+          StateMask prest = preds;
+          while (prest != 0) {
+            uint32_t p = static_cast<uint32_t>(__builtin_ctzll(prest));
+            prest &= prest - 1;
+            uint64_t pk = Key(s.from, p);
+            auto it = layers_[i - 1].find(pk);
+            assert(it != layers_[i - 1].end());
+            sketch.components.push_back(
+                Component{pk, s, preds, it->second.estimate});
+          }
+        });
+        if (sketch.components.empty()) continue;
+
+        double total_weight = 0.0;
+        for (const Component& c : sketch.components) {
+          total_weight += c.weight;
+        }
+        if (total_weight <= 0.0) continue;
+
+        // Cumulative weights for proportional component selection.
+        std::vector<double> cumulative(sketch.components.size());
+        double acc = 0.0;
+        for (size_t ci = 0; ci < sketch.components.size(); ++ci) {
+          acc += sketch.components[ci].weight;
+          cumulative[ci] = acc;
+        }
+        auto pick_component = [&]() -> const Component& {
+          double target = rng->NextDouble() * total_weight;
+          size_t idx = static_cast<size_t>(
+              std::lower_bound(cumulative.begin(), cumulative.end(),
+                               target) -
+              cumulative.begin());
+          if (idx >= sketch.components.size()) {
+            idx = sketch.components.size() - 1;
+          }
+          return sketch.components[idx];
+        };
+
+        // Karp–Luby trials: estimate |union| = total_weight · E[1/c].
+        double sum_inverse = 0.0;
+        size_t trials = fopts_.union_trials;
+        for (size_t t = 0; t < trials; ++t) {
+          const Component& comp = pick_component();
+          const Sketch& pred_sketch = layers_[i - 1].at(comp.pred_key);
+          const SampleWord& base = DrawStored(pred_sketch, rng);
+          StateMask advanced = nfa_.Advance(base.mask, comp.step);
+          int c = Popcount(comp.pred_set & base.mask);
+          assert(c >= 1);
+          sum_inverse += 1.0 / c;
+          // Karp–Luby uniformization: keep with probability 1/c.
+          if (sketch.samples.size() < fopts_.samples_per_state &&
+              rng->Below(static_cast<uint64_t>(c)) == 0) {
+            SampleWord word;
+            word.enc = base.enc;
+            word.enc.push_back((comp.step.edge << 1) |
+                               (comp.step.backward ? 1u : 0u));
+            word.mask = advanced;
+            sketch.samples.push_back(std::move(word));
+          }
+        }
+        sketch.estimate = total_weight * sum_inverse /
+                          static_cast<double>(trials);
+
+        // Guarantee at least one sample for downstream layers.
+        size_t guard = 64 * nfa_.num_states() + 64;
+        while (sketch.samples.empty() && guard-- > 0) {
+          const Component& comp = pick_component();
+          const Sketch& pred_sketch = layers_[i - 1].at(comp.pred_key);
+          const SampleWord& base = DrawStored(pred_sketch, rng);
+          int c = Popcount(comp.pred_set & base.mask);
+          if (rng->Below(static_cast<uint64_t>(c)) == 0) {
+            SampleWord word;
+            word.enc = base.enc;
+            word.enc.push_back((comp.step.edge << 1) |
+                               (comp.step.backward ? 1u : 0u));
+            word.mask = nfa_.Advance(base.mask, comp.step);
+            sketch.samples.push_back(std::move(word));
+          }
+        }
+        if (sketch.samples.empty() || sketch.estimate <= 0.0) continue;
+
+        layers_[i].emplace(Key(n, q), std::move(sketch));
+      }
+    }
+
+    // Drop kept bits whose sketch was discarded (estimate collapsed).
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      StateMask mask = kept_[i][n];
+      StateMask rest = mask;
+      while (rest != 0) {
+        uint32_t q = static_cast<uint32_t>(__builtin_ctzll(rest));
+        rest &= rest - 1;
+        if (layers_[i].find(Key(n, q)) == layers_[i].end()) {
+          mask &= ~(1ull << q);
+        }
+      }
+      kept_[i][n] = mask;
+    }
+  }
+
+  // Final union: per node, the accepting states' W sets overlap; the
+  // union over final states is again Karp–Luby estimated. Different end
+  // nodes are disjoint, so node estimates add up.
+  StateMask final_mask = nfa_.final_mask();
+  total_estimate_ = 0.0;
+  for (NodeId n = 0; n < nfa_.num_nodes(); ++n) {
+    StateMask finals = kept_[length_][n] & final_mask;
+    if (finals == 0) continue;
+    std::vector<FinalComponent> comps;
+    double total_weight = 0.0;
+    StateMask rest = finals;
+    while (rest != 0) {
+      uint32_t q = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      double w = layers_[length_].at(Key(n, q)).estimate;
+      comps.push_back(FinalComponent{n, q, w});
+      total_weight += w;
+    }
+    double node_estimate;
+    if (comps.size() == 1) {
+      node_estimate = total_weight;
+    } else {
+      std::vector<double> weights;
+      for (const FinalComponent& c : comps) weights.push_back(c.weight);
+      double sum_inverse = 0.0;
+      for (size_t t = 0; t < fopts_.union_trials; ++t) {
+        const FinalComponent& comp = comps[rng->WeightedIndex(weights)];
+        const Sketch& sk = layers_[length_].at(Key(n, comp.q));
+        const SampleWord& word = DrawStored(sk, rng);
+        int c = Popcount(word.mask & finals);
+        assert(c >= 1);
+        sum_inverse += 1.0 / c;
+      }
+      node_estimate = total_weight * sum_inverse /
+                      static_cast<double>(fopts_.union_trials);
+    }
+    for (FinalComponent& c : comps) final_components_.push_back(c);
+    total_estimate_ += node_estimate;
+  }
+}
+
+const FprasPathCounter::SampleWord& FprasPathCounter::DrawStored(
+    const Sketch& sketch, Rng* rng) const {
+  assert(!sketch.samples.empty());
+  return sketch.samples[rng->Below(sketch.samples.size())];
+}
+
+FprasPathCounter::SampleWord FprasPathCounter::FreshSample(
+    const Sketch& sketch, size_t layer, Rng* rng) const {
+  if (layer == 0 || sketch.components.empty()) {
+    return DrawStored(sketch, rng);
+  }
+  std::vector<double> weights;
+  weights.reserve(sketch.components.size());
+  for (const Component& c : sketch.components) weights.push_back(c.weight);
+
+  size_t retries = 8 * nfa_.num_states() + 8;
+  while (retries-- > 0) {
+    const Component& comp = sketch.components[rng->WeightedIndex(weights)];
+    const Sketch& pred = layers_[layer - 1].at(comp.pred_key);
+    SampleWord base = FreshSample(pred, layer - 1, rng);
+    int c = Popcount(comp.pred_set & base.mask);
+    assert(c >= 1);
+    if (rng->Below(static_cast<uint64_t>(c)) != 0) continue;
+    base.enc.push_back((comp.step.edge << 1) |
+                       (comp.step.backward ? 1u : 0u));
+    base.mask = nfa_.Advance(base.mask, comp.step);
+    return base;
+  }
+  return DrawStored(sketch, rng);  // Rejection budget exhausted.
+}
+
+Result<Path> FprasPathCounter::Sample(Rng* rng) const {
+  if (final_components_.empty() || total_estimate_ <= 0.0) {
+    return Status::NotFound("no conforming path of length " +
+                            std::to_string(length_));
+  }
+  std::vector<double> weights;
+  weights.reserve(final_components_.size());
+  for (const FinalComponent& c : final_components_) {
+    weights.push_back(c.weight);
+  }
+  StateMask final_mask = nfa_.final_mask();
+  size_t retries = 8 * nfa_.num_states() + 8;
+  while (retries-- > 0) {
+    const FinalComponent& comp =
+        final_components_[rng->WeightedIndex(weights)];
+    const Sketch& sk = layers_[length_].at(Key(comp.node, comp.q));
+    SampleWord word = FreshSample(sk, length_, rng);
+    StateMask finals = kept_[length_][comp.node] & final_mask;
+    int c = Popcount(word.mask & finals);
+    if (c < 1) continue;
+    if (rng->Below(static_cast<uint64_t>(c)) != 0) continue;
+    return Decode(word);
+  }
+  // Rejection budget exhausted: return a stored accepted sample.
+  const FinalComponent& comp =
+      final_components_[rng->WeightedIndex(weights)];
+  const Sketch& sk = layers_[length_].at(Key(comp.node, comp.q));
+  return Decode(DrawStored(sk, rng));
+}
+
+Path FprasPathCounter::Decode(const SampleWord& word) const {
+  const Multigraph& g = nfa_.view().topology();
+  Path p;
+  p.nodes.push_back(static_cast<NodeId>(word.enc[0]));
+  for (size_t i = 1; i < word.enc.size(); ++i) {
+    EdgeId e = word.enc[i] >> 1;
+    bool backward = (word.enc[i] & 1) != 0;
+    p.edges.push_back(e);
+    p.nodes.push_back(backward ? g.EdgeSource(e) : g.EdgeTarget(e));
+  }
+  return p;
+}
+
+size_t FprasPathCounter::num_sketches() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer.size();
+  return total;
+}
+
+double ApproxCount(const PathNfa& nfa, size_t length,
+                   const PathQueryOptions& opts,
+                   const FprasOptions& fopts) {
+  return FprasPathCounter(nfa, length, opts, fopts).Estimate();
+}
+
+}  // namespace kgq

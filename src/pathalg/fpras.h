@@ -1,0 +1,144 @@
+#ifndef KGQ_PATHALG_FPRAS_H_
+#define KGQ_PATHALG_FPRAS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pathalg/options.h"
+#include "pathalg/reach.h"
+#include "rpq/path.h"
+#include "rpq/path_nfa.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace kgq {
+
+/// Tuning knobs for the randomized counter. The theoretical algorithm
+/// (Arenas–Croquevielle–Jayaram–Riveros, PODS 2019) takes an error ε and
+/// derives polynomial sample sizes; practice exposes the two budgets
+/// directly. FromEpsilon() maps an ε to budgets that empirically achieve
+/// relative error ≤ ε with high probability (validated by experiment E1).
+struct FprasOptions {
+  /// Per-(state, layer) cap on retained uniform samples.
+  size_t samples_per_state = 64;
+  /// Monte-Carlo trials per union estimate (Karp–Luby estimator).
+  size_t union_trials = 128;
+  /// Seed of the preprocessing randomness.
+  uint64_t seed = 0x5EEDACull;
+
+  /// Budgets scaled as ~1/ε²: the standard deviation of the Karp–Luby
+  /// estimator shrinks as trials^-1/2.
+  static FprasOptions FromEpsilon(double epsilon);
+};
+
+/// Randomized approximate counting and (approximately) uniform
+/// generation of conforming paths — the Section 4.1 FPRAS.
+///
+/// Structure follows ACJR: let W(s, i) be the set of distinct paths of
+/// length i whose run can occupy product state s = (node, q). Layer by
+/// layer the algorithm keeps, per useful state, (a) an estimate of
+/// |W(s,i)| and (b) a bounded pool of ≈uniform samples of W(s,i). The
+/// layer recurrence W(s,i) = ∪_components W(pred, i-1)·step is a union of
+/// overlapping sets, estimated with the Karp–Luby union estimator:
+/// sample a component proportionally to its estimated size, draw an
+/// element, and weight it by 1/(number of components containing it) —
+/// the membership count is a popcount because every retained sample
+/// carries its full simulation mask.
+///
+/// "Useful" states are those both forward-reachable and backward-viable
+/// (via ReachTable), so effort concentrates where answers live.
+///
+/// Construction is the preprocessing phase; Estimate() is O(1), and
+/// Sample() regenerates fresh paths top-down through the layered
+/// structure (the generation phase the paper describes).
+class FprasPathCounter {
+ public:
+  FprasPathCounter(const PathNfa& nfa, size_t length,
+                   const PathQueryOptions& opts = {},
+                   const FprasOptions& fopts = {});
+
+  /// Estimated number of distinct conforming paths of length exactly
+  /// `length`.
+  double Estimate() const { return total_estimate_; }
+
+  /// Draws a fresh, approximately uniform conforming path. Fails with
+  /// NotFound when the estimate is zero.
+  Result<Path> Sample(Rng* rng) const;
+
+  /// Number of (state, layer) sketches retained — the preprocessing
+  /// footprint.
+  size_t num_sketches() const;
+
+ private:
+  using StateMask = PathNfa::StateMask;
+
+  /// A retained element of W(s, i): the encoded path prefix plus its
+  /// full simulation mask (enabling O(1) membership counts).
+  struct SampleWord {
+    // enc[0] = start node; enc[j>0] = (edge << 1) | backward.
+    std::vector<uint32_t> enc;
+    StateMask mask;
+  };
+
+  /// One component of the union defining W(s, i).
+  struct Component {
+    uint64_t pred_key;     ///< Key of the predecessor sketch (layer i-1).
+    PathNfa::Step step;    ///< The appended step.
+    StateMask pred_set;    ///< PredMask(q, step) ∩ kept(pred node, i-1).
+    double weight;         ///< Estimated |W(pred, i-1)|.
+  };
+
+  struct Sketch {
+    double estimate = 0.0;
+    std::vector<SampleWord> samples;
+    std::vector<Component> components;  // Empty at layer 0.
+  };
+
+  uint64_t Key(NodeId n, uint32_t q) const {
+    return static_cast<uint64_t>(n) * nfa_.num_states() + q;
+  }
+
+  void Preprocess(Rng* rng);
+
+  /// Draws (with replacement) a stored sample of `sketch`.
+  const SampleWord& DrawStored(const Sketch& sketch, Rng* rng) const;
+
+  /// Regenerates a fresh ≈uniform element of W(state at `layer`).
+  /// Falls back to a stored sample after too many rejections.
+  SampleWord FreshSample(const Sketch& sketch, size_t layer,
+                         Rng* rng) const;
+
+  Path Decode(const SampleWord& word) const;
+
+  const PathNfa& nfa_;
+  size_t length_;
+  PathQueryOptions opts_;
+  FprasOptions fopts_;
+  ReachTable reach_;
+
+  /// layers_[i] maps state key → sketch of W(state, i).
+  std::vector<std::unordered_map<uint64_t, Sketch>> layers_;
+  /// kept_[i][n] = mask of automaton states with a sketch at (n, i).
+  std::vector<std::vector<StateMask>> kept_;
+
+  /// Final-layer accepting components for Estimate()/Sample(): per node,
+  /// the union over final states (usually a single component with
+  /// Thompson automata).
+  struct FinalComponent {
+    NodeId node;
+    uint32_t q;
+    double weight;
+  };
+  std::vector<FinalComponent> final_components_;
+  double total_estimate_ = 0.0;
+};
+
+/// One-shot convenience: approximate Count(L, r, k).
+double ApproxCount(const PathNfa& nfa, size_t length,
+                   const PathQueryOptions& opts = {},
+                   const FprasOptions& fopts = {});
+
+}  // namespace kgq
+
+#endif  // KGQ_PATHALG_FPRAS_H_

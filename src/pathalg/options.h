@@ -1,0 +1,23 @@
+#ifndef KGQ_PATHALG_OPTIONS_H_
+#define KGQ_PATHALG_OPTIONS_H_
+
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// Restrictions shared by all path algorithms. The unrestricted problem
+/// of Section 4.1 uses the defaults; the bc_r computation of Section 4.2
+/// uses all three fields (paths from a to b, optionally avoiding x —
+/// through-x counts are computed as total minus avoiding).
+struct PathQueryOptions {
+  /// If set, only paths with start(p) == start.
+  NodeId start = kNoNode;
+  /// If set, only paths with end(p) == end.
+  NodeId end = kNoNode;
+  /// If set, only paths that never visit this node.
+  NodeId avoid = kNoNode;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_PATHALG_OPTIONS_H_

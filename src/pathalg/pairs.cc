@@ -1,0 +1,73 @@
+#include "pathalg/pairs.h"
+
+#include <utility>
+#include <vector>
+
+namespace kgq {
+
+Bitset ReachableFrom(const PathNfa& nfa, NodeId start,
+                     const PathQueryOptions& opts) {
+  Bitset out(nfa.num_nodes());
+  if (opts.avoid != kNoNode && start == opts.avoid) return out;
+  if (opts.start != kNoNode && start != opts.start) return out;
+
+  // Existential semantics only asks whether *some* run reaches a final
+  // state, so a BFS over single product states (node, q) suffices — no
+  // subset construction, O(n·|Q|) states total.
+  std::vector<PathNfa::StateMask> seen(nfa.num_nodes(), 0);
+  std::vector<std::pair<NodeId, uint32_t>> frontier;
+
+  PathNfa::StateMask final_mask = nfa.final_mask();
+  auto push = [&](NodeId n, PathNfa::StateMask mask) {
+    PathNfa::StateMask fresh = mask & ~seen[n];
+    if (fresh == 0) return;
+    seen[n] |= fresh;
+    if (fresh & final_mask) out.Set(n);
+    while (fresh != 0) {
+      uint32_t q = static_cast<uint32_t>(__builtin_ctzll(fresh));
+      fresh &= fresh - 1;
+      frontier.emplace_back(n, q);
+    }
+  };
+
+  push(start, nfa.StartMask(start));
+  while (!frontier.empty()) {
+    auto [n, q] = frontier.back();
+    frontier.pop_back();
+    nfa.ForEachStep(n, [&](const PathNfa::Step& s) {
+      if (opts.avoid != kNoNode && s.to == opts.avoid) return;
+      push(s.to, nfa.AdvanceSingle(q, s));
+    });
+  }
+
+  if (opts.end != kNoNode) {
+    Bitset only_end(nfa.num_nodes());
+    if (out.Test(opts.end)) only_end.Set(opts.end);
+    return only_end;
+  }
+  return out;
+}
+
+std::vector<Bitset> AllPairs(const PathNfa& nfa,
+                             const PathQueryOptions& opts) {
+  std::vector<Bitset> out;
+  out.reserve(nfa.num_nodes());
+  for (NodeId a = 0; a < nfa.num_nodes(); ++a) {
+    if (opts.start != kNoNode && a != opts.start) {
+      out.push_back(Bitset(nfa.num_nodes()));
+      continue;
+    }
+    out.push_back(ReachableFrom(nfa, a, opts));
+  }
+  return out;
+}
+
+double CountPairs(const PathNfa& nfa, const PathQueryOptions& opts) {
+  double total = 0.0;
+  for (const Bitset& row : AllPairs(nfa, opts)) {
+    total += static_cast<double>(row.Count());
+  }
+  return total;
+}
+
+}  // namespace kgq

@@ -1,0 +1,37 @@
+#ifndef KGQ_PATHALG_PAIRS_H_
+#define KGQ_PATHALG_PAIRS_H_
+
+#include <vector>
+
+#include "pathalg/options.h"
+#include "rpq/path_nfa.h"
+#include "util/bitset.h"
+
+namespace kgq {
+
+/// Existential (pair) semantics for regular path queries — what SPARQL
+/// property paths and most graph query languages return: the set of
+/// pairs (a, b) such that *some* path from a to b conforms to the query,
+/// with no length bound. Computed per start node by a BFS over
+/// configurations (node, ε-closed state set), which saturates because
+/// configurations are finitely many.
+///
+/// This is the polynomial-time face of RPQ evaluation; counting or
+/// enumerating the underlying paths is where Section 4.1's machinery
+/// takes over.
+
+/// Nodes b reachable from `start` via some conforming path (of any
+/// length, respecting opts.avoid).
+Bitset ReachableFrom(const PathNfa& nfa, NodeId start,
+                     const PathQueryOptions& opts = {});
+
+/// All pairs: result[a] = ReachableFrom(a). O(n · BFS).
+std::vector<Bitset> AllPairs(const PathNfa& nfa,
+                             const PathQueryOptions& opts = {});
+
+/// Number of conforming pairs (Σ_a |result[a]|).
+double CountPairs(const PathNfa& nfa, const PathQueryOptions& opts = {});
+
+}  // namespace kgq
+
+#endif  // KGQ_PATHALG_PAIRS_H_

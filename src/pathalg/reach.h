@@ -1,0 +1,47 @@
+#ifndef KGQ_PATHALG_REACH_H_
+#define KGQ_PATHALG_REACH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "pathalg/options.h"
+#include "rpq/path_nfa.h"
+
+namespace kgq {
+
+/// Backward reachability table over the product automaton:
+/// Mask(j, n) is the set of automaton states q such that some accepted
+/// path suffix of length exactly j exists from configuration (n, {q})
+/// (respecting the end/avoid restrictions in `opts`).
+///
+/// This is the polynomial preprocessing structure shared by the
+/// enumeration algorithm (where it prunes the flashlight DFS so that
+/// every descent yields an answer — the source of the polynomial delay)
+/// and by the FPRAS (where it prunes sketches to useful states).
+class ReachTable {
+ public:
+  /// Builds the table for suffix lengths 0..max_len. O(max_len · m · |Q|).
+  ReachTable(const PathNfa& nfa, size_t max_len,
+             const PathQueryOptions& opts);
+
+  /// States with an accepted suffix of length exactly j from node n.
+  PathNfa::StateMask Mask(size_t j, NodeId n) const {
+    return table_[j * num_nodes_ + n];
+  }
+
+  /// True iff some state in `m` has an accepted suffix of length j at n.
+  bool CanFinish(size_t j, NodeId n, PathNfa::StateMask m) const {
+    return (Mask(j, n) & m) != 0;
+  }
+
+  size_t max_len() const { return max_len_; }
+
+ private:
+  size_t num_nodes_;
+  size_t max_len_;
+  std::vector<PathNfa::StateMask> table_;  // (max_len+1) × num_nodes.
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_PATHALG_REACH_H_

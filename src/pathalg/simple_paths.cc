@@ -1,0 +1,80 @@
+#include "pathalg/simple_paths.h"
+
+#include "util/bitset.h"
+
+namespace kgq {
+namespace {
+
+struct DfsContext {
+  const PathNfa& nfa;
+  const PathQueryOptions& opts;
+  size_t max_length;
+  const std::function<void(const Path&)>* sink;
+  double budget;
+  double produced = 0.0;
+
+  Path path;
+  Bitset visited;
+
+  explicit DfsContext(const PathNfa& nfa_in, const PathQueryOptions& o,
+                      size_t max_len,
+                      const std::function<void(const Path&)>* s, double b)
+      : nfa(nfa_in),
+        opts(o),
+        max_length(max_len),
+        sink(s),
+        budget(b),
+        visited(nfa_in.num_nodes()) {}
+
+  void Emit() {
+    produced += 1.0;
+    if (sink != nullptr && *sink) (*sink)(path);
+  }
+
+  void Dfs(NodeId node, PathNfa::StateMask mask) {
+    if (produced >= budget) return;
+    bool end_ok = opts.end == kNoNode || node == opts.end;
+    if (end_ok && nfa.Accepting(mask)) Emit();
+    if (path.Length() >= max_length) return;
+    nfa.ForEachStep(node, [&](const PathNfa::Step& s) {
+      if (produced >= budget) return;
+      if (visited.Test(s.to)) return;  // Simple: no node repeats.
+      if (opts.avoid != kNoNode && s.to == opts.avoid) return;
+      PathNfa::StateMask next = nfa.Advance(mask, s);
+      if (next == 0) return;
+      visited.Set(s.to);
+      path.nodes.push_back(s.to);
+      path.edges.push_back(s.edge);
+      Dfs(s.to, next);
+      path.nodes.pop_back();
+      path.edges.pop_back();
+      visited.Clear(s.to);
+    });
+  }
+};
+
+}  // namespace
+
+double EnumerateSimplePaths(const PathNfa& nfa, size_t max_length,
+                            const PathQueryOptions& opts,
+                            const std::function<void(const Path&)>& sink,
+                            double budget) {
+  DfsContext ctx(nfa, opts, max_length, &sink, budget);
+  for (NodeId n = 0; n < nfa.num_nodes(); ++n) {
+    if (opts.start != kNoNode && n != opts.start) continue;
+    if (opts.avoid != kNoNode && n == opts.avoid) continue;
+    if (ctx.produced >= budget) break;
+    ctx.path = Path::Trivial(n);
+    ctx.visited.ClearAll();
+    ctx.visited.Set(n);
+    ctx.Dfs(n, nfa.StartMask(n));
+  }
+  return ctx.produced;
+}
+
+double CountSimplePaths(const PathNfa& nfa, size_t max_length,
+                        const PathQueryOptions& opts) {
+  return EnumerateSimplePaths(nfa, max_length, opts, nullptr);
+}
+
+}  // namespace kgq

@@ -1,0 +1,35 @@
+#ifndef KGQ_PATHALG_SIMPLE_PATHS_H_
+#define KGQ_PATHALG_SIMPLE_PATHS_H_
+
+#include <functional>
+
+#include "pathalg/options.h"
+#include "rpq/path.h"
+#include "rpq/path_nfa.h"
+
+namespace kgq {
+
+/// Simple-path semantics for regular path queries: conforming paths that
+/// never repeat a node. This is the semantics an early SPARQL 1.1 draft
+/// mandated; deciding existence is already NP-hard and counting is
+/// #P-hard (Losemann–Martens; Arenas–Conca–Pérez "counting beyond a
+/// yottabyte", both cited in Section 4.1), which is why the paper's
+/// toolbox works with walks instead. This module exists to *measure*
+/// that contrast (bench E9): the DFS below is inherently exponential.
+///
+/// Enumerates every simple path p ∈ ⟦r⟧ with |p| ≤ max_length (a simple
+/// path has |p| < n anyway; pass n to remove the cap). Returns the count;
+/// `sink` may be null when only the count is wanted. Stops early (and
+/// returns what it has) once `budget` paths have been produced.
+double EnumerateSimplePaths(const PathNfa& nfa, size_t max_length,
+                            const PathQueryOptions& opts,
+                            const std::function<void(const Path&)>& sink,
+                            double budget = 1e18);
+
+/// Count-only convenience.
+double CountSimplePaths(const PathNfa& nfa, size_t max_length,
+                        const PathQueryOptions& opts = {});
+
+}  // namespace kgq
+
+#endif  // KGQ_PATHALG_SIMPLE_PATHS_H_

@@ -1,0 +1,373 @@
+#include "query/match_query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+
+#include "pathalg/pairs.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+#include "rpq/test_eval.h"
+
+namespace kgq {
+namespace {
+
+/// Case-insensitive keyword scanner over raw text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `keyword` case-insensitively (word boundary after).
+  bool AcceptKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    size_t after = pos_ + keyword.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  bool AcceptChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes a literal sequence like "-[" or "]->".
+  bool AcceptSeq(std::string_view seq) {
+    SkipSpace();
+    if (text_.substr(pos_, seq.size()) == seq) {
+      pos_ += seq.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> TakeIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected identifier at position " +
+                                std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Identifier or "quoted string".
+  Result<std::string> TakeValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size()) {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+          out.push_back(text_[pos_ + 1]);
+          pos_ += 2;
+        } else if (text_[pos_] == '"') {
+          ++pos_;
+          return out;
+        } else {
+          out.push_back(text_[pos_++]);
+        }
+      }
+      return Status::ParseError("unterminated string");
+    }
+    return TakeIdentifier();
+  }
+
+  /// Raw substring until the first ')' at paren/bracket depth 0 (quotes
+  /// respected); consumes the ')'.
+  Result<std::string> TakeUntilNodeClose() {
+    size_t start = pos_;
+    size_t depth = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\') ++pos_;
+          ++pos_;
+        }
+        ++pos_;
+        continue;
+      }
+      if (c == '(' || c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == ')') {
+        if (depth == 0) {
+          std::string inner(text_.substr(start, pos_ - start));
+          ++pos_;
+          return inner;
+        }
+        --depth;
+      }
+      ++pos_;
+    }
+    return Status::ParseError("unterminated node pattern");
+  }
+
+  /// Raw substring until the matching "]->", honoring nested brackets.
+  Result<std::string> TakeUntilPathClose() {
+    size_t depth = 1;  // We are inside "-[".
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        --depth;
+        if (depth == 0) {
+          std::string inner(text_.substr(start, pos_ - start));
+          ++pos_;  // Consume ']'.
+          if (!AcceptSeq("->")) {
+            return Status::ParseError("expected '->' after ']'");
+          }
+          return inner;
+        }
+      } else if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\') ++pos_;
+          ++pos_;
+        }
+      }
+      ++pos_;
+    }
+    return Status::ParseError("unterminated -[ path ]->");
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Parses `(var)` or `(var: test)`.
+Result<std::pair<std::string, TestPtr>> ParseNodePattern(Scanner* scan) {
+  if (!scan->AcceptChar('(')) {
+    return Status::ParseError("expected '(' at position " +
+                              std::to_string(scan->pos()));
+  }
+  KGQ_ASSIGN_OR_RETURN(std::string var, scan->TakeIdentifier());
+  TestPtr test;
+  if (scan->AcceptChar(':')) {
+    KGQ_ASSIGN_OR_RETURN(std::string raw, scan->TakeUntilNodeClose());
+    KGQ_ASSIGN_OR_RETURN(test, ParseTest(raw));
+  } else if (!scan->AcceptChar(')')) {
+    return Status::ParseError("expected ')' after node variable");
+  }
+  return std::make_pair(std::move(var), std::move(test));
+}
+
+}  // namespace
+
+std::string MatchQuery::ToString() const {
+  std::string out = "MATCH ";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += "(" + nodes[i].var;
+    if (nodes[i].test) out += ": " + nodes[i].test->ToString();
+    out += ")";
+    if (i < paths.size()) out += " -[ " + paths[i]->ToString() + " ]-> ";
+  }
+  out += " RETURN ";
+  for (size_t i = 0; i < returns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += returns[i];
+  }
+  if (limit > 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+Result<MatchQuery> ParseMatchQuery(std::string_view text) {
+  Scanner scan(text);
+  if (!scan.AcceptKeyword("MATCH")) {
+    return Status::ParseError("query must start with MATCH");
+  }
+  MatchQuery query;
+  {
+    KGQ_ASSIGN_OR_RETURN(auto first, ParseNodePattern(&scan));
+    query.nodes.push_back({std::move(first.first), std::move(first.second)});
+  }
+  while (scan.AcceptSeq("-[")) {
+    KGQ_ASSIGN_OR_RETURN(std::string raw, scan.TakeUntilPathClose());
+    KGQ_ASSIGN_OR_RETURN(RegexPtr path, ParseRegex(raw));
+    query.paths.push_back(std::move(path));
+    KGQ_ASSIGN_OR_RETURN(auto next, ParseNodePattern(&scan));
+    query.nodes.push_back({std::move(next.first), std::move(next.second)});
+  }
+  if (query.paths.empty()) {
+    return Status::ParseError("expected at least one '-[ path ]->' hop");
+  }
+  for (size_t i = 0; i < query.nodes.size(); ++i) {
+    for (size_t j = i + 1; j < query.nodes.size(); ++j) {
+      if (query.nodes[i].var == query.nodes[j].var) {
+        return Status::ParseError("variable '" + query.nodes[i].var +
+                                  "' declared twice");
+      }
+    }
+  }
+
+  auto slot_of = [&](const std::string& var) -> TestPtr* {
+    for (NodePattern& np : query.nodes) {
+      if (np.var == var) return &np.test;
+    }
+    return nullptr;
+  };
+
+  // WHERE var.prop = value (AND ...)*.
+  if (scan.AcceptKeyword("WHERE")) {
+    do {
+      KGQ_ASSIGN_OR_RETURN(std::string var, scan.TakeIdentifier());
+      if (!scan.AcceptChar('.')) {
+        return Status::ParseError("expected '.' in WHERE condition");
+      }
+      KGQ_ASSIGN_OR_RETURN(std::string prop, scan.TakeIdentifier());
+      if (!scan.AcceptChar('=')) {
+        return Status::ParseError("expected '=' in WHERE condition");
+      }
+      KGQ_ASSIGN_OR_RETURN(std::string value, scan.TakeValue());
+      TestPtr* slot = slot_of(var);
+      if (slot == nullptr) {
+        return Status::ParseError("WHERE references unknown variable '" +
+                                  var + "'");
+      }
+      TestPtr cond = TestExpr::PropEq(std::move(prop), std::move(value));
+      *slot = *slot ? TestExpr::And(*slot, std::move(cond))
+                    : std::move(cond);
+    } while (scan.AcceptKeyword("AND"));
+  }
+
+  if (!scan.AcceptKeyword("RETURN")) {
+    return Status::ParseError("expected RETURN clause");
+  }
+  do {
+    KGQ_ASSIGN_OR_RETURN(std::string var, scan.TakeIdentifier());
+    if (slot_of(var) == nullptr) {
+      return Status::ParseError("RETURN references unknown variable '" +
+                                var + "'");
+    }
+    query.returns.push_back(std::move(var));
+  } while (scan.AcceptChar(','));
+
+  if (scan.AcceptKeyword("LIMIT")) {
+    KGQ_ASSIGN_OR_RETURN(std::string num, scan.TakeIdentifier());
+    char* end = nullptr;
+    query.limit = std::strtoull(num.c_str(), &end, 10);
+    if (end == num.c_str() || *end != '\0' || query.limit == 0) {
+      return Status::ParseError("LIMIT expects a positive integer");
+    }
+  }
+  if (!scan.AtEnd()) {
+    return Status::ParseError("trailing input after query (position " +
+                              std::to_string(scan.pos()) + ")");
+  }
+  return query;
+}
+
+Result<QueryResult> ExecuteMatch(const GraphView& view,
+                                 const MatchQuery& query) {
+  if (query.paths.empty() || query.nodes.size() != query.paths.size() + 1) {
+    return Status::InvalidArgument("malformed MATCH chain");
+  }
+  // Per hop: wrap the path with both endpoints' node restrictions and
+  // evaluate pair semantics.
+  std::vector<std::vector<Bitset>> hops;
+  hops.reserve(query.paths.size());
+  for (size_t i = 0; i < query.paths.size(); ++i) {
+    RegexPtr full = query.paths[i];
+    if (query.nodes[i].test) {
+      full = Regex::Concat(Regex::NodeTest(query.nodes[i].test),
+                           std::move(full));
+    }
+    if (query.nodes[i + 1].test) {
+      full = Regex::Concat(std::move(full),
+                           Regex::NodeTest(query.nodes[i + 1].test));
+    }
+    KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, *full));
+    hops.push_back(AllPairs(nfa));
+  }
+
+  // Join hop relations left to right by DFS over variable assignments.
+  QueryResult result;
+  result.columns = query.returns;
+  std::vector<std::vector<NodeId>> rows;
+  std::vector<NodeId> assignment(query.nodes.size(), kNoNode);
+
+  // Map RETURN vars to chain positions.
+  std::vector<size_t> return_pos;
+  for (const std::string& var : query.returns) {
+    for (size_t i = 0; i < query.nodes.size(); ++i) {
+      if (query.nodes[i].var == var) {
+        return_pos.push_back(i);
+        break;
+      }
+    }
+  }
+
+  std::function<void(size_t)> extend = [&](size_t next_var) {
+    if (next_var == query.nodes.size()) {
+      std::vector<NodeId> row;
+      row.reserve(return_pos.size());
+      for (size_t pos : return_pos) row.push_back(assignment[pos]);
+      rows.push_back(std::move(row));
+      return;
+    }
+    const std::vector<Bitset>& relation = hops[next_var - 1];
+    relation[assignment[next_var - 1]].ForEach([&](size_t b) {
+      assignment[next_var] = static_cast<NodeId>(b);
+      extend(next_var + 1);
+    });
+  };
+  for (NodeId a = 0; a < view.num_nodes(); ++a) {
+    if (hops[0][a].None()) continue;
+    assignment[0] = a;
+    extend(1);
+  }
+
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  if (query.limit > 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  result.rows = std::move(rows);
+  return result;
+}
+
+Result<QueryResult> RunMatch(const GraphView& view, std::string_view text) {
+  KGQ_ASSIGN_OR_RETURN(MatchQuery query, ParseMatchQuery(text));
+  return ExecuteMatch(view, query);
+}
+
+}  // namespace kgq

@@ -1,0 +1,65 @@
+#ifndef KGQ_QUERY_MATCH_QUERY_H_
+#define KGQ_QUERY_MATCH_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "rpq/regex.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// One node pattern of a MATCH chain: `(var)` or `(var: test)`.
+struct NodePattern {
+  std::string var;
+  TestPtr test;  ///< May be null (no restriction).
+};
+
+/// A small declarative query language in the spirit of the languages the
+/// tutorial surveys (Cypher, PGQL, G-CORE, SPARQL property paths): node
+/// extraction by pattern matching along a chain of regular path
+/// expressions:
+///
+///   MATCH (x: person) -[ rides ]-> (b: bus) -[ rides^- ]-> (y: infected)
+///   WHERE x.age = "34" AND y.name = "Pedro"
+///   RETURN x, b, y
+///   LIMIT 10
+///
+/// * node patterns: `(var)` or `(var: test)` with the rpq test grammar
+///   (so `(x: [person | infected])` works); variables must be distinct;
+/// * each hop is any expression of the Section 4 regex grammar;
+/// * WHERE adds property-equality conjuncts on declared variables;
+/// * per-hop evaluation uses existential pair semantics
+///   (pathalg/pairs.h); the chain is joined hop by hop;
+/// * RETURN projects (deduplicated, sorted rows); LIMIT truncates.
+struct MatchQuery {
+  std::vector<NodePattern> nodes;  ///< k+1 patterns.
+  std::vector<RegexPtr> paths;     ///< k hops (≥ 1).
+  std::vector<std::string> returns;
+  size_t limit = 0;  ///< 0 = no limit.
+
+  /// Renders back in the concrete syntax.
+  std::string ToString() const;
+};
+
+/// Tabular query answer: node ids per projected column.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<NodeId>> rows;
+};
+
+/// Parses the MATCH grammar above. Keywords are case-insensitive.
+Result<MatchQuery> ParseMatchQuery(std::string_view text);
+
+/// Executes against any graph model. Beware: the full solution set is
+/// materialized before projection; chains with huge joins cost memory.
+Result<QueryResult> ExecuteMatch(const GraphView& view,
+                                 const MatchQuery& query);
+
+/// Parse + execute convenience.
+Result<QueryResult> RunMatch(const GraphView& view, std::string_view text);
+
+}  // namespace kgq
+
+#endif  // KGQ_QUERY_MATCH_QUERY_H_

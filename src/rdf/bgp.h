@@ -1,0 +1,58 @@
+#ifndef KGQ_RDF_BGP_H_
+#define KGQ_RDF_BGP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "rpq/regex.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// A term of a triple pattern: a constant or a variable ("?x" style —
+/// the leading '?' is stripped at construction).
+struct Term {
+  bool is_var = false;
+  std::string text;  ///< Variable name (without '?') or constant.
+
+  static Term Var(std::string name) { return Term{true, std::move(name)}; }
+  static Term Const(std::string value) {
+    return Term{false, std::move(value)};
+  }
+};
+
+/// One SPARQL-style triple pattern. When `path` is set the pattern is a
+/// SPARQL 1.1 *property path*: it matches (s, o) pairs connected by some
+/// path conforming to the regular expression (existential semantics over
+/// the RDF graph; the predicate term is ignored).
+struct TriplePattern {
+  Term s;
+  Term p;
+  Term o;
+  RegexPtr path;  ///< Null for plain triple patterns.
+};
+
+/// A solution mapping: variable name → constant id (into store.dict()).
+using Binding = std::map<std::string, ConstId>;
+
+/// Evaluates a basic graph pattern (conjunction of triple patterns, the
+/// core of SPARQL — reference [38] of the paper) by index-nested-loop
+/// join, most-selective-pattern-first. Property-path patterns are
+/// evaluated through the RPQ engine (pair semantics over an
+/// RdfGraphView). Returns the distinct solution mappings over all
+/// variables in the pattern.
+Result<std::vector<Binding>> EvalBgp(
+    const TripleStore& store, const std::vector<TriplePattern>& patterns);
+
+/// Parses "?x rides ?y . ?y label bus" into patterns. Terms are
+/// whitespace-separated; '?'-prefixed terms are variables; patterns are
+/// separated by '.'; constants with spaces can be "quoted". A predicate
+/// wrapped in parentheses is a property path in the Section 4 regex
+/// grammar: "?x (rides/rides^-) ?y".
+Result<std::vector<TriplePattern>> ParseBgp(const std::string& text);
+
+}  // namespace kgq
+
+#endif  // KGQ_RDF_BGP_H_

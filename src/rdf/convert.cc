@@ -1,0 +1,58 @@
+#include "rdf/convert.h"
+
+#include <map>
+#include <string>
+
+namespace kgq {
+
+TripleStore LabeledToRdf(const LabeledGraph& graph) {
+  TripleStore store;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    store.Insert("n" + std::to_string(n), kNodeLabelPredicate,
+                 graph.NodeLabelString(n));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    store.Insert("n" + std::to_string(graph.EdgeSource(e)),
+                 graph.EdgeLabelString(e),
+                 "n" + std::to_string(graph.EdgeTarget(e)));
+  }
+  return store;
+}
+
+Result<LabeledGraph> RdfToLabeled(const TripleStore& store) {
+  std::optional<ConstId> label_pred = store.dict().Find(kNodeLabelPredicate);
+  if (!label_pred.has_value()) {
+    return Status::InvalidArgument(
+        "store has no kgq:label triples; not a LabeledToRdf encoding");
+  }
+
+  LabeledGraph out;
+  std::map<ConstId, NodeId> node_of;  // RDF term → node id.
+  for (const Triple& t : store.Match(std::nullopt, *label_pred,
+                                     std::nullopt)) {
+    auto [it, inserted] = node_of.emplace(t.s, 0);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "term '" + store.dict().Lookup(t.s) + "' has multiple labels");
+    }
+    it->second = out.AddNode(store.dict().Lookup(t.o));
+  }
+
+  for (const Triple& t : store.AllTriples()) {
+    if (t.p == *label_pred) continue;
+    auto s_it = node_of.find(t.s);
+    auto o_it = node_of.find(t.o);
+    if (s_it == node_of.end() || o_it == node_of.end()) {
+      return Status::InvalidArgument(
+          "edge triple references an unlabeled term ('" +
+          store.dict().Lookup(t.s) + "' " + store.dict().Lookup(t.p) +
+          " '" + store.dict().Lookup(t.o) + "')");
+    }
+    KGQ_RETURN_IF_ERROR(out.AddEdge(s_it->second, o_it->second,
+                                    store.dict().Lookup(t.p))
+                            .status());
+  }
+  return out;
+}
+
+}  // namespace kgq

@@ -1,0 +1,30 @@
+#ifndef KGQ_RDF_CONVERT_H_
+#define KGQ_RDF_CONVERT_H_
+
+#include "graph/labeled_graph.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// The reserved predicate carrying node labels in the RDF encoding.
+inline constexpr char kNodeLabelPredicate[] = "kgq:label";
+
+/// Encodes a labeled graph as RDF per the paper's Section 3 remark:
+/// every edge e with ρ(e) = (s, o) and λ(e) = p becomes the triple
+/// (n_s, p, n_o), and every node label becomes (n, kgq:label, ℓ). Node
+/// terms are "n<i>".
+///
+/// RDF is a set of *unidentified* triples, so parallel edges with equal
+/// labels collapse — the round trip is lossy exactly where the models
+/// differ (the tests pin this down).
+TripleStore LabeledToRdf(const LabeledGraph& graph);
+
+/// Decodes the encoding above. Fails with InvalidArgument if a subject/
+/// object term lacks a kgq:label triple (i.e. the store was not produced
+/// by LabeledToRdf-style encoding), or if a node has several labels.
+Result<LabeledGraph> RdfToLabeled(const TripleStore& store);
+
+}  // namespace kgq
+
+#endif  // KGQ_RDF_CONVERT_H_

@@ -1,0 +1,73 @@
+#include "rdf/rdfs.h"
+
+#include <vector>
+
+namespace kgq {
+
+size_t MaterializeRdfs(TripleStore* store, const RdfsVocabulary& vocab) {
+  ConstId type = store->dict().Intern(vocab.type);
+  ConstId sub_class = store->dict().Intern(vocab.sub_class_of);
+  ConstId sub_prop = store->dict().Intern(vocab.sub_property_of);
+  ConstId domain = store->dict().Intern(vocab.domain);
+  ConstId range = store->dict().Intern(vocab.range);
+
+  size_t derived = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Triple> fresh;
+
+    // rdfs5 / rdfs11: transitivity of the two hierarchies.
+    for (ConstId pred : {sub_prop, sub_class}) {
+      for (const Triple& ab : store->Match(std::nullopt, pred,
+                                           std::nullopt)) {
+        for (const Triple& bc : store->Match(ab.o, pred, std::nullopt)) {
+          fresh.push_back(Triple{ab.s, pred, bc.o});
+        }
+      }
+    }
+
+    // rdfs7: property inheritance.
+    for (const Triple& sp : store->Match(std::nullopt, sub_prop,
+                                         std::nullopt)) {
+      for (const Triple& use : store->Match(std::nullopt, sp.s,
+                                            std::nullopt)) {
+        fresh.push_back(Triple{use.s, sp.o, use.o});
+      }
+    }
+
+    // rdfs9: type inheritance along subClassOf.
+    for (const Triple& sc : store->Match(std::nullopt, sub_class,
+                                         std::nullopt)) {
+      for (const Triple& inst : store->Match(std::nullopt, type, sc.s)) {
+        fresh.push_back(Triple{inst.s, type, sc.o});
+      }
+    }
+
+    // rdfs2 / rdfs3: domain and range typing.
+    for (const Triple& dom : store->Match(std::nullopt, domain,
+                                          std::nullopt)) {
+      for (const Triple& use : store->Match(std::nullopt, dom.s,
+                                            std::nullopt)) {
+        fresh.push_back(Triple{use.s, type, dom.o});
+      }
+    }
+    for (const Triple& rng : store->Match(std::nullopt, range,
+                                          std::nullopt)) {
+      for (const Triple& use : store->Match(std::nullopt, rng.s,
+                                            std::nullopt)) {
+        fresh.push_back(Triple{use.o, type, rng.o});
+      }
+    }
+
+    for (const Triple& t : fresh) {
+      if (store->InsertIds(t.s, t.p, t.o)) {
+        ++derived;
+        changed = true;
+      }
+    }
+  }
+  return derived;
+}
+
+}  // namespace kgq

@@ -1,0 +1,38 @@
+#ifndef KGQ_RDF_RDFS_H_
+#define KGQ_RDF_RDFS_H_
+
+#include <string>
+
+#include "rdf/triple_store.h"
+
+namespace kgq {
+
+/// Vocabulary terms driving the entailment rules (defaults are compact
+/// qnames; swap in full IRIs when loading real RDF).
+struct RdfsVocabulary {
+  std::string type = "rdf:type";
+  std::string sub_class_of = "rdfs:subClassOf";
+  std::string sub_property_of = "rdfs:subPropertyOf";
+  std::string domain = "rdfs:domain";
+  std::string range = "rdfs:range";
+};
+
+/// Forward-chaining RDFS materialization — the "knowledge graphs
+/// *produce* knowledge" capability of Section 2.3, in its most classic
+/// form. Applies the core RDFS entailment rules to a fixpoint, adding
+/// the derived triples to the store:
+///
+///   rdfs5  (p subPropertyOf q), (q subPropertyOf r) → (p subPropertyOf r)
+///   rdfs7  (x p y), (p subPropertyOf q)             → (x q y)
+///   rdfs11 (C subClassOf D), (D subClassOf E)       → (C subClassOf E)
+///   rdfs9  (x type C), (C subClassOf D)             → (x type D)
+///   rdfs2  (x p y), (p domain C)                    → (x type C)
+///   rdfs3  (x p y), (p range C)                     → (y type C)
+///
+/// Returns the number of newly derived triples. Terminates: the derived
+/// triples only use terms already present, so the closure is finite.
+size_t MaterializeRdfs(TripleStore* store, const RdfsVocabulary& vocab = {});
+
+}  // namespace kgq
+
+#endif  // KGQ_RDF_RDFS_H_

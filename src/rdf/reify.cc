@@ -1,0 +1,146 @@
+#include "rdf/reify.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "rdf/convert.h"
+
+namespace kgq {
+namespace {
+
+constexpr char kSourcePred[] = "kgq:source";
+constexpr char kTargetPred[] = "kgq:target";
+constexpr char kPropPrefix[] = "kgq:prop:";
+
+std::string NodeName(NodeId n) { return "n" + std::to_string(n); }
+std::string EdgeName(EdgeId e) { return "e" + std::to_string(e); }
+
+}  // namespace
+
+TripleStore PropertyToRdf(const PropertyGraph& graph) {
+  TripleStore store;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    store.Insert(NodeName(n), kNodeLabelPredicate, graph.NodeLabelString(n));
+    for (const auto& [name, value] : graph.NodeProperties(n).entries()) {
+      store.Insert(NodeName(n),
+                   std::string(kPropPrefix) + graph.dict().Lookup(name),
+                   graph.dict().Lookup(value));
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    store.Insert(EdgeName(e), kSourcePred, NodeName(graph.EdgeSource(e)));
+    store.Insert(EdgeName(e), kTargetPred, NodeName(graph.EdgeTarget(e)));
+    store.Insert(EdgeName(e), kNodeLabelPredicate,
+                 graph.EdgeLabelString(e));
+    for (const auto& [name, value] : graph.EdgeProperties(e).entries()) {
+      store.Insert(EdgeName(e),
+                   std::string(kPropPrefix) + graph.dict().Lookup(name),
+                   graph.dict().Lookup(value));
+    }
+  }
+  return store;
+}
+
+Result<PropertyGraph> RdfToProperty(const TripleStore& store) {
+  const Interner& dict = store.dict();
+  std::optional<ConstId> label_pred = dict.Find(kNodeLabelPredicate);
+  if (!label_pred.has_value()) {
+    return Status::InvalidArgument("store has no kgq:label triples");
+  }
+  std::optional<ConstId> source_pred = dict.Find(kSourcePred);
+  std::optional<ConstId> target_pred = dict.Find(kTargetPred);
+
+  // Partition subjects into edge resources (have kgq:source) and nodes.
+  std::map<std::string, std::string> edge_source, edge_target;
+  if (source_pred.has_value()) {
+    for (const Triple& t :
+         store.Match(std::nullopt, *source_pred, std::nullopt)) {
+      edge_source[dict.Lookup(t.s)] = dict.Lookup(t.o);
+    }
+  }
+  if (target_pred.has_value()) {
+    for (const Triple& t :
+         store.Match(std::nullopt, *target_pred, std::nullopt)) {
+      edge_target[dict.Lookup(t.s)] = dict.Lookup(t.o);
+    }
+  }
+
+  PropertyGraph out;
+  std::map<std::string, NodeId> node_of;
+  std::map<std::string, std::string> node_label, edge_label;
+  for (const Triple& t :
+       store.Match(std::nullopt, *label_pred, std::nullopt)) {
+    std::string subject = dict.Lookup(t.s);
+    if (edge_source.count(subject)) {
+      if (!edge_label.emplace(subject, dict.Lookup(t.o)).second) {
+        return Status::InvalidArgument("edge '" + subject +
+                                       "' has multiple labels");
+      }
+    } else {
+      if (!node_label.emplace(subject, dict.Lookup(t.o)).second) {
+        return Status::InvalidArgument("node '" + subject +
+                                       "' has multiple labels");
+      }
+    }
+  }
+
+  // Nodes in name order (names embed original indexes, so this is the
+  // original order for PropertyToRdf output).
+  auto numeric_order = [](const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  };
+  std::vector<std::string> node_names;
+  for (const auto& [name, label] : node_label) node_names.push_back(name);
+  std::sort(node_names.begin(), node_names.end(), numeric_order);
+  for (const std::string& name : node_names) {
+    node_of[name] = out.AddNode(node_label[name]);
+  }
+
+  std::vector<std::string> edge_names;
+  for (const auto& [name, source] : edge_source) {
+    if (!edge_target.count(name)) {
+      return Status::InvalidArgument("edge '" + name + "' has no target");
+    }
+    if (!edge_label.count(name)) {
+      return Status::InvalidArgument("edge '" + name + "' has no label");
+    }
+    edge_names.push_back(name);
+  }
+  std::sort(edge_names.begin(), edge_names.end(), numeric_order);
+
+  std::map<std::string, EdgeId> edge_of;
+  for (const std::string& name : edge_names) {
+    auto s = node_of.find(edge_source[name]);
+    auto t = node_of.find(edge_target[name]);
+    if (s == node_of.end() || t == node_of.end()) {
+      return Status::InvalidArgument("edge '" + name +
+                                     "' references an unknown node");
+    }
+    KGQ_ASSIGN_OR_RETURN(EdgeId e,
+                         out.AddEdge(s->second, t->second,
+                                     edge_label[name]));
+    edge_of[name] = e;
+  }
+
+  // Properties: kgq:prop:<name> triples on either kind of subject.
+  const std::string prefix = kPropPrefix;
+  for (const Triple& t : store.AllTriples()) {
+    const std::string& pred = dict.Lookup(t.p);
+    if (pred.rfind(prefix, 0) != 0) continue;
+    std::string prop = pred.substr(prefix.size());
+    std::string subject = dict.Lookup(t.s);
+    if (auto it = node_of.find(subject); it != node_of.end()) {
+      out.SetNodeProperty(it->second, prop, dict.Lookup(t.o));
+    } else if (auto jt = edge_of.find(subject); jt != edge_of.end()) {
+      out.SetEdgeProperty(jt->second, prop, dict.Lookup(t.o));
+    } else {
+      return Status::InvalidArgument("property on unknown subject '" +
+                                     subject + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace kgq

@@ -1,0 +1,35 @@
+#ifndef KGQ_RDF_REIFY_H_
+#define KGQ_RDF_REIFY_H_
+
+#include "graph/property_graph.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// Property-graph ↔ RDF interoperability by *edge reification* — the
+/// classic answer to "RDF triples have no identity or attributes"
+/// (Section 3 contrasts exactly these two models). Every edge becomes a
+/// statement resource:
+///
+///   e17 kgq:source  n3 .        e17 kgq:label  rides .
+///   e17 kgq:target  n5 .        e17 kgq:prop:date "3/4/21" .
+///
+/// and node data becomes
+///
+///   n3 kgq:label person .       n3 kgq:prop:name "Juan" .
+///
+/// Unlike the plain LabeledToRdf encoding, this one is *lossless*:
+/// parallel edges keep distinct statement resources and properties
+/// survive. RdfToProperty inverts it exactly (modulo node/edge ids,
+/// which are regenerated densely in encounter order of the reified
+/// names — stable because our names embed the original indexes).
+TripleStore PropertyToRdf(const PropertyGraph& graph);
+
+/// Inverse of PropertyToRdf. Fails with InvalidArgument on stores that
+/// do not follow the reified layout.
+Result<PropertyGraph> RdfToProperty(const TripleStore& store);
+
+}  // namespace kgq
+
+#endif  // KGQ_RDF_REIFY_H_

@@ -1,0 +1,118 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace kgq {
+namespace {
+
+bool PosLess(const Triple& a, const Triple& b) {
+  if (a.p != b.p) return a.p < b.p;
+  if (a.o != b.o) return a.o < b.o;
+  return a.s < b.s;
+}
+
+bool OspLess(const Triple& a, const Triple& b) {
+  if (a.o != b.o) return a.o < b.o;
+  if (a.s != b.s) return a.s < b.s;
+  return a.p < b.p;
+}
+
+}  // namespace
+
+bool TripleStore::Insert(std::string_view s, std::string_view p,
+                         std::string_view o) {
+  return InsertIds(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+bool TripleStore::InsertIds(ConstId s, ConstId p, ConstId o) {
+  bool inserted = set_.insert(Triple{s, p, o}).second;
+  if (inserted) dirty_ = true;
+  return inserted;
+}
+
+bool TripleStore::Contains(std::string_view s, std::string_view p,
+                           std::string_view o) const {
+  std::optional<ConstId> si = dict_.Find(s);
+  std::optional<ConstId> pi = dict_.Find(p);
+  std::optional<ConstId> oi = dict_.Find(o);
+  if (!si || !pi || !oi) return false;
+  return set_.count(Triple{*si, *pi, *oi}) > 0;
+}
+
+void TripleStore::EnsureIndexes() const {
+  if (!dirty_) return;
+  spo_.assign(set_.begin(), set_.end());
+  std::sort(spo_.begin(), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess);
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess);
+  dirty_ = false;
+}
+
+std::vector<Triple> TripleStore::Match(std::optional<ConstId> s,
+                                       std::optional<ConstId> p,
+                                       std::optional<ConstId> o) const {
+  EnsureIndexes();
+  std::vector<Triple> out;
+  auto emit_if = [&](const Triple& t) {
+    if (s && t.s != *s) return;
+    if (p && t.p != *p) return;
+    if (o && t.o != *o) return;
+    out.push_back(t);
+  };
+
+  if (s.has_value()) {
+    // SPO range scan on s (tightened to (s, p) when p is bound too).
+    auto begin = std::lower_bound(spo_.begin(), spo_.end(),
+                                  Triple{*s, p.value_or(0), 0});
+    for (auto it = begin; it != spo_.end() && it->s == *s; ++it) {
+      if (p && it->p > *p) break;
+      emit_if(*it);
+    }
+    return out;
+  }
+  if (p.has_value()) {
+    auto begin = std::lower_bound(
+        pos_.begin(), pos_.end(), Triple{0, *p, o.value_or(0)}, PosLess);
+    for (auto it = begin; it != pos_.end() && it->p == *p; ++it) {
+      emit_if(*it);
+    }
+    return out;
+  }
+  if (o.has_value()) {
+    auto begin = std::lower_bound(osp_.begin(), osp_.end(),
+                                  Triple{0, 0, *o}, OspLess);
+    for (auto it = begin; it != osp_.end() && it->o == *o; ++it) {
+      emit_if(*it);
+    }
+    return out;
+  }
+  return spo_;
+}
+
+std::vector<Triple> TripleStore::MatchStrings(std::string_view s,
+                                              std::string_view p,
+                                              std::string_view o) const {
+  std::optional<ConstId> si, pi, oi;
+  if (!s.empty()) {
+    si = dict_.Find(s);
+    if (!si) return {};
+  }
+  if (!p.empty()) {
+    pi = dict_.Find(p);
+    if (!pi) return {};
+  }
+  if (!o.empty()) {
+    oi = dict_.Find(o);
+    if (!oi) return {};
+  }
+  return Match(si, pi, oi);
+}
+
+const std::vector<Triple>& TripleStore::AllTriples() const {
+  EnsureIndexes();
+  return spo_;
+}
+
+}  // namespace kgq

@@ -1,0 +1,85 @@
+#ifndef KGQ_RDF_TRIPLE_STORE_H_
+#define KGQ_RDF_TRIPLE_STORE_H_
+
+#include <compare>
+#include <optional>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "util/interner.h"
+
+namespace kgq {
+
+/// An RDF triple (s, p, o): an edge from s to o labeled p. As the paper
+/// notes, RDF replaces identified edges by triples — a *set*, so
+/// duplicate assertions collapse and there are no edge ids.
+struct Triple {
+  ConstId s;
+  ConstId p;
+  ConstId o;
+  auto operator<=>(const Triple&) const = default;
+};
+
+/// Hash functor for unordered containers of triples.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9E3779B97F4A7C15ull + t.p;
+    h = h * 0x9E3779B97F4A7C15ull + t.o;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// In-memory RDF graph with the three classic permutation indexes
+/// (SPO, POS, OSP), each a sorted vector rebuilt lazily after inserts.
+/// Every pattern with any subset of {s,p,o} bound is answered by a
+/// binary-searched range scan over the best-matching index.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Inserts the triple (interning the terms); returns false if it was
+  /// already present.
+  bool Insert(std::string_view s, std::string_view p, std::string_view o);
+  /// Id-level insert; ids must come from dict().
+  bool InsertIds(ConstId s, ConstId p, ConstId o);
+
+  /// True if the exact triple is present.
+  bool Contains(std::string_view s, std::string_view p,
+                std::string_view o) const;
+
+  size_t size() const { return set_.size(); }
+
+  /// All triples matching a pattern; nullopt = wildcard. The result is
+  /// in the iteration order of the chosen index.
+  std::vector<Triple> Match(std::optional<ConstId> s,
+                            std::optional<ConstId> p,
+                            std::optional<ConstId> o) const;
+
+  /// String-level pattern matching convenience; empty string = wildcard.
+  /// Unknown constants yield an empty result (they cannot match).
+  std::vector<Triple> MatchStrings(std::string_view s, std::string_view p,
+                                   std::string_view o) const;
+
+  /// All triples in SPO order.
+  const std::vector<Triple>& AllTriples() const;
+
+  Interner& dict() { return dict_; }
+  const Interner& dict() const { return dict_; }
+
+ private:
+  void EnsureIndexes() const;
+
+  Interner dict_;
+  std::unordered_set<Triple, TripleHash> set_;  // Dedup + live storage.
+  mutable std::vector<Triple> spo_;  // Sorted (s,p,o).
+  mutable std::vector<Triple> pos_;  // Sorted by (p,o,s).
+  mutable std::vector<Triple> osp_;  // Sorted by (o,s,p).
+  mutable bool dirty_ = true;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,169 @@
+#include "rdf/turtle.h"
+
+#include <map>
+#include <vector>
+
+namespace kgq {
+namespace {
+
+struct Token {
+  std::string text;
+  bool quoted = false;  // Quoted literals and <IRIs> bypass expansion.
+  bool end = false;     // The '.' statement terminator.
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // Comment to end of line.
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '.') {
+      out.push_back({".", false, true});
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string token;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          token.push_back(text[i + 1]);
+          i += 2;
+        } else if (text[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        } else {
+          token.push_back(text[i++]);
+        }
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      out.push_back({std::move(token), true, false});
+      continue;
+    }
+    if (c == '<') {
+      std::string token;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '>') {
+          closed = true;
+          ++i;
+          break;
+        }
+        token.push_back(text[i++]);
+      }
+      if (!closed) return Status::ParseError("unterminated IRI");
+      out.push_back({std::move(token), true, false});
+      continue;
+    }
+    std::string token;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' &&
+           text[i] != '\n' && text[i] != '\r' && text[i] != '#') {
+      token.push_back(text[i++]);
+    }
+    // A trailing '.' after a bare token ends the statement ("foo.").
+    bool ends = false;
+    if (token.size() > 1 && token.back() == '.') {
+      token.pop_back();
+      ends = true;
+    }
+    out.push_back({std::move(token), false, false});
+    if (ends) out.push_back({".", false, true});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<size_t> LoadTurtle(const std::string& text, TripleStore* store) {
+  KGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  std::map<std::string, std::string> prefixes;
+  size_t inserted = 0;
+
+  auto expand = [&](const Token& t) -> Result<std::string> {
+    if (t.quoted) return t.text;
+    if (t.text == "a") return std::string(kRdfTypeIri);
+    size_t colon = t.text.find(':');
+    if (colon != std::string::npos) {
+      std::string prefix = t.text.substr(0, colon);
+      auto it = prefixes.find(prefix);
+      // Unknown prefixes leave the token opaque ("rdf:type" et al. are
+      // perfectly good constants for Turtle-lite documents that never
+      // declare prefixes).
+      if (it != prefixes.end()) {
+        return it->second + t.text.substr(colon + 1);
+      }
+    }
+    return t.text;
+  };
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (tokens[i].end) {  // Stray terminator.
+      ++i;
+      continue;
+    }
+    if (!tokens[i].quoted && tokens[i].text == "@prefix") {
+      if (i + 3 >= tokens.size() || !tokens[i + 3].end) {
+        return Status::ParseError("malformed @prefix declaration");
+      }
+      std::string name = tokens[i + 1].text;
+      if (!name.empty() && name.back() == ':') name.pop_back();
+      prefixes[name] = tokens[i + 2].text;
+      i += 4;
+      continue;
+    }
+    if (i + 3 >= tokens.size() || !tokens[i + 3].end) {
+      return Status::ParseError(
+          "expected 'subject predicate object .' near token '" +
+          tokens[i].text + "'");
+    }
+    KGQ_ASSIGN_OR_RETURN(std::string s, expand(tokens[i]));
+    KGQ_ASSIGN_OR_RETURN(std::string p, expand(tokens[i + 1]));
+    KGQ_ASSIGN_OR_RETURN(std::string o, expand(tokens[i + 2]));
+    if (store->Insert(s, p, o)) ++inserted;
+    i += 4;
+  }
+  return inserted;
+}
+
+std::string SaveTurtle(const TripleStore& store) {
+  auto quote_if_needed = [](const std::string& s) {
+    bool needs = s.empty();
+    for (char c : s) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '.' || c == '"' ||
+          c == '#' || c == '<' || c == ':') {
+        needs = true;
+        break;
+      }
+    }
+    if (!needs) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  };
+
+  std::string out;
+  for (const Triple& t : store.AllTriples()) {
+    out += quote_if_needed(store.dict().Lookup(t.s)) + " " +
+           quote_if_needed(store.dict().Lookup(t.p)) + " " +
+           quote_if_needed(store.dict().Lookup(t.o)) + " .\n";
+  }
+  return out;
+}
+
+}  // namespace kgq

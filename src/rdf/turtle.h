@@ -1,0 +1,35 @@
+#ifndef KGQ_RDF_TURTLE_H_
+#define KGQ_RDF_TURTLE_H_
+
+#include <string>
+
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// The full IRI that the Turtle shorthand `a` expands to.
+inline constexpr char kRdfTypeIri[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Loads a Turtle-like document into `store`. Supported subset:
+///   * one `subject predicate object .` statement per sentence,
+///     tokens separated by whitespace, statements by '.',
+///   * `"quoted literals"` (with \" and \\ escapes),
+///   * `<IRIs>` (angle brackets stripped; the paper's universal-
+///     interpretation point: the same IRI in two documents is the same
+///     constant),
+///   * `@prefix name: <iri> .` declarations and `name:local` qnames,
+///   * `#` line comments,
+///   * `a` as shorthand for rdf:type.
+/// Returns the number of (new) triples inserted.
+Result<size_t> LoadTurtle(const std::string& text, TripleStore* store);
+
+/// Serializes every triple as `term term term .` per line, quoting terms
+/// that contain whitespace or '.' characters. LoadTurtle(SaveTurtle(s))
+/// reproduces the store.
+std::string SaveTurtle(const TripleStore& store);
+
+}  // namespace kgq
+
+#endif  // KGQ_RDF_TURTLE_H_

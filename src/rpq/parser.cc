@@ -1,0 +1,326 @@
+#include "rpq/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace kgq {
+namespace {
+
+enum class TokKind {
+  kWord,     // identifier or number
+  kString,   // "quoted"
+  kQuestion, // ?
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kPlus,     // +
+  kSlash,    // /
+  kStar,     // *
+  kInverse,  // ^-
+  kBang,     // !
+  kAmp,      // &
+  kPipe,     // |
+  kEq,       // =
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[j])) ||
+                input_[j] == '_')) {
+          ++j;
+        }
+        out.push_back({TokKind::kWord, std::string(input_.substr(i, j - i)),
+                       start});
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        std::string text;
+        size_t j = i + 1;
+        bool closed = false;
+        while (j < input_.size()) {
+          if (input_[j] == '\\' && j + 1 < input_.size()) {
+            text.push_back(input_[j + 1]);
+            j += 2;
+          } else if (input_[j] == '"') {
+            closed = true;
+            ++j;
+            break;
+          } else {
+            text.push_back(input_[j]);
+            ++j;
+          }
+        }
+        if (!closed) {
+          return Status::ParseError("unterminated string at position " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokKind::kString, std::move(text), start});
+        i = j;
+        continue;
+      }
+      TokKind kind;
+      switch (c) {
+        case '?': kind = TokKind::kQuestion; break;
+        case '(': kind = TokKind::kLParen; break;
+        case ')': kind = TokKind::kRParen; break;
+        case '[': kind = TokKind::kLBracket; break;
+        case ']': kind = TokKind::kRBracket; break;
+        case '+': kind = TokKind::kPlus; break;
+        case '/': kind = TokKind::kSlash; break;
+        case '*': kind = TokKind::kStar; break;
+        case '!': kind = TokKind::kBang; break;
+        case '&': kind = TokKind::kAmp; break;
+        case '|': kind = TokKind::kPipe; break;
+        case '=': kind = TokKind::kEq; break;
+        case '^':
+          if (i + 1 < input_.size() && input_[i + 1] == '-') {
+            kind = TokKind::kInverse;
+            ++i;
+            break;
+          }
+          return Status::ParseError("'^' must be followed by '-' (position " +
+                                    std::to_string(start) + ")");
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at position " +
+                                    std::to_string(start));
+      }
+      out.push_back({kind, std::string(1, c), start});
+      ++i;
+    }
+    out.push_back({TokKind::kEnd, "", input_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view input_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<RegexPtr> ParseFullRegex() {
+    KGQ_ASSIGN_OR_RETURN(RegexPtr r, ParseUnion());
+    KGQ_RETURN_IF_ERROR(ExpectEnd());
+    return r;
+  }
+
+  Result<TestPtr> ParseFullTest() {
+    KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseOr());
+    KGQ_RETURN_IF_ERROR(ExpectEnd());
+    return t;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+  bool Accept(TokKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::ParseError("unexpected trailing input at position " +
+                                std::to_string(Peek().pos));
+    }
+    return Status::OK();
+  }
+
+  Status Err(const std::string& what) {
+    return Status::ParseError(what + " at position " +
+                              std::to_string(Peek().pos));
+  }
+
+  // regex := concat ('+' concat)*
+  Result<RegexPtr> ParseUnion() {
+    KGQ_ASSIGN_OR_RETURN(RegexPtr r, ParseConcat());
+    while (Accept(TokKind::kPlus)) {
+      KGQ_ASSIGN_OR_RETURN(RegexPtr rhs, ParseConcat());
+      r = Regex::Union(std::move(r), std::move(rhs));
+    }
+    return r;
+  }
+
+  // concat := postfix ('/' postfix)*
+  Result<RegexPtr> ParseConcat() {
+    KGQ_ASSIGN_OR_RETURN(RegexPtr r, ParsePostfix());
+    while (Accept(TokKind::kSlash)) {
+      KGQ_ASSIGN_OR_RETURN(RegexPtr rhs, ParsePostfix());
+      r = Regex::Concat(std::move(r), std::move(rhs));
+    }
+    return r;
+  }
+
+  // postfix := primary '*'*
+  Result<RegexPtr> ParsePostfix() {
+    KGQ_ASSIGN_OR_RETURN(RegexPtr r, ParsePrimary());
+    while (Accept(TokKind::kStar)) {
+      r = Regex::Star(std::move(r));
+    }
+    return r;
+  }
+
+  // primary := '?' testatom | testatom ['^-'] | '(' regex ')'
+  Result<RegexPtr> ParsePrimary() {
+    if (Accept(TokKind::kQuestion)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseTestAtom());
+      return Regex::NodeTest(std::move(t));
+    }
+    if (Accept(TokKind::kLParen)) {
+      KGQ_ASSIGN_OR_RETURN(RegexPtr r, ParseUnion());
+      if (!Accept(TokKind::kRParen)) return Err("expected ')'");
+      return r;
+    }
+    if (Peek().kind == TokKind::kWord || Peek().kind == TokKind::kString ||
+        Peek().kind == TokKind::kLBracket) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseTestAtom());
+      if (Accept(TokKind::kInverse)) {
+        return Regex::EdgeBwd(std::move(t));
+      }
+      return Regex::EdgeFwd(std::move(t));
+    }
+    return Err("expected a test, '?test' or '(' (got '" + Peek().text + "')");
+  }
+
+  // testatom := simple-test | '[' test ']'
+  Result<TestPtr> ParseTestAtom() {
+    if (Accept(TokKind::kLBracket)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseOr());
+      if (!Accept(TokKind::kRBracket)) return Err("expected ']'");
+      return t;
+    }
+    return ParseSimpleTest();
+  }
+
+  // test := and ('|' and)*
+  Result<TestPtr> ParseOr() {
+    KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseAnd());
+    while (Accept(TokKind::kPipe)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr rhs, ParseAnd());
+      t = TestExpr::Or(std::move(t), std::move(rhs));
+    }
+    return t;
+  }
+
+  // and := unary ('&' unary)*
+  Result<TestPtr> ParseAnd() {
+    KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseTestUnary());
+    while (Accept(TokKind::kAmp)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr rhs, ParseTestUnary());
+      t = TestExpr::And(std::move(t), std::move(rhs));
+    }
+    return t;
+  }
+
+  // unary := '!' unary | '(' test ')' | '[' test ']' | simple-test
+  Result<TestPtr> ParseTestUnary() {
+    if (Accept(TokKind::kBang)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseTestUnary());
+      return TestExpr::Not(std::move(t));
+    }
+    if (Accept(TokKind::kLParen)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseOr());
+      if (!Accept(TokKind::kRParen)) return Err("expected ')'");
+      return t;
+    }
+    if (Accept(TokKind::kLBracket)) {
+      KGQ_ASSIGN_OR_RETURN(TestPtr t, ParseOr());
+      if (!Accept(TokKind::kRBracket)) return Err("expected ']'");
+      return t;
+    }
+    return ParseSimpleTest();
+  }
+
+  // simple-test := WORD | STRING | (WORD|STRING) '=' value
+  // A WORD of the shape f<digits> on the left of '=' is a feature test;
+  // the bare word `true` is the always-true test.
+  Result<TestPtr> ParseSimpleTest() {
+    if (Peek().kind != TokKind::kWord && Peek().kind != TokKind::kString) {
+      return Err("expected a test (got '" + Peek().text + "')");
+    }
+    Token head = Take();
+    if (Peek().kind != TokKind::kEq) {
+      if (head.kind == TokKind::kWord && head.text == "true") {
+        return TestExpr::True();
+      }
+      return TestExpr::Label(std::move(head.text));
+    }
+    Take();  // consume '='
+    if (Peek().kind != TokKind::kWord && Peek().kind != TokKind::kString) {
+      return Err("expected a value after '='");
+    }
+    Token value = Take();
+    // Feature test: unquoted f<digits> on the left.
+    if (head.kind == TokKind::kWord && head.text.size() >= 2 &&
+        head.text[0] == 'f') {
+      bool digits = true;
+      for (size_t i = 1; i < head.text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(head.text[i]))) {
+          digits = false;
+          break;
+        }
+      }
+      if (digits) {
+        size_t index = std::stoull(head.text.substr(1));
+        if (index == 0) {
+          return Status::ParseError("feature indexes are 1-based: f" +
+                                    head.text.substr(1));
+        }
+        return TestExpr::FeatEq(index - 1, std::move(value.text));
+      }
+    }
+    return TestExpr::PropEq(std::move(head.text), std::move(value.text));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view input) {
+  Lexer lexer(input);
+  KGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseFullRegex();
+}
+
+Result<TestPtr> ParseTest(std::string_view input) {
+  Lexer lexer(input);
+  KGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseFullTest();
+}
+
+}  // namespace kgq

@@ -1,0 +1,42 @@
+#ifndef KGQ_RPQ_PARSER_H_
+#define KGQ_RPQ_PARSER_H_
+
+#include <string_view>
+
+#include "rpq/regex.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// Parses the textual form of the paper's regular expressions.
+///
+/// Regex syntax (Section 4, equation (1)):
+///   - `?t`   node test            — `?person`
+///   - `t`    forward edge step    — `rides`
+///   - `t^-`  backward edge step   — `rides^-`
+///   - `+`    union, `/` concatenation, `*` Kleene star
+///   - `( )`  regex grouping
+///
+/// Test syntax (the `t` above):
+///   - a bare word or "quoted string" is a label test ℓ
+///   - `name=value` is a property test (p = v); values with characters
+///     outside [A-Za-z0-9_] must be quoted: `date="3/4/21"`
+///   - `fN=value` (N ≥ 1) is a feature test (f_N = v); to use the label
+///     `f1` itself, quote it: `"f1"`
+///   - `[ ... ]` brackets a compound test with `!` (¬), `&` (∧), `|` (∨)
+///     and parentheses; `true` matches everything
+///
+/// Examples from the paper:
+///   `?person/rides/?bus/rides^-/?infected`
+///   `?person/[contact & date="3/4/21"]/?infected`
+///   `f1=person/[f1=contact & f5="3/4/21"]/?f1=infected`
+///   `?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person`
+Result<RegexPtr> ParseRegex(std::string_view input);
+
+/// Parses a standalone test expression (the bracketed grammar above,
+/// without the brackets).
+Result<TestPtr> ParseTest(std::string_view input);
+
+}  // namespace kgq
+
+#endif  // KGQ_RPQ_PARSER_H_

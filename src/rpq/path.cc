@@ -1,0 +1,63 @@
+#include "rpq/path.h"
+
+#include <cassert>
+
+namespace kgq {
+
+Path Path::Concat(const Path& other) const {
+  assert(End() == other.Start());
+  Path out = *this;
+  out.nodes.insert(out.nodes.end(), other.nodes.begin() + 1,
+                   other.nodes.end());
+  out.edges.insert(out.edges.end(), other.edges.begin(), other.edges.end());
+  return out;
+}
+
+bool Path::Contains(NodeId n) const {
+  for (NodeId v : nodes) {
+    if (v == n) return true;
+  }
+  return false;
+}
+
+bool Path::IsValidIn(const Multigraph& g) const {
+  if (nodes.empty()) return false;
+  if (edges.size() + 1 != nodes.size()) return false;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (!g.HasEdge(edges[i])) return false;
+    NodeId s = g.EdgeSource(edges[i]);
+    NodeId t = g.EdgeTarget(edges[i]);
+    bool forward = (s == nodes[i] && t == nodes[i + 1]);
+    bool backward = (t == nodes[i] && s == nodes[i + 1]);
+    if (!forward && !backward) return false;
+  }
+  return true;
+}
+
+bool Path::operator<(const Path& other) const {
+  if (nodes != other.nodes) return nodes < other.nodes;
+  return edges < other.edges;
+}
+
+std::string Path::ToString() const {
+  std::string out = "n" + std::to_string(nodes[0]);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    out += " -e" + std::to_string(edges[i]) + "- n" +
+           std::to_string(nodes[i + 1]);
+  }
+  return out;
+}
+
+size_t Path::Hash() const {
+  size_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint32_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (NodeId n : nodes) mix(n);
+  mix(0xFFFFFFFFu);
+  for (EdgeId e : edges) mix(e);
+  return h;
+}
+
+}  // namespace kgq

@@ -1,0 +1,59 @@
+#ifndef KGQ_RPQ_PATH_H_
+#define KGQ_RPQ_PATH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// A path p = n_0 e_1 n_1 e_2 ... e_k n_k in a graph (Section 4). Paths
+/// are *walks*: nodes and edges may repeat. |p| = k is the number of
+/// edges; a single node is a path of length 0.
+///
+/// Each edge e_i connects n_{i-1} and n_i but may be traversed in either
+/// direction (the ⁻ operator), so the node sequence is stored explicitly.
+struct Path {
+  std::vector<NodeId> nodes;  ///< k+1 nodes.
+  std::vector<EdgeId> edges;  ///< k edges.
+
+  /// The trivial path consisting of node n.
+  static Path Trivial(NodeId n) { return Path{{n}, {}}; }
+
+  /// |p| — the number of edges.
+  size_t Length() const { return edges.size(); }
+
+  NodeId Start() const { return nodes.front(); }
+  NodeId End() const { return nodes.back(); }
+
+  /// cat(p, p') — requires End() == other.Start().
+  Path Concat(const Path& other) const;
+
+  /// True if `n` occurs anywhere on the path (used by bc_r).
+  bool Contains(NodeId n) const;
+
+  /// Structural well-formedness against a graph: every consecutive pair
+  /// is connected by the recorded edge (in one of the two directions).
+  bool IsValidIn(const Multigraph& g) const;
+
+  bool operator==(const Path& other) const = default;
+  /// Lexicographic ordering (for canonical sorted answer lists).
+  bool operator<(const Path& other) const;
+
+  /// Renders as "n0 -e1- n1 -e2- n2".
+  std::string ToString() const;
+
+  /// Hash for unordered containers.
+  size_t Hash() const;
+};
+
+struct PathHash {
+  size_t operator()(const Path& p) const { return p.Hash(); }
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_RPQ_PATH_H_

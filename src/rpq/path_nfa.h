@@ -1,0 +1,176 @@
+#ifndef KGQ_RPQ_PATH_NFA_H_
+#define KGQ_RPQ_PATH_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "rpq/path.h"
+#include "rpq/query_automaton.h"
+#include "rpq/regex.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// A regular expression compiled against a concrete graph: the product
+/// automaton that every algorithm of Section 4.1/4.2 runs on.
+///
+/// Key facts the algorithms rely on:
+///  * A path p = n₀e₁n₁...e_k n_k is itself the "word": the start node
+///    followed by (edge, direction) symbols. The node sequence is fully
+///    determined by the word, so the only nondeterminism lies in the
+///    automaton component — a configuration (node, StateMask) evolves
+///    deterministically along a path. Counting distinct paths is exactly
+///    the SpanL-complete #NFA problem of Section 4.1.
+///  * Node tests are ε-like moves that never change the node; masks held
+///    by callers are always ε-closed at their node.
+///  * A self-loop traversed forward and backward is the *same* path, so
+///    self-loops produce a single step that fires both forward and
+///    backward atoms (direction normalization keeps the path↔word map a
+///    bijection).
+///
+/// The automaton component is limited to 64 states (bitmask fast path).
+/// With the default Glushkov construction that is one state per regex
+/// atom plus one — ample for the paper's queries; Compile fails with
+/// Unsupported beyond that.
+class PathNfa {
+ public:
+  /// Set of automaton states, one bit per state.
+  using StateMask = uint64_t;
+
+  /// One traversal step: edge `edge` crossed from `from` to `to`,
+  /// `backward` iff against the edge's direction.
+  struct Step {
+    EdgeId edge;
+    bool backward;
+    NodeId from;
+    NodeId to;
+  };
+
+  /// Which automaton construction to compile with. Glushkov (default)
+  /// uses one state per atom + 1 and no ε-transitions — smaller products
+  /// and a higher effective regex-size ceiling; Thompson is the textbook
+  /// construction kept for cross-validation.
+  enum class Construction { kGlushkov, kThompson };
+
+  /// Compiles `regex` against `view`. Precomputes per-atom match bitsets
+  /// and per-node ε-closures; the view must outlive the PathNfa.
+  static Result<PathNfa> Compile(
+      const GraphView& view, const Regex& regex,
+      Construction construction = Construction::kGlushkov);
+
+  /// Number of automaton states.
+  size_t num_states() const { return num_q_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edge_fwd_usable_.size(); }
+
+  StateMask final_mask() const { return final_mask_; }
+  bool Accepting(StateMask m) const { return (m & final_mask_) != 0; }
+
+  /// ε-closed initial mask at node n (never 0: it contains the start
+  /// state itself).
+  StateMask StartMask(NodeId n) const { return ClosureRow(n)[start_q_]; }
+
+  /// ε-closure of `m` at node n.
+  StateMask CloseAt(NodeId n, StateMask m) const;
+
+  /// Advances a closed mask across a step; the result is closed at
+  /// step.to (and may be 0 when the run dies).
+  StateMask Advance(StateMask m, const Step& s) const;
+
+  /// Advance of the single state `q` (bit index) across `s`.
+  StateMask AdvanceSingle(uint32_t q, const Step& s) const;
+
+  /// {p : q ∈ AdvanceSingle(p, s)} — predecessor states of `q` across
+  /// `s`; used by the FPRAS union decomposition.
+  StateMask PredMask(uint32_t q, const Step& s) const;
+
+  /// Calls fn(Step) for every step leaving node n that can fire at least
+  /// one edge atom. Self-loops are emitted once (backward = false).
+  /// Steps entering `blocked` (or leaving it) are the caller's business —
+  /// the path algorithms filter on their own options.
+  template <typename Fn>
+  void ForEachStep(NodeId n, Fn&& fn) const {
+    const Multigraph& g = view_->topology();
+    for (EdgeId e : g.OutEdges(n)) {
+      NodeId to = g.EdgeTarget(e);
+      bool self = (to == n);
+      bool usable = edge_fwd_usable_.Test(e) ||
+                    (self && edge_bwd_usable_.Test(e));
+      if (usable) fn(Step{e, false, n, to});
+    }
+    for (EdgeId e : g.InEdges(n)) {
+      NodeId to = g.EdgeSource(e);
+      if (to == n) continue;  // Self-loop already emitted as forward.
+      if (edge_bwd_usable_.Test(e)) fn(Step{e, true, n, to});
+    }
+  }
+
+  /// Calls fn(Step) for every step arriving at node n (the reverse view
+  /// used by the FPRAS layer recurrence).
+  template <typename Fn>
+  void ForEachStepInto(NodeId n, Fn&& fn) const {
+    const Multigraph& g = view_->topology();
+    for (EdgeId e : g.InEdges(n)) {
+      NodeId from = g.EdgeSource(e);
+      bool self = (from == n);
+      bool usable = edge_fwd_usable_.Test(e) ||
+                    (self && edge_bwd_usable_.Test(e));
+      if (usable) fn(Step{e, false, from, n});
+    }
+    for (EdgeId e : g.OutEdges(n)) {
+      NodeId from = g.EdgeTarget(e);
+      if (from == n) continue;
+      if (edge_bwd_usable_.Test(e)) fn(Step{e, true, from, n});
+    }
+  }
+
+  /// Runs the automaton over a whole path; returns the final closed mask
+  /// (0 if the run dies or the path is malformed for this graph).
+  StateMask Simulate(const Path& p) const;
+
+  /// True iff p ∈ ⟦r⟧ (simulation ends in an accepting mask).
+  bool Matches(const Path& p) const { return Accepting(Simulate(p)); }
+
+  /// The graph the query was compiled against.
+  const GraphView& view() const { return *view_; }
+
+ private:
+  PathNfa() = default;
+
+  // Edge transitions of one automaton state.
+  struct EdgeTrans {
+    uint32_t atom;  // Index into edge_match_.
+    uint32_t to;
+  };
+
+  const GraphView* view_ = nullptr;
+  size_t num_nodes_ = 0;
+  uint32_t num_q_ = 0;
+  uint32_t start_q_ = 0;
+  StateMask final_mask_ = 0;
+
+  // Per-atom edge match bitsets (shared index space for fwd and bwd
+  // atoms), and per-state transition lists by direction.
+  std::vector<Bitset> edge_match_;
+  std::vector<std::vector<EdgeTrans>> fwd_trans_;  // indexed by state
+  std::vector<std::vector<EdgeTrans>> bwd_trans_;
+
+  // Union over atoms of edges usable in each direction.
+  Bitset edge_fwd_usable_;
+  Bitset edge_bwd_usable_;
+
+  // ε-closures are shared between nodes with the same node-test
+  // signature: closure_rows_ holds one row of num_q_ masks per distinct
+  // signature, and closure_index_[n] selects a node's row.
+  const StateMask* ClosureRow(NodeId n) const {
+    return &closure_rows_[static_cast<size_t>(closure_index_[n]) * num_q_];
+  }
+  std::vector<uint32_t> closure_index_;
+  std::vector<StateMask> closure_rows_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_RPQ_PATH_NFA_H_

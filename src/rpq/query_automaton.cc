@@ -1,0 +1,186 @@
+#include "rpq/query_automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <utility>
+
+namespace kgq {
+
+QueryAutomaton QueryAutomaton::FromRegex(const Regex& regex) {
+  QueryAutomaton qa;
+  auto [entry, exit] = qa.Build(regex);
+  qa.start_ = entry;
+  qa.accepting_.push_back(exit);
+  return qa;
+}
+
+namespace {
+
+/// Glushkov analysis of one regex node: position sets over atom indexes
+/// (positions are 1-based; 0 is reserved for the initial state).
+struct Positions {
+  bool nullable = false;
+  std::vector<uint32_t> first;
+  std::vector<uint32_t> last;
+};
+
+void Union(std::vector<uint32_t>* into, const std::vector<uint32_t>& from) {
+  into->insert(into->end(), from.begin(), from.end());
+}
+
+}  // namespace
+
+QueryAutomaton QueryAutomaton::FromRegexGlushkov(const Regex& regex) {
+  QueryAutomaton qa;
+
+  // Pass 1: collect atoms (one position per leaf, in-order) and compute
+  // nullable/first/last/follow.
+  std::vector<std::vector<uint32_t>> follow(1);  // follow[0] unused.
+  std::function<Positions(const Regex&)> analyze =
+      [&](const Regex& r) -> Positions {
+    switch (r.kind()) {
+      case Regex::Kind::kNodeTest:
+      case Regex::Kind::kEdgeFwd:
+      case Regex::Kind::kEdgeBwd: {
+        QueryAtom::Kind kind =
+            r.kind() == Regex::Kind::kNodeTest ? QueryAtom::Kind::kNodeTest
+            : r.kind() == Regex::Kind::kEdgeFwd
+                ? QueryAtom::Kind::kEdgeFwd
+                : QueryAtom::Kind::kEdgeBwd;
+        qa.AddAtom({kind, r.test()});
+        uint32_t pos = static_cast<uint32_t>(qa.atoms_.size());  // 1-based.
+        follow.emplace_back();
+        Positions out;
+        out.first = {pos};
+        out.last = {pos};
+        return out;
+      }
+      case Regex::Kind::kUnion: {
+        Positions a = analyze(*r.lhs());
+        Positions b = analyze(*r.rhs());
+        Positions out;
+        out.nullable = a.nullable || b.nullable;
+        out.first = a.first;
+        Union(&out.first, b.first);
+        out.last = a.last;
+        Union(&out.last, b.last);
+        return out;
+      }
+      case Regex::Kind::kConcat: {
+        Positions a = analyze(*r.lhs());
+        Positions b = analyze(*r.rhs());
+        for (uint32_t p : a.last) Union(&follow[p], b.first);
+        Positions out;
+        out.nullable = a.nullable && b.nullable;
+        out.first = a.first;
+        if (a.nullable) Union(&out.first, b.first);
+        out.last = b.last;
+        if (b.nullable) Union(&out.last, a.last);
+        return out;
+      }
+      case Regex::Kind::kStar: {
+        Positions inner = analyze(*r.lhs());
+        for (uint32_t p : inner.last) Union(&follow[p], inner.first);
+        Positions out;
+        out.nullable = true;
+        out.first = inner.first;
+        out.last = inner.last;
+        return out;
+      }
+    }
+    assert(false);
+    return {};
+  };
+  Positions root = analyze(regex);
+
+  // Pass 2: states 0..#atoms — state 0 initial, state p reads atom p-1
+  // on every incoming transition.
+  size_t num_states = qa.atoms_.size() + 1;
+  qa.out_.resize(num_states);
+  qa.start_ = 0;
+  for (uint32_t p : root.first) {
+    qa.AddTransition(0, static_cast<int32_t>(p - 1), p);
+  }
+  for (uint32_t p = 1; p < num_states; ++p) {
+    for (uint32_t q : follow[p]) {
+      qa.AddTransition(p, static_cast<int32_t>(q - 1), q);
+    }
+  }
+  // Dedup accepting set.
+  std::vector<uint32_t> accepting = root.last;
+  if (root.nullable) accepting.push_back(0);
+  std::sort(accepting.begin(), accepting.end());
+  accepting.erase(std::unique(accepting.begin(), accepting.end()),
+                  accepting.end());
+  qa.accepting_ = std::move(accepting);
+  return qa;
+}
+
+uint32_t QueryAutomaton::AddState() {
+  out_.emplace_back();
+  return static_cast<uint32_t>(out_.size() - 1);
+}
+
+int32_t QueryAutomaton::AddAtom(QueryAtom atom) {
+  atoms_.push_back(std::move(atom));
+  return static_cast<int32_t>(atoms_.size() - 1);
+}
+
+void QueryAutomaton::AddTransition(uint32_t from, int32_t atom, uint32_t to) {
+  out_[from].push_back(Transition{atom, to});
+}
+
+std::pair<uint32_t, uint32_t> QueryAutomaton::Build(const Regex& r) {
+  switch (r.kind()) {
+    case Regex::Kind::kNodeTest: {
+      uint32_t in = AddState();
+      uint32_t out = AddState();
+      AddTransition(in, AddAtom({QueryAtom::Kind::kNodeTest, r.test()}), out);
+      return {in, out};
+    }
+    case Regex::Kind::kEdgeFwd: {
+      uint32_t in = AddState();
+      uint32_t out = AddState();
+      AddTransition(in, AddAtom({QueryAtom::Kind::kEdgeFwd, r.test()}), out);
+      return {in, out};
+    }
+    case Regex::Kind::kEdgeBwd: {
+      uint32_t in = AddState();
+      uint32_t out = AddState();
+      AddTransition(in, AddAtom({QueryAtom::Kind::kEdgeBwd, r.test()}), out);
+      return {in, out};
+    }
+    case Regex::Kind::kUnion: {
+      auto [lin, lout] = Build(*r.lhs());
+      auto [rin, rout] = Build(*r.rhs());
+      uint32_t in = AddState();
+      uint32_t out = AddState();
+      AddTransition(in, -1, lin);
+      AddTransition(in, -1, rin);
+      AddTransition(lout, -1, out);
+      AddTransition(rout, -1, out);
+      return {in, out};
+    }
+    case Regex::Kind::kConcat: {
+      auto [lin, lout] = Build(*r.lhs());
+      auto [rin, rout] = Build(*r.rhs());
+      AddTransition(lout, -1, rin);
+      return {lin, rout};
+    }
+    case Regex::Kind::kStar: {
+      auto [iin, iout] = Build(*r.lhs());
+      uint32_t in = AddState();
+      uint32_t out = AddState();
+      AddTransition(in, -1, iin);
+      AddTransition(in, -1, out);
+      AddTransition(iout, -1, iin);
+      AddTransition(iout, -1, out);
+      return {in, out};
+    }
+  }
+  assert(false);
+  return {0, 0};
+}
+
+}  // namespace kgq

@@ -1,0 +1,72 @@
+#ifndef KGQ_RPQ_QUERY_AUTOMATON_H_
+#define KGQ_RPQ_QUERY_AUTOMATON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpq/regex.h"
+
+namespace kgq {
+
+/// One atomic step of a regular expression: a node test (length-0), a
+/// forward edge step, or a backward edge step, each guarded by a test.
+struct QueryAtom {
+  enum class Kind { kNodeTest, kEdgeFwd, kEdgeBwd };
+  Kind kind;
+  TestPtr test;
+};
+
+/// An ε-NFA over QueryAtom transitions, built from a Regex by Thompson's
+/// construction. This is the graph-independent middle stage of query
+/// compilation: rpq/path_nfa.h instantiates it against a concrete graph.
+class QueryAutomaton {
+ public:
+  /// A transition labeled by an atom index, or ε when atom < 0.
+  struct Transition {
+    int32_t atom;  ///< Index into atoms(), or -1 for ε.
+    uint32_t to;
+  };
+
+  /// Builds the Thompson automaton of `regex` (2 states per AST node,
+  /// many ε-transitions). Node tests become ε-like transitions guarded
+  /// by the node predicate; edge tests consume one edge.
+  static QueryAutomaton FromRegex(const Regex& regex);
+
+  /// Builds the Glushkov (position) automaton: one state per atom plus
+  /// an initial state, *no* ε-transitions. Much smaller than Thompson —
+  /// the practical way to stay under the 64-state product ceiling for
+  /// large expressions. Accepts the same language (the test suite
+  /// cross-checks both constructions).
+  static QueryAutomaton FromRegexGlushkov(const Regex& regex);
+
+
+  size_t num_states() const { return out_.size(); }
+  uint32_t start() const { return start_; }
+  /// Accepting states (Thompson has exactly one; Glushkov may have
+  /// many, including the start state when the regex is nullable).
+  const std::vector<uint32_t>& accepting() const { return accepting_; }
+
+  const std::vector<QueryAtom>& atoms() const { return atoms_; }
+  const std::vector<Transition>& OutTransitions(uint32_t state) const {
+    return out_[state];
+  }
+
+ private:
+  QueryAutomaton() = default;
+
+  uint32_t AddState();
+  int32_t AddAtom(QueryAtom atom);
+  void AddTransition(uint32_t from, int32_t atom, uint32_t to);
+
+  /// Recursive Thompson build; returns (entry, exit) states.
+  std::pair<uint32_t, uint32_t> Build(const Regex& r);
+
+  uint32_t start_ = 0;
+  std::vector<uint32_t> accepting_;
+  std::vector<QueryAtom> atoms_;
+  std::vector<std::vector<Transition>> out_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_RPQ_QUERY_AUTOMATON_H_

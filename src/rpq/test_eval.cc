@@ -1,0 +1,69 @@
+#include "rpq/test_eval.h"
+
+#include <cassert>
+
+namespace kgq {
+
+bool EvalNodeTest(const GraphView& view, const TestExpr& test, NodeId n) {
+  switch (test.kind()) {
+    case TestExpr::Kind::kLabel:
+      return view.NodeLabelIs(n, test.label());
+    case TestExpr::Kind::kPropEq:
+      return view.NodePropertyIs(n, test.prop_name(), test.value());
+    case TestExpr::Kind::kFeatEq:
+      return view.NodeFeatureIs(n, test.feature(), test.value());
+    case TestExpr::Kind::kNot:
+      return !EvalNodeTest(view, *test.lhs(), n);
+    case TestExpr::Kind::kAnd:
+      return EvalNodeTest(view, *test.lhs(), n) &&
+             EvalNodeTest(view, *test.rhs(), n);
+    case TestExpr::Kind::kOr:
+      return EvalNodeTest(view, *test.lhs(), n) ||
+             EvalNodeTest(view, *test.rhs(), n);
+    case TestExpr::Kind::kTrue:
+      return true;
+  }
+  assert(false);
+  return false;
+}
+
+bool EvalEdgeTest(const GraphView& view, const TestExpr& test, EdgeId e) {
+  switch (test.kind()) {
+    case TestExpr::Kind::kLabel:
+      return view.EdgeLabelIs(e, test.label());
+    case TestExpr::Kind::kPropEq:
+      return view.EdgePropertyIs(e, test.prop_name(), test.value());
+    case TestExpr::Kind::kFeatEq:
+      return view.EdgeFeatureIs(e, test.feature(), test.value());
+    case TestExpr::Kind::kNot:
+      return !EvalEdgeTest(view, *test.lhs(), e);
+    case TestExpr::Kind::kAnd:
+      return EvalEdgeTest(view, *test.lhs(), e) &&
+             EvalEdgeTest(view, *test.rhs(), e);
+    case TestExpr::Kind::kOr:
+      return EvalEdgeTest(view, *test.lhs(), e) ||
+             EvalEdgeTest(view, *test.rhs(), e);
+    case TestExpr::Kind::kTrue:
+      return true;
+  }
+  assert(false);
+  return false;
+}
+
+Bitset MatchNodes(const GraphView& view, const TestExpr& test) {
+  Bitset out(view.num_nodes());
+  for (NodeId n = 0; n < view.num_nodes(); ++n) {
+    if (EvalNodeTest(view, test, n)) out.Set(n);
+  }
+  return out;
+}
+
+Bitset MatchEdges(const GraphView& view, const TestExpr& test) {
+  Bitset out(view.num_edges());
+  for (EdgeId e = 0; e < view.num_edges(); ++e) {
+    if (EvalEdgeTest(view, test, e)) out.Set(e);
+  }
+  return out;
+}
+
+}  // namespace kgq

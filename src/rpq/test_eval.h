@@ -1,0 +1,27 @@
+#ifndef KGQ_RPQ_TEST_EVAL_H_
+#define KGQ_RPQ_TEST_EVAL_H_
+
+#include "graph/graph_view.h"
+#include "rpq/test_expr.h"
+#include "util/bitset.h"
+
+namespace kgq {
+
+/// True iff node `n` of `view` satisfies `test` (Section 4 semantics;
+/// atoms not supported by the model are false).
+bool EvalNodeTest(const GraphView& view, const TestExpr& test, NodeId n);
+
+/// True iff edge `e` of `view` satisfies `test`.
+bool EvalEdgeTest(const GraphView& view, const TestExpr& test, EdgeId e);
+
+/// Bitset over all nodes of `view` satisfying `test`. Query compilation
+/// precomputes these once per distinct atom so that the path algorithms
+/// never re-evaluate test ASTs in inner loops.
+Bitset MatchNodes(const GraphView& view, const TestExpr& test);
+
+/// Bitset over all edges of `view` satisfying `test`.
+Bitset MatchEdges(const GraphView& view, const TestExpr& test);
+
+}  // namespace kgq
+
+#endif  // KGQ_RPQ_TEST_EVAL_H_

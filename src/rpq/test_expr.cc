@@ -1,0 +1,96 @@
+#include "rpq/test_expr.h"
+
+#include <cassert>
+
+namespace kgq {
+namespace {
+
+bool NeedsQuotes(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_';
+    if (!word) return true;
+  }
+  return false;
+}
+
+std::string QuoteIfNeeded(const std::string& s) {
+  if (!NeedsQuotes(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+TestPtr TestExpr::Label(std::string label) {
+  auto t = std::shared_ptr<TestExpr>(new TestExpr(Kind::kLabel));
+  t->text_a_ = std::move(label);
+  return t;
+}
+
+TestPtr TestExpr::PropEq(std::string name, std::string value) {
+  auto t = std::shared_ptr<TestExpr>(new TestExpr(Kind::kPropEq));
+  t->text_a_ = std::move(name);
+  t->text_b_ = std::move(value);
+  return t;
+}
+
+TestPtr TestExpr::FeatEq(size_t feature, std::string value) {
+  auto t = std::shared_ptr<TestExpr>(new TestExpr(Kind::kFeatEq));
+  t->feature_ = feature;
+  t->text_b_ = std::move(value);
+  return t;
+}
+
+TestPtr TestExpr::Not(TestPtr inner) {
+  auto t = std::shared_ptr<TestExpr>(new TestExpr(Kind::kNot));
+  t->lhs_ = std::move(inner);
+  return t;
+}
+
+TestPtr TestExpr::And(TestPtr a, TestPtr b) {
+  auto t = std::shared_ptr<TestExpr>(new TestExpr(Kind::kAnd));
+  t->lhs_ = std::move(a);
+  t->rhs_ = std::move(b);
+  return t;
+}
+
+TestPtr TestExpr::Or(TestPtr a, TestPtr b) {
+  auto t = std::shared_ptr<TestExpr>(new TestExpr(Kind::kOr));
+  t->lhs_ = std::move(a);
+  t->rhs_ = std::move(b);
+  return t;
+}
+
+TestPtr TestExpr::True() {
+  return std::shared_ptr<TestExpr>(new TestExpr(Kind::kTrue));
+}
+
+std::string TestExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kLabel:
+      return QuoteIfNeeded(text_a_);
+    case Kind::kPropEq:
+      return QuoteIfNeeded(text_a_) + "=" + QuoteIfNeeded(text_b_);
+    case Kind::kFeatEq:
+      return "f" + std::to_string(feature_ + 1) + "=" + QuoteIfNeeded(text_b_);
+    case Kind::kNot:
+      return "!(" + lhs_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " & " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " | " + rhs_->ToString() + ")";
+    case Kind::kTrue:
+      return "true";
+  }
+  assert(false);
+  return "";
+}
+
+}  // namespace kgq

@@ -1,0 +1,69 @@
+#ifndef KGQ_RPQ_TEST_EXPR_H_
+#define KGQ_RPQ_TEST_EXPR_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace kgq {
+
+/// The `test` grammar of Section 4 (equations (1) and its property/vector
+/// extensions):
+///
+///   test ::= ℓ | (p = v) | (f_i = v) | (¬test) | (test ∨ test) | (test ∧ test)
+///
+/// A test is evaluated against a node or an edge of a graph (via a
+/// GraphView). Label, property and feature atoms refer to constants by
+/// *string*, so one TestExpr works against any graph regardless of its
+/// interning order.
+class TestExpr;
+using TestPtr = std::shared_ptr<const TestExpr>;
+
+class TestExpr {
+ public:
+  enum class Kind {
+    kLabel,    ///< ℓ — the object's label equals `label`.
+    kPropEq,   ///< (p = v) — property `name` has value `value`.
+    kFeatEq,   ///< (f_i = v) — feature row `feature` (0-based) equals `value`.
+    kNot,      ///< (¬ t)
+    kAnd,      ///< (t ∧ t)
+    kOr,       ///< (t ∨ t)
+    kTrue,     ///< ⊤ — matches everything (convenience; "!⊤" is ⊥).
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& label() const { return text_a_; }
+  const std::string& prop_name() const { return text_a_; }
+  const std::string& value() const { return text_b_; }
+  size_t feature() const { return feature_; }
+  const TestPtr& lhs() const { return lhs_; }
+  const TestPtr& rhs() const { return rhs_; }
+
+  /// Factory functions (the only way to build tests).
+  static TestPtr Label(std::string label);
+  static TestPtr PropEq(std::string name, std::string value);
+  static TestPtr FeatEq(size_t feature, std::string value);
+  static TestPtr Not(TestPtr t);
+  static TestPtr And(TestPtr a, TestPtr b);
+  static TestPtr Or(TestPtr a, TestPtr b);
+  static TestPtr True();
+
+  /// Renders in the parser's concrete syntax, fully parenthesized where
+  /// needed (e.g. `contact & date="3/4/21"`).
+  std::string ToString() const;
+
+ private:
+  TestExpr(Kind kind) : kind_(kind), feature_(0) {}
+
+  Kind kind_;
+  std::string text_a_;  // label or property name
+  std::string text_b_;  // comparison value
+  size_t feature_;      // feature index for kFeatEq
+  TestPtr lhs_;
+  TestPtr rhs_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_RPQ_TEST_EXPR_H_

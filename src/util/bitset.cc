@@ -1,0 +1,103 @@
+#include "util/bitset.h"
+
+#include <cassert>
+
+namespace kgq {
+
+void Bitset::SetAll() {
+  for (auto& w : words_) w = ~0ull;
+  TrimTail();
+}
+
+void Bitset::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t Bitset::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+bool Bitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::SubtractFrom(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+void Bitset::Flip() {
+  for (auto& w : words_) w = ~w;
+  TrimTail();
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+size_t Bitset::NextSetBit(size_t from) const {
+  if (from >= size_) return size_;
+  size_t w = from >> 6;
+  uint64_t word = words_[w] & (~0ull << (from & 63));
+  for (;;) {
+    if (word != 0) {
+      size_t bit = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+      return bit < size_ ? bit : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+size_t Bitset::Hash() const {
+  size_t h = 0xcbf29ce484222325ull;
+  for (uint64_t w : words_) {
+    h ^= static_cast<size_t>(w);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void Bitset::TrimTail() {
+  size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ull << tail) - 1;
+  }
+}
+
+}  // namespace kgq

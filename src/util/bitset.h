@@ -1,0 +1,113 @@
+#ifndef KGQ_UTIL_BITSET_H_
+#define KGQ_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kgq {
+
+/// Fixed-universe dynamic bitset.
+///
+/// Used throughout the library for node sets (logic engine), NFA state
+/// sets (on-the-fly subset construction), and visited sets. Word-parallel
+/// boolean operations are the workhorse of the bounded-variable evaluator
+/// of Section 4.3.
+class Bitset {
+ public:
+  Bitset() : size_(0) {}
+
+  /// Creates a bitset over universe {0, ..., size-1}, all bits clear.
+  explicit Bitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (1ull << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ull << (i & 63)); }
+  void Assign(size_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Sets every bit in the universe.
+  void SetAll();
+  /// Clears every bit.
+  void ClearAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+  /// True if no bit is set.
+  bool None() const;
+  /// True if any bit is set.
+  bool Any() const { return !None(); }
+
+  /// In-place boolean operations; operands must have equal size.
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator^=(const Bitset& other);
+  /// In-place set difference (this \ other).
+  Bitset& SubtractFrom(const Bitset& other);
+  /// In-place complement (within the universe).
+  void Flip();
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator^(Bitset a, const Bitset& b) { return a ^= b; }
+
+  /// Complement within the universe.
+  Bitset Complement() const {
+    Bitset out = *this;
+    out.Flip();
+    return out;
+  }
+
+  bool operator==(const Bitset& other) const = default;
+
+  /// True if this is a subset of `other`.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// Index of the first set bit at or after `from`; size() if none.
+  size_t NextSetBit(size_t from) const;
+
+  /// Calls fn(i) for each set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        size_t bit = static_cast<size_t>(__builtin_ctzll(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Collects the set bits into a vector.
+  std::vector<uint32_t> ToVector() const;
+
+  /// FNV-style hash of the contents (used as subset-construction key).
+  size_t Hash() const;
+
+ private:
+  void TrimTail();
+
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+/// Hash functor for unordered containers keyed by Bitset.
+struct BitsetHash {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_BITSET_H_

@@ -1,0 +1,31 @@
+#include "util/interner.h"
+
+#include <cassert>
+
+namespace kgq {
+namespace {
+const std::string kBottomString = "\xE2\x8A\xA5";  // UTF-8 "⊥"
+}  // namespace
+
+ConstId Interner::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  ConstId id = static_cast<ConstId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<ConstId> Interner::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Interner::Lookup(ConstId id) const {
+  if (id == kNullConst) return kBottomString;
+  assert(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace kgq

@@ -1,0 +1,58 @@
+#ifndef KGQ_UTIL_INTERNER_H_
+#define KGQ_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kgq {
+
+/// Identifier of an interned constant (an element of the paper's set
+/// **Const**). Constants serve as node ids, edge ids, labels, property
+/// names, and property values.
+using ConstId = uint32_t;
+
+/// Sentinel: "no constant". Used for the ⊥ entry of feature vectors in
+/// vector-labeled graphs and for "label absent".
+inline constexpr ConstId kNullConst = 0xFFFFFFFFu;
+
+/// A bidirectional dictionary between strings and dense ConstId values.
+///
+/// The paper's data models draw every label, property name and value from
+/// one universal set Const; the interner is our concrete realization.
+/// Ids are dense (0,1,2,...) in insertion order, which lets graph
+/// structures use them directly as array indexes.
+class Interner {
+ public:
+  Interner() = default;
+
+  // Copyable: a graph owns its dictionary and graphs are copyable values.
+  Interner(const Interner&) = default;
+  Interner& operator=(const Interner&) = default;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
+  /// Returns the id of `s`, interning it if needed.
+  ConstId Intern(std::string_view s);
+
+  /// Returns the id of `s` if already interned.
+  std::optional<ConstId> Find(std::string_view s) const;
+
+  /// Returns the string for `id`. `id` must be a valid interned id
+  /// (kNullConst maps to the fixed string "⊥").
+  const std::string& Lookup(ConstId id) const;
+
+  /// Number of distinct interned constants.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, ConstId> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_INTERNER_H_

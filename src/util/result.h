@@ -1,0 +1,79 @@
+#ifndef KGQ_UTIL_RESULT_H_
+#define KGQ_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace kgq {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced (the Arrow `Result<T>` idiom).
+///
+/// Typical use:
+///
+///   Result<Regex> r = ParseRegex("?person/rides/?bus");
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit so functions can
+  /// `return value;`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define KGQ_ASSIGN_OR_RETURN(lhs, expr)               \
+  KGQ_ASSIGN_OR_RETURN_IMPL_(                         \
+      KGQ_CONCAT_(_kgq_result_, __LINE__), lhs, expr)
+
+#define KGQ_CONCAT_INNER_(a, b) a##b
+#define KGQ_CONCAT_(a, b) KGQ_CONCAT_INNER_(a, b)
+#define KGQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_RESULT_H_

@@ -1,0 +1,60 @@
+#ifndef KGQ_UTIL_RNG_H_
+#define KGQ_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kgq {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**).
+///
+/// All randomized algorithms in the library (graph generators, the FPRAS,
+/// uniform path generation, randomized bc_r) take an Rng so experiments are
+/// reproducible from a seed. Satisfies the UniformRandomBitGenerator
+/// concept, so it can also drive <random> distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Distinct seeds give independent-looking streams
+  /// (seed is expanded through SplitMix64).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses unbiased
+  /// rejection sampling.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Between(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal draw (Box-Muller).
+  double NextGaussian();
+
+  /// Draws index i with probability weights[i] / sum(weights).
+  /// All weights must be >= 0 and their sum > 0.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Forks an independent generator (seeded from this stream).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_RNG_H_

@@ -1,0 +1,88 @@
+#ifndef KGQ_UTIL_STATUS_H_
+#define KGQ_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kgq {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions across its public API; fallible operations return a Status
+/// (or a Result<T>, see result.h) in the style of Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kParseError = 5,
+  kUnsupported = 6,
+  kInternal = 7,
+};
+
+/// Returns a human-readable name for a status code ("OK", "ParseError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case (no message
+/// allocation); carries a code and a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define KGQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::kgq::Status _kgq_status = (expr);      \
+    if (!_kgq_status.ok()) return _kgq_status; \
+  } while (false)
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_STATUS_H_

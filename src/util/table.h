@@ -1,0 +1,40 @@
+#ifndef KGQ_UTIL_TABLE_H_
+#define KGQ_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kgq {
+
+/// Column-aligned text table used by the benchmark harness to print the
+/// rows/series each experiment reports (the reproduction counterpart of the
+/// paper's figures).
+class Table {
+ public:
+  /// Creates a table with the given title and column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a title line, a header row, a rule, and aligned cells.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_TABLE_H_

@@ -1,0 +1,36 @@
+#ifndef KGQ_UTIL_TIMER_H_
+#define KGQ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kgq {
+
+/// Wall-clock stopwatch used by the benchmark harness for the coarse
+/// phase timings that google-benchmark's per-iteration model does not fit
+/// (e.g. preprocessing-vs-enumeration split, per-answer delay).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Microseconds elapsed.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_TIMER_H_

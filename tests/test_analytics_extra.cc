@@ -1,0 +1,153 @@
+#include "analytics/centrality_extra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace kgq {
+namespace {
+
+TEST(HarmonicClosenessTest, PathGraph) {
+  // Undirected path 0-1-2: C(1) = 1+1 = 2; C(0) = 1 + 1/2 = 1.5.
+  Multigraph g(3);
+  g.AddEdge(0, 1).value();
+  g.AddEdge(1, 2).value();
+  std::vector<double> c = HarmonicCloseness(g, EdgeDirection::kUndirected);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[0], 1.5);
+  EXPECT_DOUBLE_EQ(c[2], 1.5);
+}
+
+TEST(HarmonicClosenessTest, DisconnectedIsFinite) {
+  Multigraph g(4);
+  g.AddEdge(0, 1).value();
+  std::vector<double> c = HarmonicCloseness(g, EdgeDirection::kUndirected);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);  // Isolated.
+}
+
+TEST(HarmonicClosenessTest, DirectionMatters) {
+  Multigraph g(3);
+  g.AddEdge(0, 1).value();
+  g.AddEdge(1, 2).value();
+  std::vector<double> c = HarmonicCloseness(g, EdgeDirection::kDirected);
+  EXPECT_DOUBLE_EQ(c[0], 1.5);  // Reaches 1 and 2.
+  EXPECT_DOUBLE_EQ(c[2], 0.0);  // Sink.
+}
+
+TEST(EigenvectorCentralityTest, StarCenterDominates) {
+  Multigraph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) g.AddEdge(0, leaf).value();
+  std::vector<double> c = EigenvectorCentrality(g);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT(c[0], c[leaf]);
+    EXPECT_NEAR(c[leaf], c[1], 1e-9);  // Leaves symmetric.
+  }
+  // Star eigenvector (2,1,1,1,1), L2-normalized by sqrt(8): center
+  // 2/sqrt(8), leaves 1/sqrt(8).
+  EXPECT_NEAR(c[0], 2.0 / std::sqrt(8.0), 1e-6);
+  EXPECT_NEAR(c[1], 1.0 / std::sqrt(8.0), 1e-6);
+}
+
+TEST(EigenvectorCentralityTest, EdgelessGraphIsZero) {
+  Multigraph g(3);
+  std::vector<double> c = EigenvectorCentrality(g);
+  for (double v : c) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CoreNumbersTest, CliqueWithTail) {
+  // 4-clique (core 3) with a pendant chain (core 1).
+  Multigraph g(7);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) g.AddEdge(i, j).value();
+  }
+  g.AddEdge(3, 4).value();
+  g.AddEdge(4, 5).value();
+  g.AddEdge(5, 6).value();
+  std::vector<uint32_t> core = CoreNumbers(g);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(core[i], 3u) << i;
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[6], 1u);
+}
+
+TEST(CoreNumbersTest, CycleIsTwoCore) {
+  LabeledGraph g = Cycle(6, "n", "e");
+  std::vector<uint32_t> core = CoreNumbers(g.topology());
+  for (uint32_t c : core) EXPECT_EQ(c, 2u);
+}
+
+TEST(CoreNumbersTest, IsolatedNodesAreZeroCore) {
+  Multigraph g(3);
+  g.AddEdge(0, 1).value();
+  std::vector<uint32_t> core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 1u);
+  EXPECT_EQ(core[2], 0u);
+}
+
+TEST(CoreNumbersTest, CoreInvariant) {
+  // Every node's core number ≤ its degree, and the max core subgraph has
+  // min degree ≥ max core.
+  Rng rng(5);
+  LabeledGraph g = BarabasiAlbert(100, 3, {"n"}, {"e"}, &rng);
+  std::vector<uint32_t> core = CoreNumbers(g.topology());
+  uint32_t kmax = *std::max_element(core.begin(), core.end());
+  // Build the kmax-core subgraph's degrees.
+  std::vector<size_t> degree(g.num_nodes(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    NodeId a = g.EdgeSource(e);
+    NodeId b = g.EdgeTarget(e);
+    if (a == b) continue;
+    if (core[a] >= kmax && core[b] >= kmax) {
+      degree[a]++;
+      degree[b]++;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (core[v] >= kmax) {
+      EXPECT_GE(degree[v], kmax) << v;
+    }
+  }
+}
+
+TEST(TrianglesTest, CountsExactly) {
+  // Two triangles sharing an edge: nodes {0,1,2} and {1,2,3}.
+  Multigraph g(4);
+  g.AddEdge(0, 1).value();
+  g.AddEdge(1, 2).value();
+  g.AddEdge(2, 0).value();
+  g.AddEdge(1, 3).value();
+  g.AddEdge(2, 3).value();
+  EXPECT_EQ(CountTriangles(g), 2u);
+}
+
+TEST(TrianglesTest, CliqueFormula) {
+  // K6: C(6,3) = 20 triangles, robust to duplicate/directed edges.
+  Multigraph g(6);
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = 0; j < 6; ++j) {
+      if (i != j) g.AddEdge(i, j).value();  // Both directions + parallels.
+    }
+  }
+  EXPECT_EQ(CountTriangles(g), 20u);
+}
+
+TEST(TrianglesTest, TriangleFreeGraph) {
+  LabeledGraph g = Grid(4, 4, "n", "e");
+  EXPECT_EQ(CountTriangles(g.topology()), 0u);
+}
+
+TEST(DegreeHistogramTest, StarGraph) {
+  Multigraph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) g.AddEdge(0, leaf).value();
+  std::vector<size_t> hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+  EXPECT_EQ(hist[0], 0u);
+}
+
+}  // namespace
+}  // namespace kgq

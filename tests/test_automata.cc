@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "util/rng.h"
+
+namespace kgq {
+namespace {
+
+/// NFA for (ab)* over {a=0, b=1}.
+Nfa AbStar() {
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  nfa.SetStart(s0);
+  nfa.SetFinal(s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 1, s0);
+  return nfa;
+}
+
+/// NFA with ε-moves for a*b* over {a=0, b=1}.
+Nfa AStarBStar() {
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  nfa.SetStart(s0);
+  nfa.SetFinal(s1);
+  nfa.AddTransition(s0, 0, s0);
+  nfa.AddEpsilon(s0, s1);
+  nfa.AddTransition(s1, 1, s1);
+  return nfa;
+}
+
+/// Ambiguous NFA: (a+aa)* — every a-word accepted, many runs.
+Nfa Ambiguous() {
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  nfa.SetStart(s0);
+  nfa.SetFinal(s0);
+  nfa.AddTransition(s0, 0, s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 0, s0);
+  return nfa;
+}
+
+TEST(NfaTest, AcceptsAbStar) {
+  Nfa nfa = AbStar();
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({0, 1}));
+  EXPECT_TRUE(nfa.Accepts({0, 1, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+  EXPECT_FALSE(nfa.Accepts({0, 0}));
+}
+
+TEST(NfaTest, EpsilonClosureChains) {
+  Nfa nfa(1);
+  StateId a = nfa.AddState();
+  StateId b = nfa.AddState();
+  StateId c = nfa.AddState();
+  nfa.AddEpsilon(a, b);
+  nfa.AddEpsilon(b, c);
+  Bitset start(3);
+  start.Set(a);
+  Bitset closure = nfa.EpsilonClosure(start);
+  EXPECT_EQ(closure.Count(), 3u);
+  EXPECT_TRUE(closure.Test(c));
+}
+
+TEST(NfaTest, EpsilonAcceptance) {
+  Nfa nfa = AStarBStar();
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({0, 0, 1, 1}));
+  EXPECT_TRUE(nfa.Accepts({1, 1}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+}
+
+TEST(NfaTest, CountDistinctWordsNotRuns) {
+  // (a+aa)* accepts every a^n: exactly one word per length despite the
+  // exponentially many runs — the SpanL subtlety of Section 4.1.
+  Nfa nfa = Ambiguous();
+  for (size_t k = 0; k <= 10; ++k) {
+    EXPECT_EQ(nfa.CountAcceptedWords(k), 1.0) << k;
+  }
+}
+
+TEST(NfaTest, CountsMatchEnumerationOnAbStar) {
+  Nfa nfa = AbStar();
+  EXPECT_EQ(nfa.CountAcceptedWords(0), 1.0);
+  EXPECT_EQ(nfa.CountAcceptedWords(1), 0.0);
+  EXPECT_EQ(nfa.CountAcceptedWords(2), 1.0);
+  EXPECT_EQ(nfa.CountAcceptedWords(7), 0.0);
+  EXPECT_EQ(nfa.CountAcceptedWords(8), 1.0);
+}
+
+TEST(NfaTest, EmptyNfaAcceptsNothing) {
+  Nfa nfa(2);
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_EQ(nfa.CountAcceptedWords(3), 0.0);
+}
+
+TEST(DfaTest, DeterminizePreservesLanguage) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random NFA over a 2-symbol alphabet.
+    Nfa nfa(2);
+    size_t n = 3 + rng.Below(5);
+    for (size_t i = 0; i < n; ++i) nfa.AddState();
+    nfa.SetStart(0);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) nfa.SetFinal(static_cast<StateId>(i));
+      size_t fan = rng.Below(4);
+      for (size_t j = 0; j < fan; ++j) {
+        nfa.AddTransition(static_cast<StateId>(i),
+                          static_cast<SymbolId>(rng.Below(2)),
+                          static_cast<StateId>(rng.Below(n)));
+      }
+      if (rng.Bernoulli(0.25)) {
+        nfa.AddEpsilon(static_cast<StateId>(i),
+                       static_cast<StateId>(rng.Below(n)));
+      }
+    }
+    Dfa dfa = Dfa::Determinize(nfa);
+    // Exhaustive word check up to length 6.
+    for (uint32_t len = 0; len <= 6; ++len) {
+      for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+        std::vector<SymbolId> word;
+        for (uint32_t i = 0; i < len; ++i) word.push_back((bits >> i) & 1);
+        ASSERT_EQ(nfa.Accepts(word), dfa.Accepts(word))
+            << "trial " << trial << " len " << len << " bits " << bits;
+      }
+    }
+    // And counts agree with the DFA DP.
+    for (size_t k = 0; k <= 6; ++k) {
+      ASSERT_EQ(nfa.CountAcceptedWords(k), dfa.CountAcceptedWords(k));
+    }
+  }
+}
+
+TEST(DfaTest, MinimizeIsEquivalentAndMinimal) {
+  // Build a redundant DFA for "ends with b": 4 states, minimal is 2.
+  Dfa dfa(4, 2);
+  dfa.SetStart(0);
+  // States 0/2 = "last was a or start", 1/3 = "last was b".
+  dfa.SetTransition(0, 0, 2);
+  dfa.SetTransition(0, 1, 1);
+  dfa.SetTransition(1, 0, 2);
+  dfa.SetTransition(1, 1, 3);
+  dfa.SetTransition(2, 0, 0);
+  dfa.SetTransition(2, 1, 3);
+  dfa.SetTransition(3, 0, 0);
+  dfa.SetTransition(3, 1, 1);
+  dfa.SetFinal(1);
+  dfa.SetFinal(3);
+  Dfa minimal = dfa.Minimize();
+  EXPECT_EQ(minimal.num_states(), 2u);
+  EXPECT_TRUE(Dfa::Equivalent(dfa, minimal));
+}
+
+TEST(DfaTest, MinimizeDropsUnreachableStates) {
+  Dfa dfa(3, 1);
+  dfa.SetStart(0);
+  dfa.SetTransition(0, 0, 0);
+  dfa.SetTransition(1, 0, 2);  // States 1,2 unreachable.
+  dfa.SetTransition(2, 0, 1);
+  dfa.SetFinal(2);
+  Dfa minimal = dfa.Minimize();
+  EXPECT_EQ(minimal.num_states(), 1u);
+  EXPECT_FALSE(minimal.Accepts({0, 0}));
+}
+
+TEST(DfaTest, MinimizeRandomizedFixpoint) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 4 + rng.Below(8);
+    Dfa dfa(static_cast<StateId>(n), 2);
+    dfa.SetStart(0);
+    for (size_t s = 0; s < n; ++s) {
+      dfa.SetTransition(static_cast<StateId>(s), 0,
+                        static_cast<StateId>(rng.Below(n)));
+      dfa.SetTransition(static_cast<StateId>(s), 1,
+                        static_cast<StateId>(rng.Below(n)));
+      if (rng.Bernoulli(0.4)) dfa.SetFinal(static_cast<StateId>(s));
+    }
+    Dfa m1 = dfa.Minimize();
+    Dfa m2 = m1.Minimize();
+    EXPECT_TRUE(Dfa::Equivalent(dfa, m1)) << trial;
+    EXPECT_EQ(m1.num_states(), m2.num_states()) << trial;  // Idempotent.
+    EXPECT_LE(m1.num_states(), dfa.num_states()) << trial;
+  }
+}
+
+TEST(DfaTest, EquivalenceDistinguishes) {
+  // "ends with b" vs "contains b".
+  Dfa ends(2, 2);
+  ends.SetStart(0);
+  ends.SetTransition(0, 0, 0);
+  ends.SetTransition(0, 1, 1);
+  ends.SetTransition(1, 0, 0);
+  ends.SetTransition(1, 1, 1);
+  ends.SetFinal(1);
+
+  Dfa contains(2, 2);
+  contains.SetStart(0);
+  contains.SetTransition(0, 0, 0);
+  contains.SetTransition(0, 1, 1);
+  contains.SetTransition(1, 0, 1);
+  contains.SetTransition(1, 1, 1);
+  contains.SetFinal(1);
+
+  EXPECT_FALSE(Dfa::Equivalent(ends, contains));
+  EXPECT_TRUE(Dfa::Equivalent(ends, ends.Minimize()));
+}
+
+TEST(DfaTest, ComplementFlipsAcceptance) {
+  Nfa nfa = AbStar();
+  Dfa dfa = Dfa::Determinize(nfa);
+  Dfa comp = dfa.Complement();
+  for (uint32_t len = 0; len <= 5; ++len) {
+    for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+      std::vector<SymbolId> word;
+      for (uint32_t i = 0; i < len; ++i) word.push_back((bits >> i) & 1);
+      EXPECT_NE(dfa.Accepts(word), comp.Accepts(word));
+    }
+  }
+  // Counts are complementary against 2^k total words.
+  for (size_t k = 0; k <= 8; ++k) {
+    EXPECT_EQ(dfa.CountAcceptedWords(k) + comp.CountAcceptedWords(k),
+              std::pow(2.0, static_cast<double>(k)));
+  }
+}
+
+TEST(DfaTest, CountOnExplosiveLanguage) {
+  // DFA accepting everything over a 3-symbol alphabet: 3^k words.
+  Dfa dfa(1, 3);
+  dfa.SetStart(0);
+  for (SymbolId a = 0; a < 3; ++a) dfa.SetTransition(0, a, 0);
+  dfa.SetFinal(0);
+  EXPECT_EQ(dfa.CountAcceptedWords(30), std::pow(3.0, 30.0));
+}
+
+}  // namespace
+}  // namespace kgq

@@ -1,0 +1,188 @@
+// Tests for the cross-formalism bridges: star-free RPQ → modal logic
+// (→ GNN), and property graph ↔ reified RDF.
+
+#include <gtest/gtest.h>
+
+#include "datasets/figure2.h"
+#include "gnn/logic_to_gnn.h"
+#include "graph/generators.h"
+#include "graph/graph_view.h"
+#include "logic/modal.h"
+#include "logic/rpq_to_modal.h"
+#include "pathalg/pairs.h"
+#include "rdf/reify.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+
+namespace kgq {
+namespace {
+
+RegexPtr Parse(const std::string& s) {
+  Result<RegexPtr> r = ParseRegex(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.status();
+  return *r;
+}
+
+/// Ground truth for "start nodes" of a star-free regex: pair semantics.
+Bitset StartNodes(const GraphView& view, const Regex& r) {
+  PathNfa nfa = *PathNfa::Compile(view, r);
+  Bitset out(view.num_nodes());
+  for (NodeId n = 0; n < view.num_nodes(); ++n) {
+    if (ReachableFrom(nfa, n).Any()) out.Set(n);
+  }
+  return out;
+}
+
+// ------------------------------------------------------- RPQ → modal → GNN
+
+TEST(RpqToModalTest, PaperExampleTranslation) {
+  RegexPtr r = Parse("?person/rides/?bus/rides^-/?infected");
+  Result<ModalPtr> modal = StartNodesAsModal(*r);
+  ASSERT_TRUE(modal.ok()) << modal.status();
+  LabeledGraph g = Figure2Labeled();
+  LabeledGraphView view(g);
+  Bitset via_modal = EvalModal(g, **modal);
+  Bitset via_rpq = StartNodes(view, *r);
+  EXPECT_EQ(via_modal, via_rpq);
+  EXPECT_TRUE(via_modal.Test(fig2::kJuan));
+  EXPECT_TRUE(via_modal.Test(fig2::kRosa));
+  EXPECT_EQ(via_modal.Count(), 2u);
+}
+
+TEST(RpqToModalTest, AgreementOnRandomGraphsAndQuerySuite) {
+  Rng rng(345);
+  const std::vector<std::string> queries = {
+      "a",
+      "a^-",
+      "?p",
+      "a/b",
+      "?p/a/?q",
+      "a+b",
+      "(a+b)/a^-",
+      "?[p|q]/a/[a|b]^-",
+      "true/?p",
+      "?[!p]/b",
+  };
+  for (int trial = 0; trial < 6; ++trial) {
+    LabeledGraph g = ErdosRenyi(12, 30, {"p", "q"}, {"a", "b"}, &rng);
+    LabeledGraphView view(g);
+    for (const std::string& q : queries) {
+      RegexPtr r = Parse(q);
+      Result<ModalPtr> modal = StartNodesAsModal(*r);
+      ASSERT_TRUE(modal.ok()) << q << ": " << modal.status();
+      EXPECT_EQ(EvalModal(g, **modal), StartNodes(view, *r))
+          << q << " trial " << trial;
+    }
+  }
+}
+
+TEST(RpqToModalTest, StarAndPropertiesRejected) {
+  EXPECT_EQ(StartNodesAsModal(*Parse("a*")).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(StartNodesAsModal(*Parse("?p/(a+b)*")).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(StartNodesAsModal(*Parse("date=\"3/4/21\"")).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(StartNodesAsModal(*Parse("?f1=x")).status().code(),
+            StatusCode::kUnsupported);
+  // Negated *edge* tests are not label sets.
+  EXPECT_EQ(StartNodesAsModal(*Parse("[!a]")).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(RpqToModalTest, FullChainRegexToGnn) {
+  // The complete Section 4.3 pipeline: regex → modal → AC-GNN, all three
+  // agreeing on every node.
+  RegexPtr r = Parse("?person/rides/?bus/rides^-/?infected");
+  ModalPtr modal = *StartNodesAsModal(*r);
+  Result<CompiledGnn> gnn = CompileModalToGnn(*modal);
+  ASSERT_TRUE(gnn.ok());
+  LabeledGraph g = Figure2Labeled();
+  LabeledGraphView view(g);
+  Result<Bitset> via_gnn = gnn->Evaluate(g);
+  ASSERT_TRUE(via_gnn.ok());
+  EXPECT_EQ(*via_gnn, StartNodes(view, *r));
+}
+
+// ------------------------------------------------------------ reification
+
+TEST(ReifyTest, LosslessRoundTrip) {
+  PropertyGraph g = Figure2Property();
+  TripleStore store = PropertyToRdf(g);
+  Result<PropertyGraph> back = RdfToProperty(store);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_nodes(), g.num_nodes());
+  ASSERT_EQ(back->num_edges(), g.num_edges());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(back->NodeLabelString(n), g.NodeLabelString(n));
+    EXPECT_EQ(back->NodeProperties(n).size(), g.NodeProperties(n).size());
+    for (const auto& [name, value] : g.NodeProperties(n).entries()) {
+      EXPECT_EQ(back->NodePropertyString(n, g.dict().Lookup(name)),
+                g.dict().Lookup(value));
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back->EdgeSource(e), g.EdgeSource(e));
+    EXPECT_EQ(back->EdgeTarget(e), g.EdgeTarget(e));
+    EXPECT_EQ(back->EdgeLabelString(e), g.EdgeLabelString(e));
+    for (const auto& [name, value] : g.EdgeProperties(e).entries()) {
+      EXPECT_EQ(back->EdgePropertyString(e, g.dict().Lookup(name)),
+                g.dict().Lookup(value));
+    }
+  }
+}
+
+TEST(ReifyTest, ParallelEdgesSurvive) {
+  // The documented difference with the plain LabeledToRdf encoding.
+  PropertyGraph g;
+  NodeId a = g.AddNode("x");
+  NodeId b = g.AddNode("y");
+  EdgeId e1 = g.AddEdge(a, b, "e").value();
+  EdgeId e2 = g.AddEdge(a, b, "e").value();
+  g.SetEdgeProperty(e1, "w", "1");
+  g.SetEdgeProperty(e2, "w", "2");
+  Result<PropertyGraph> back = RdfToProperty(PropertyToRdf(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), 2u);
+  EXPECT_EQ(back->EdgePropertyString(0, "w"), "1");
+  EXPECT_EQ(back->EdgePropertyString(1, "w"), "2");
+}
+
+TEST(ReifyTest, RejectsMalformedStores) {
+  TripleStore empty;
+  EXPECT_FALSE(RdfToProperty(empty).ok());
+
+  TripleStore no_target;
+  no_target.Insert("n0", "kgq:label", "x");
+  no_target.Insert("e0", "kgq:source", "n0");
+  no_target.Insert("e0", "kgq:label", "rides");
+  EXPECT_FALSE(RdfToProperty(no_target).ok());
+
+  TripleStore dangling;
+  dangling.Insert("n0", "kgq:label", "x");
+  dangling.Insert("e0", "kgq:source", "n0");
+  dangling.Insert("e0", "kgq:target", "n9");
+  dangling.Insert("e0", "kgq:label", "rides");
+  EXPECT_FALSE(RdfToProperty(dangling).ok());
+
+  TripleStore orphan_prop;
+  orphan_prop.Insert("n0", "kgq:label", "x");
+  orphan_prop.Insert("ghost", "kgq:prop:name", "Juan");
+  EXPECT_FALSE(RdfToProperty(orphan_prop).ok());
+}
+
+TEST(ReifyTest, NodeOrderStableOverHundredNodes) {
+  // Names embed indexes: n2 < n10 must hold in the rebuilt ordering.
+  PropertyGraph g;
+  for (int i = 0; i < 101; ++i) {
+    g.AddNode("l" + std::to_string(i));
+  }
+  Result<PropertyGraph> back = RdfToProperty(PropertyToRdf(g));
+  ASSERT_TRUE(back.ok());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(back->NodeLabelString(n), g.NodeLabelString(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace kgq

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "datasets/contact_scenario.h"
+#include "datasets/dblp_synth.h"
+#include "datasets/figure2.h"
+#include "graph/generators.h"
+
+namespace kgq {
+namespace {
+
+// ---------------------------------------------------------------- Figure 2
+
+TEST(Figure2Test, PropertyGraphShape) {
+  PropertyGraph g = Figure2Property();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.NodeLabelString(fig2::kJuan), "person");
+  EXPECT_EQ(g.NodeLabelString(fig2::kPedro), "infected");
+  EXPECT_EQ(g.NodePropertyString(fig2::kJuan, "name"), "Juan");
+  EXPECT_EQ(g.NodePropertyString(fig2::kJuan, "age"), "34");
+  EXPECT_EQ(g.EdgePropertyString(fig2::kJuanRides, "date"), "3/4/21");
+  EXPECT_EQ(g.EdgePropertyString(fig2::kJuanAnaLives, "zip"), "8320000");
+}
+
+TEST(Figure2Test, ThreeModelsAreConsistent) {
+  PropertyGraph pg = Figure2Property();
+  LabeledGraph lg = Figure2Labeled();
+  VectorSchema schema;
+  VectorGraph vg = Figure2Vector(&schema);
+  EXPECT_EQ(lg.num_nodes(), pg.num_nodes());
+  EXPECT_EQ(vg.num_nodes(), pg.num_nodes());
+  EXPECT_EQ(vg.num_edges(), pg.num_edges());
+  // Same topology.
+  for (EdgeId e = 0; e < pg.num_edges(); ++e) {
+    EXPECT_EQ(lg.EdgeSource(e), pg.EdgeSource(e));
+    EXPECT_EQ(vg.EdgeTarget(e), pg.EdgeTarget(e));
+  }
+  // Vector row 0 = label, per the Figure 2(c) construction.
+  EXPECT_EQ(vg.NodeFeatureString(fig2::kBus, 0), "bus");
+  int zip = schema.IndexOf("zip");
+  ASSERT_GE(zip, 0);
+  EXPECT_EQ(vg.EdgeFeatureString(fig2::kJuanAnaLives, zip), "8320000");
+  EXPECT_EQ(vg.EdgeFeature(fig2::kOwns, zip), kNullConst);  // ⊥ row.
+}
+
+// ------------------------------------------------------- contact scenario
+
+TEST(ContactScenarioTest, LayoutAndVocabulary) {
+  Rng rng(9);
+  ContactScenarioOptions opts;
+  opts.num_people = 50;
+  opts.num_buses = 4;
+  opts.num_companies = 2;
+  PropertyGraph g = ContactScenario(opts, &rng);
+  EXPECT_EQ(g.num_nodes(), 56u);
+  size_t person = 0, infected = 0, bus = 0, company = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const std::string& label = g.NodeLabelString(n);
+    if (label == "person") ++person;
+    if (label == "infected") ++infected;
+    if (label == "bus") ++bus;
+    if (label == "company") ++company;
+  }
+  EXPECT_EQ(person + infected, 50u);
+  EXPECT_GT(infected, 0u);
+  EXPECT_EQ(bus, 4u);
+  EXPECT_EQ(company, 2u);
+  // Every rides edge has a date; lives edges have zips.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const std::string& label = g.EdgeLabelString(e);
+    if (label == "rides") {
+      EXPECT_TRUE(g.EdgePropertyString(e, "date").has_value());
+    }
+    if (label == "lives") {
+      EXPECT_TRUE(g.EdgePropertyString(e, "zip").has_value());
+    }
+  }
+}
+
+TEST(ContactScenarioTest, DeterministicFromSeed) {
+  ContactScenarioOptions opts;
+  opts.num_people = 30;
+  Rng a(5), b(5);
+  PropertyGraph ga = ContactScenario(opts, &a);
+  PropertyGraph gb = ContactScenario(opts, &b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (EdgeId e = 0; e < ga.num_edges(); ++e) {
+    EXPECT_EQ(ga.EdgeSource(e), gb.EdgeSource(e));
+    EXPECT_EQ(ga.EdgeLabelString(e), gb.EdgeLabelString(e));
+  }
+}
+
+// ------------------------------------------------------------- DBLP synth
+
+TEST(DblpSynthTest, TitleContains) {
+  EXPECT_TRUE(TitleContains("towards Knowledge Graph systems",
+                            "knowledge graph"));
+  EXPECT_TRUE(TitleContains("RDF", "rdf"));
+  EXPECT_FALSE(TitleContains("graph data", "graph database"));
+  EXPECT_FALSE(TitleContains("", "x"));
+  EXPECT_FALSE(TitleContains("ab", "abc"));
+}
+
+TEST(DblpSynthTest, PipelineReproducesFigure1Shape) {
+  DblpOptions opts;
+  opts.papers_per_year = 60000;  // Scaled-down but statistically stable.
+  Rng rng(opts.seed);
+  KeywordCounts result = RunFigure1Pipeline(opts, &rng);
+  ASSERT_EQ(result.years.size(), 11u);
+  const auto& kg = result.counts.at("knowledge graph");
+  const auto& rdf = result.counts.at("RDF");
+  const auto& gdb = result.counts.at("graph database");
+  const auto& pg = result.counts.at("property graph");
+
+  // Knowledge graph takes off and dominates by 2020.
+  EXPECT_LT(kg[0], rdf[0]);            // 2010: KG below RDF.
+  EXPECT_GT(kg[10], 2 * rdf[10]);      // 2020: KG well above RDF.
+  EXPECT_GT(kg[10], 10 * kg[2]);       // Explosive growth since 2012.
+  // RDF roughly stable (within 2x across the decade).
+  EXPECT_LT(rdf[10], rdf[0] * 2);
+  EXPECT_GT(rdf[10], rdf[0] / 2);
+  // Graph database small and flat; property graph negligible.
+  EXPECT_LT(gdb[10], rdf[10]);
+  EXPECT_LT(pg[10], gdb[10] + 20);
+  // Overlap decay: ~70% in 2015 → ~14% in 2020.
+  size_t i2015 = 5, i2020 = 10;
+  EXPECT_NEAR(result.kg_rdf_overlap[i2015], 0.70, 0.08);
+  EXPECT_NEAR(result.kg_rdf_overlap[i2020], 0.14, 0.05);
+}
+
+TEST(DblpSynthTest, StreamingMatchesPipelineCounts) {
+  DblpOptions opts;
+  opts.papers_per_year = 5000;
+  Rng rng1(opts.seed), rng2(opts.seed);
+  KeywordCounts pipeline = RunFigure1Pipeline(opts, &rng1);
+  size_t manual_kg_2020 = 0;
+  GenerateTitles(opts, &rng2, [&](int year, const std::string& title) {
+    if (year == 2020 && TitleContains(title, "knowledge graph")) {
+      ++manual_kg_2020;
+    }
+  });
+  EXPECT_EQ(pipeline.counts.at("knowledge graph").back(), manual_kg_2020);
+}
+
+}  // namespace
+}  // namespace kgq

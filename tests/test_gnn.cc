@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/figure2.h"
+#include "gnn/acgnn.h"
+#include "gnn/logic_to_gnn.h"
+#include "gnn/matrix.h"
+#include "gnn/wl.h"
+#include "graph/generators.h"
+#include "logic/modal.h"
+
+namespace kgq {
+namespace {
+
+// ------------------------------------------------------------------ matrix
+
+TEST(MatrixTest, MultiplyAccumulate) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1.0;
+  m.at(0, 2) = 2.0;
+  m.at(1, 1) = -1.0;
+  double vec[3] = {10.0, 20.0, 30.0};
+  double out[2] = {1.0, 1.0};
+  m.MultiplyAccumulate(vec, out);
+  EXPECT_EQ(out[0], 1.0 + 10.0 + 60.0);
+  EXPECT_EQ(out[1], 1.0 - 20.0);
+}
+
+TEST(MatrixTest, GaussianFill) {
+  Rng rng(3);
+  Matrix m(30, 30);
+  m.FillGaussian(&rng, 0.5);
+  double sum = 0.0;
+  for (size_t r = 0; r < 30; ++r) {
+    for (size_t c = 0; c < 30; ++c) sum += m.at(r, c);
+  }
+  EXPECT_NE(sum, 0.0);
+  EXPECT_LT(std::fabs(sum / 900.0), 0.1);  // Mean near zero.
+}
+
+// ------------------------------------------------------------------ AC-GNN
+
+TEST(AcGnnTest, OneHotLabels) {
+  LabeledGraph g = Figure2Labeled();
+  Matrix x = AcGnn::OneHotLabels(g, {"person", "bus", "infected"});
+  EXPECT_EQ(x.rows(), g.num_nodes());
+  EXPECT_EQ(x.cols(), 3u);
+  EXPECT_EQ(x.at(fig2::kJuan, 0), 1.0);
+  EXPECT_EQ(x.at(fig2::kJuan, 1), 0.0);
+  EXPECT_EQ(x.at(fig2::kBus, 1), 1.0);
+  EXPECT_EQ(x.at(fig2::kPedro, 2), 1.0);
+  EXPECT_EQ(x.at(fig2::kCompany, 0), 0.0);  // "company" not in universe.
+}
+
+TEST(AcGnnTest, DimensionValidation) {
+  LabeledGraph g = Figure2Labeled();
+  AcGnn gnn(4);
+  Matrix wrong(g.num_nodes(), 3);
+  EXPECT_FALSE(gnn.Run(g, wrong).ok());
+  AcGnn gnn2(2);
+  gnn2.AddLayer(2);
+  Matrix right(g.num_nodes(), 2);
+  EXPECT_TRUE(gnn2.Run(g, right).ok());
+  // Readout width mismatch.
+  gnn2.SetReadout({1.0}, 0.0);
+  EXPECT_FALSE(gnn2.Classify(g, right).ok());
+}
+
+TEST(AcGnnTest, SingleLayerCountsNeighbors) {
+  // x'_v = σ(Σ_in x_u) with scalar features x = 1 everywhere: nodes with
+  // at least one in-edge output 1 (truncation caps at 1).
+  LabeledGraph g = Figure2Labeled();
+  AcGnn gnn(1);
+  GnnLayer& layer = gnn.AddLayer(1);
+  layer.in_rel.emplace_back("", Matrix(1, 1));
+  layer.in_rel[0].second.at(0, 0) = 1.0;
+  Matrix x(g.num_nodes(), 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) x.at(v, 0) = 1.0;
+  Result<Matrix> out = gnn.Run(g, x);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(fig2::kBus, 0), 1.0);     // Many in-edges.
+  EXPECT_EQ(out->at(fig2::kCompany, 0), 0.0);  // No in-edges.
+}
+
+TEST(AcGnnTest, RelationFilteredAggregation) {
+  LabeledGraph g = Figure2Labeled();
+  AcGnn gnn(1);
+  GnnLayer& layer = gnn.AddLayer(1);
+  layer.in_rel.emplace_back("owns", Matrix(1, 1));
+  layer.in_rel[0].second.at(0, 0) = 1.0;
+  Matrix x(g.num_nodes(), 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) x.at(v, 0) = 1.0;
+  Result<Matrix> out = gnn.Run(g, x);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(fig2::kBus, 0), 1.0);  // Owned by the company.
+  EXPECT_EQ(out->at(fig2::kAna, 0), 0.0);  // In-edges, but none "owns".
+}
+
+// --------------------------------------------------------------- compiler
+
+ModalPtr PossiblyInfectedModal() {
+  return ModalFormula::And(
+      ModalFormula::Label("person"),
+      ModalFormula::Diamond(
+          "rides", 1,
+          ModalFormula::And(ModalFormula::Label("bus"),
+                            ModalFormula::DiamondInv(
+                                "rides", 1,
+                                ModalFormula::Label("infected")))));
+}
+
+TEST(LogicToGnnTest, PaperExampleCompilesAndAgrees) {
+  LabeledGraph g = Figure2Labeled();
+  Result<CompiledGnn> compiled = CompileModalToGnn(*PossiblyInfectedModal());
+  ASSERT_TRUE(compiled.ok());
+  Result<Bitset> gnn_answer = compiled->Evaluate(g);
+  ASSERT_TRUE(gnn_answer.ok());
+  EXPECT_EQ(*gnn_answer, EvalModal(g, *PossiblyInfectedModal()));
+  EXPECT_EQ(gnn_answer->Count(), 2u);
+}
+
+TEST(LogicToGnnTest, ExactAgreementAcrossFormulaSuite) {
+  Rng rng(555);
+  std::vector<ModalPtr> formulas = {
+      ModalFormula::Label("p"),
+      ModalFormula::True(),
+      ModalFormula::Not(ModalFormula::Label("p")),
+      ModalFormula::And(ModalFormula::Label("p"), ModalFormula::Label("p")),
+      ModalFormula::Or(ModalFormula::Label("p"),
+                       ModalFormula::Not(ModalFormula::Label("q"))),
+      ModalFormula::Diamond("a", 1, ModalFormula::True()),
+      ModalFormula::Diamond("a", 2, ModalFormula::Label("p")),
+      ModalFormula::DiamondInv("b", 3, ModalFormula::True()),
+      ModalFormula::Diamond(
+          "a", 1,
+          ModalFormula::And(
+              ModalFormula::Label("q"),
+              ModalFormula::Diamond("b", 2, ModalFormula::Label("p")))),
+      ModalFormula::Not(ModalFormula::Diamond(
+          "a", 1, ModalFormula::Not(ModalFormula::Label("p")))),
+      ModalFormula::Diamond("", 2, ModalFormula::True()),  // Any label.
+  };
+  for (int trial = 0; trial < 6; ++trial) {
+    LabeledGraph g = ErdosRenyi(15, 45, {"p", "q", "r"}, {"a", "b"}, &rng);
+    for (const ModalPtr& f : formulas) {
+      Result<CompiledGnn> compiled = CompileModalToGnn(*f);
+      ASSERT_TRUE(compiled.ok()) << f->ToString();
+      Result<Bitset> got = compiled->Evaluate(g);
+      ASSERT_TRUE(got.ok()) << f->ToString();
+      EXPECT_EQ(*got, EvalModal(g, *f))
+          << "formula " << f->ToString() << " trial " << trial;
+    }
+  }
+}
+
+TEST(LogicToGnnTest, LayerCountMatchesReadiness) {
+  // Boolean structure above diamonds costs layers too.
+  ModalPtr f = ModalFormula::Not(ModalFormula::And(
+      ModalFormula::Diamond("a", 1, ModalFormula::Label("p")),
+      ModalFormula::True()));
+  Result<CompiledGnn> compiled = CompileModalToGnn(*f);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GE(compiled->gnn.num_layers(), 3u);  // diamond → and → not.
+}
+
+// --------------------------------------------------------------------- WL
+
+TEST(WlTest, RefinementDistinguishesByDegree) {
+  // A directed star: the center differs from the leaves.
+  LabeledGraph g;
+  NodeId center = g.AddNode("n");
+  for (int i = 0; i < 4; ++i) {
+    NodeId leaf = g.AddNode("n");
+    g.AddEdge(center, leaf, "e").value();
+  }
+  WlResult wl = WlColorRefinement(g);
+  EXPECT_EQ(wl.num_colors, 2u);
+  EXPECT_NE(wl.colors[center], wl.colors[1]);
+  EXPECT_EQ(wl.colors[1], wl.colors[2]);
+}
+
+TEST(WlTest, CycleIsColorUniform) {
+  LabeledGraph g = Cycle(6, "n", "e");
+  WlResult wl = WlColorRefinement(g);
+  EXPECT_EQ(wl.num_colors, 1u);
+}
+
+TEST(WlTest, LabelsSeedThePartition) {
+  LabeledGraph g = Cycle(6, "n", "e");
+  WlResult uniform = WlColorRefinement(g);
+  EXPECT_EQ(uniform.num_colors, 1u);
+  // Recolor one node: the symmetry breaks and colors spread.
+  LabeledGraph g2;
+  g2.AddNode("special");
+  for (int i = 1; i < 6; ++i) g2.AddNode("n");
+  for (int i = 0; i < 6; ++i) {
+    g2.AddEdge(i, (i + 1) % 6, "e").value();
+  }
+  WlResult broken = WlColorRefinement(g2);
+  EXPECT_GT(broken.num_colors, 1u);
+}
+
+TEST(WlTest, ClassicExpressivenessBoundary) {
+  // Two triangles vs one hexagon: 1-WL cannot tell them apart (all nodes
+  // 1-in 1-out, same label) although they are not isomorphic — the
+  // canonical limitation inherited by GNNs (Section 4.3).
+  LabeledGraph two_triangles;
+  for (int i = 0; i < 6; ++i) two_triangles.AddNode("n");
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      two_triangles.AddEdge(t * 3 + i, t * 3 + (i + 1) % 3, "e").value();
+    }
+  }
+  LabeledGraph hexagon = Cycle(6, "n", "e");
+  EXPECT_EQ(WlGraphFingerprint(two_triangles), WlGraphFingerprint(hexagon));
+  // But a pentagon differs (node count, for one).
+  EXPECT_NE(WlGraphFingerprint(hexagon), WlGraphFingerprint(Cycle(5, "n", "e")));
+}
+
+TEST(WlTest, FingerprintSeparatesLabelings) {
+  LabeledGraph a = Cycle(4, "n", "e");
+  LabeledGraph b = Cycle(4, "n", "f");  // Different edge label.
+  EXPECT_NE(WlGraphFingerprint(a), WlGraphFingerprint(b));
+}
+
+TEST(WlTest, WlEquivalentNodesGetEqualGnnFeatures) {
+  // Fundamental invariance (Morris et al. / Xu et al.): ANY AC-GNN maps
+  // 1-WL-equivalent nodes to identical feature vectors.
+  Rng rng(2718);
+  for (int trial = 0; trial < 5; ++trial) {
+    LabeledGraph g = ErdosRenyi(16, 40, {"p", "q"}, {"a", "b"}, &rng);
+    WlResult wl = WlColorRefinement(g);
+
+    AcGnn gnn(2);
+    for (int l = 0; l < 3; ++l) {
+      GnnLayer& layer = gnn.AddLayer(4);
+      layer.self = Matrix(4, l == 0 ? 2 : 4);
+      layer.in_rel.emplace_back("a", Matrix(4, l == 0 ? 2 : 4));
+      layer.in_rel.emplace_back("b", Matrix(4, l == 0 ? 2 : 4));
+      layer.out_rel.emplace_back("a", Matrix(4, l == 0 ? 2 : 4));
+      layer.out_rel.emplace_back("b", Matrix(4, l == 0 ? 2 : 4));
+      layer.bias.assign(4, 0.0);
+    }
+    gnn.Randomize(&rng);
+
+    Matrix x = AcGnn::OneHotLabels(g, {"p", "q"});
+    Result<Matrix> out = gnn.Run(g, x);
+    ASSERT_TRUE(out.ok());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+        if (wl.colors[u] != wl.colors[v]) continue;
+        for (size_t c = 0; c < out->cols(); ++c) {
+          ASSERT_NEAR(out->at(u, c), out->at(v, c), 1e-9)
+              << "nodes " << u << "," << v << " trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(WlTest, CompiledGnnIsWlInvariantToo) {
+  // Corollary chain of Section 4.3: logic ⊆ GNN ⊆ WL — so the *logic*
+  // cannot separate WL-equivalent nodes either.
+  Rng rng(31415);
+  ModalPtr f = ModalFormula::Diamond(
+      "a", 1, ModalFormula::Or(ModalFormula::Label("p"),
+                               ModalFormula::DiamondInv(
+                                   "b", 1, ModalFormula::Label("q"))));
+  for (int trial = 0; trial < 5; ++trial) {
+    LabeledGraph g = ErdosRenyi(14, 35, {"p", "q"}, {"a", "b"}, &rng);
+    WlResult wl = WlColorRefinement(g);
+    Bitset result = EvalModal(g, *f);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+        if (wl.colors[u] == wl.colors[v]) {
+          EXPECT_EQ(result.Test(u), result.Test(v));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgq

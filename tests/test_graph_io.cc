@@ -1,0 +1,151 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/shortest_paths.h"
+#include "datasets/contact_scenario.h"
+#include "graph/generators.h"
+#include "datasets/figure2.h"
+
+namespace kgq {
+namespace {
+
+void ExpectGraphsEqual(const PropertyGraph& a, const PropertyGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.NodeLabelString(n), b.NodeLabelString(n));
+    ASSERT_EQ(a.NodeProperties(n).size(), b.NodeProperties(n).size());
+    for (const auto& [name, value] : a.NodeProperties(n).entries()) {
+      EXPECT_EQ(b.NodePropertyString(n, a.dict().Lookup(name)),
+                a.dict().Lookup(value));
+    }
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.EdgeSource(e), b.EdgeSource(e));
+    EXPECT_EQ(a.EdgeTarget(e), b.EdgeTarget(e));
+    EXPECT_EQ(a.EdgeLabelString(e), b.EdgeLabelString(e));
+    for (const auto& [name, value] : a.EdgeProperties(e).entries()) {
+      EXPECT_EQ(b.EdgePropertyString(e, a.dict().Lookup(name)),
+                a.dict().Lookup(value));
+    }
+  }
+}
+
+TEST(GraphIoTest, Figure2RoundTrip) {
+  PropertyGraph g = Figure2Property();
+  std::string text = SavePropertyGraph(g);
+  Result<PropertyGraph> back = LoadPropertyGraph(text);
+  ASSERT_TRUE(back.ok()) << back.status() << "\n" << text;
+  ExpectGraphsEqual(g, *back);
+  // Slashes are plain-token characters, so dates stay unquoted.
+  EXPECT_NE(text.find("date=3/4/21"), std::string::npos);
+}
+
+TEST(GraphIoTest, LargeScenarioRoundTrip) {
+  Rng rng(88);
+  ContactScenarioOptions opts;
+  opts.num_people = 80;
+  PropertyGraph g = ContactScenario(opts, &rng);
+  Result<PropertyGraph> back = LoadPropertyGraph(SavePropertyGraph(g));
+  ASSERT_TRUE(back.ok());
+  ExpectGraphsEqual(g, *back);
+}
+
+TEST(GraphIoTest, SpecialCharactersInValues) {
+  PropertyGraph g;
+  NodeId n = g.AddNode("weird label with spaces");
+  g.SetNodeProperty(n, "quote", "he said \"hi\"");
+  g.SetNodeProperty(n, "backslash", "a\\b");
+  g.SetNodeProperty(n, "empty", "");
+  Result<PropertyGraph> back = LoadPropertyGraph(SavePropertyGraph(g));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->NodeLabelString(0), "weird label with spaces");
+  EXPECT_EQ(back->NodePropertyString(0, "quote"), "he said \"hi\"");
+  EXPECT_EQ(back->NodePropertyString(0, "backslash"), "a\\b");
+  EXPECT_EQ(back->NodePropertyString(0, "empty"), "");
+}
+
+TEST(GraphIoTest, CommentsAndBlankLines) {
+  Result<PropertyGraph> g = LoadPropertyGraph(
+      "# header\n"
+      "\n"
+      "node 0 person  # trailing comment\n"
+      "node 1 bus\n"
+      "edge 0 0 1 rides\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_nodes(), 2u);
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, Errors) {
+  EXPECT_FALSE(LoadPropertyGraph("node 1 person\n").ok());  // Non-dense.
+  EXPECT_FALSE(LoadPropertyGraph("node 0\n").ok());         // No label.
+  EXPECT_FALSE(LoadPropertyGraph("edge 0 0 1 rides\n").ok());  // No nodes.
+  EXPECT_FALSE(LoadPropertyGraph("node 0 a\nedge 0 0 zz e\n").ok());
+  EXPECT_FALSE(LoadPropertyGraph("vertex 0 a\n").ok());     // Unknown kind.
+  EXPECT_FALSE(LoadPropertyGraph("node 0 \"open\n").ok());
+  EXPECT_FALSE(LoadPropertyGraph("node 0 a =v\n").ok());    // Empty name.
+}
+
+// ------------------------------------------------------ Dijkstra (here to
+// keep the analytics test binary focused on centralities)
+
+TEST(DijkstraTest, WeightedVsUnitDistances) {
+  // Triangle with a cheap detour: 0→1 costs 10, 0→2→1 costs 3.
+  Multigraph g(3);
+  g.AddEdge(0, 1).value();  // e0 weight 10.
+  g.AddEdge(0, 2).value();  // e1 weight 1.
+  g.AddEdge(2, 1).value();  // e2 weight 2.
+  Result<std::vector<double>> dist =
+      WeightedDistances(g, {10.0, 1.0, 2.0}, 0, EdgeDirection::kDirected);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ((*dist)[1], 3.0);
+  EXPECT_EQ((*dist)[2], 1.0);
+  // BFS hop count would pick the direct edge.
+  auto hops = BfsDistances(g, 0, EdgeDirection::kDirected);
+  EXPECT_EQ(hops[1], 1u);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinity) {
+  Multigraph g(3);
+  g.AddEdge(0, 1).value();
+  Result<std::vector<double>> dist =
+      WeightedDistances(g, {1.0}, 0, EdgeDirection::kDirected);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_TRUE(std::isinf((*dist)[2]));
+  // Undirected direction makes 1→0 usable from 1.
+  Result<std::vector<double>> und =
+      WeightedDistances(g, {1.0}, 1, EdgeDirection::kUndirected);
+  EXPECT_EQ((*und)[0], 1.0);
+}
+
+TEST(DijkstraTest, ValidatesInput) {
+  Multigraph g(2);
+  g.AddEdge(0, 1).value();
+  EXPECT_FALSE(WeightedDistances(g, {}, 0, EdgeDirection::kDirected).ok());
+  EXPECT_FALSE(
+      WeightedDistances(g, {-1.0}, 0, EdgeDirection::kDirected).ok());
+}
+
+TEST(DijkstraTest, MatchesBfsOnUnitWeights) {
+  Rng rng(9);
+  LabeledGraph g = ErdosRenyi(40, 120, {"n"}, {"e"}, &rng);
+  std::vector<double> unit(g.num_edges(), 1.0);
+  Result<std::vector<double>> dijkstra =
+      WeightedDistances(g.topology(), unit, 0, EdgeDirection::kDirected);
+  ASSERT_TRUE(dijkstra.ok());
+  auto bfs = BfsDistances(g.topology(), 0, EdgeDirection::kDirected);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (bfs[v] == kUnreachable) {
+      EXPECT_TRUE(std::isinf((*dijkstra)[v]));
+    } else {
+      EXPECT_EQ((*dijkstra)[v], static_cast<double>(bfs[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgq

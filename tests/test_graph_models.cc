@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "graph/conversions.h"
+#include "graph/labeled_graph.h"
+#include "graph/multigraph.h"
+#include "graph/property_graph.h"
+#include "graph/vector_graph.h"
+
+namespace kgq {
+namespace {
+
+// -------------------------------------------------------------- Multigraph
+
+TEST(MultigraphTest, AddNodesAndEdges) {
+  Multigraph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.EdgeSource(0), a);
+  EXPECT_EQ(g.EdgeTarget(0), b);
+}
+
+TEST(MultigraphTest, ParallelEdgesAllowed) {
+  Multigraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(MultigraphTest, SelfLoopsAllowed) {
+  Multigraph g(1);
+  ASSERT_TRUE(g.AddEdge(0, 0).ok());
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(MultigraphTest, AddEdgeValidatesEndpoints) {
+  Multigraph g(2);
+  Result<EdgeId> bad = g.AddEdge(0, 5);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(g.AddEdge(7, 0).ok());
+}
+
+TEST(MultigraphTest, AdjacencyListsTrackEdges) {
+  Multigraph g(3);
+  EdgeId e01 = g.AddEdge(0, 1).value();
+  EdgeId e02 = g.AddEdge(0, 2).value();
+  EdgeId e21 = g.AddEdge(2, 1).value();
+  EXPECT_EQ(g.OutEdges(0), (std::vector<EdgeId>{e01, e02}));
+  EXPECT_EQ(g.InEdges(1), (std::vector<EdgeId>{e01, e21}));
+  EXPECT_TRUE(g.OutEdges(1).empty());
+}
+
+TEST(MultigraphTest, AddNodesBatch) {
+  Multigraph g;
+  NodeId first = g.AddNodes(5);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  NodeId next = g.AddNodes(3);
+  EXPECT_EQ(next, 5u);
+  EXPECT_EQ(g.num_nodes(), 8u);
+}
+
+// ------------------------------------------------------------ LabeledGraph
+
+TEST(LabeledGraphTest, LabelsRoundTrip) {
+  LabeledGraph g;
+  NodeId p = g.AddNode("person");
+  NodeId b = g.AddNode("bus");
+  EdgeId e = g.AddEdge(p, b, "rides").value();
+  EXPECT_EQ(g.NodeLabelString(p), "person");
+  EXPECT_EQ(g.NodeLabelString(b), "bus");
+  EXPECT_EQ(g.EdgeLabelString(e), "rides");
+  EXPECT_EQ(g.NodeLabel(p), g.dict().Find("person"));
+}
+
+TEST(LabeledGraphTest, SharedLabelsShareConstants) {
+  LabeledGraph g;
+  NodeId a = g.AddNode("person");
+  NodeId b = g.AddNode("person");
+  EXPECT_EQ(g.NodeLabel(a), g.NodeLabel(b));
+}
+
+TEST(LabeledGraphTest, EdgeToMissingNodeFails) {
+  LabeledGraph g;
+  NodeId a = g.AddNode("x");
+  EXPECT_FALSE(g.AddEdge(a, 99, "e").ok());
+  // A failed AddEdge must not corrupt the label arrays.
+  NodeId b = g.AddNode("y");
+  EdgeId e = g.AddEdge(a, b, "ok").value();
+  EXPECT_EQ(g.EdgeLabelString(e), "ok");
+}
+
+// ----------------------------------------------------------- PropertyGraph
+
+TEST(PropertySetTest, SetGetOverwrite) {
+  PropertySet ps;
+  ps.Set(3, 10);
+  ps.Set(1, 20);
+  ps.Set(3, 30);
+  EXPECT_EQ(ps.Get(3), 30u);
+  EXPECT_EQ(ps.Get(1), 20u);
+  EXPECT_FALSE(ps.Get(2).has_value());
+  EXPECT_EQ(ps.size(), 2u);
+  // Entries are sorted by name id.
+  EXPECT_EQ(ps.entries()[0].first, 1u);
+  EXPECT_EQ(ps.entries()[1].first, 3u);
+}
+
+TEST(PropertyGraphTest, NodeAndEdgeProperties) {
+  PropertyGraph g;
+  NodeId p = g.AddNode("person");
+  NodeId b = g.AddNode("bus");
+  EdgeId e = g.AddEdge(p, b, "rides").value();
+  g.SetNodeProperty(p, "name", "Juan");
+  g.SetNodeProperty(p, "age", "34");
+  g.SetEdgeProperty(e, "date", "3/4/21");
+
+  EXPECT_EQ(g.NodePropertyString(p, "name"), "Juan");
+  EXPECT_EQ(g.NodePropertyString(p, "age"), "34");
+  EXPECT_EQ(g.EdgePropertyString(e, "date"), "3/4/21");
+  EXPECT_FALSE(g.NodePropertyString(b, "name").has_value());
+  EXPECT_FALSE(g.NodePropertyString(p, "zip").has_value());
+}
+
+TEST(PropertyGraphTest, SigmaIsPartial) {
+  PropertyGraph g;
+  NodeId n = g.AddNode("x");
+  EXPECT_EQ(g.NodeProperties(n).size(), 0u);
+  g.SetNodeProperty(n, "k", "v1");
+  g.SetNodeProperty(n, "k", "v2");  // Overwrite keeps σ a function.
+  EXPECT_EQ(g.NodePropertyString(n, "k"), "v2");
+  EXPECT_EQ(g.NodeProperties(n).size(), 1u);
+}
+
+// ------------------------------------------------------------- VectorGraph
+
+TEST(VectorGraphTest, FeatureVectorsRoundTrip) {
+  VectorGraph g(3);
+  NodeId n =
+      g.AddNodeFromStrings({"person", "Juan", ""}).value();
+  EXPECT_EQ(g.NodeFeatureString(n, 0), "person");
+  EXPECT_EQ(g.NodeFeatureString(n, 1), "Juan");
+  EXPECT_EQ(g.NodeFeature(n, 2), kNullConst);
+  EXPECT_EQ(g.NodeFeatureString(n, 2), "\xE2\x8A\xA5");
+}
+
+TEST(VectorGraphTest, DimensionMismatchFails) {
+  VectorGraph g(2);
+  EXPECT_FALSE(g.AddNode({1}).ok());
+  NodeId a = g.AddNodeFromStrings({"x", "y"}).value();
+  NodeId b = g.AddNodeFromStrings({"x", "y"}).value();
+  EXPECT_FALSE(g.AddEdge(a, b, {1, 2, 3}).ok());
+  EXPECT_TRUE(g.AddEdgeFromStrings(a, b, {"e", ""}).ok());
+}
+
+TEST(VectorGraphTest, EdgeFeatures) {
+  VectorGraph g(2);
+  NodeId a = g.AddNodeFromStrings({"p", ""}).value();
+  NodeId b = g.AddNodeFromStrings({"q", ""}).value();
+  EdgeId e = g.AddEdgeFromStrings(a, b, {"contact", "3/4/21"}).value();
+  EXPECT_EQ(g.EdgeFeatureString(e, 0), "contact");
+  EXPECT_EQ(g.EdgeFeatureString(e, 1), "3/4/21");
+  EXPECT_EQ(g.EdgeSource(e), a);
+  EXPECT_EQ(g.EdgeTarget(e), b);
+}
+
+// ------------------------------------------------------------- Conversions
+
+PropertyGraph MakeSmallPropertyGraph() {
+  PropertyGraph g;
+  NodeId p1 = g.AddNode("person");
+  NodeId p2 = g.AddNode("person");
+  NodeId bus = g.AddNode("bus");
+  g.SetNodeProperty(p1, "name", "Juan");
+  g.SetNodeProperty(p2, "name", "Ana");
+  g.SetNodeProperty(p2, "age", "28");
+  EdgeId r = g.AddEdge(p1, bus, "rides").value();
+  g.SetEdgeProperty(r, "date", "3/4/21");
+  g.AddEdge(p1, p2, "contact").value();
+  return g;
+}
+
+TEST(ConversionsTest, PropertyToVectorSchema) {
+  PropertyGraph pg = MakeSmallPropertyGraph();
+  VectorSchema schema;
+  VectorGraph vg = PropertyToVector(pg, &schema);
+
+  // Feature rows: label + {age, date, name} sorted.
+  ASSERT_EQ(schema.feature_names.size(), 4u);
+  EXPECT_EQ(schema.feature_names[0], "label");
+  EXPECT_EQ(schema.feature_names[1], "age");
+  EXPECT_EQ(schema.feature_names[2], "date");
+  EXPECT_EQ(schema.feature_names[3], "name");
+  EXPECT_EQ(schema.IndexOf("name"), 3);
+  EXPECT_EQ(schema.IndexOf("ghost"), -1);
+
+  EXPECT_EQ(vg.dimension(), 4u);
+  EXPECT_EQ(vg.num_nodes(), pg.num_nodes());
+  EXPECT_EQ(vg.num_edges(), pg.num_edges());
+
+  // Node 0: person, name Juan, no age.
+  EXPECT_EQ(vg.NodeFeatureString(0, 0), "person");
+  EXPECT_EQ(vg.NodeFeatureString(0, 3), "Juan");
+  EXPECT_EQ(vg.NodeFeature(0, 1), kNullConst);
+  // Node 1: has both name and age.
+  EXPECT_EQ(vg.NodeFeatureString(1, 1), "28");
+  // Edge 0: rides with a date.
+  EXPECT_EQ(vg.EdgeFeatureString(0, 0), "rides");
+  EXPECT_EQ(vg.EdgeFeatureString(0, 2), "3/4/21");
+  // Edge 1: contact with no properties.
+  EXPECT_EQ(vg.EdgeFeatureString(1, 0), "contact");
+  EXPECT_EQ(vg.EdgeFeature(1, 2), kNullConst);
+}
+
+TEST(ConversionsTest, LabeledToVectorAndBack) {
+  LabeledGraph g;
+  NodeId a = g.AddNode("person");
+  NodeId b = g.AddNode("bus");
+  g.AddEdge(a, b, "rides").value();
+
+  VectorGraph vg = LabeledToVector(g);
+  EXPECT_EQ(vg.dimension(), 1u);
+  EXPECT_EQ(vg.NodeFeatureString(0, 0), "person");
+  EXPECT_EQ(vg.EdgeFeatureString(0, 0), "rides");
+
+  Result<LabeledGraph> back = VectorToLabeled(vg, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NodeLabelString(0), "person");
+  EXPECT_EQ(back->EdgeLabelString(0), "rides");
+  EXPECT_FALSE(VectorToLabeled(vg, 1).ok());
+}
+
+TEST(ConversionsTest, LabeledPropertyRoundTrip) {
+  LabeledGraph g;
+  NodeId a = g.AddNode("x");
+  NodeId b = g.AddNode("y");
+  g.AddEdge(a, b, "e").value();
+  PropertyGraph pg = LabeledToProperty(g);
+  EXPECT_EQ(pg.num_nodes(), 2u);
+  EXPECT_EQ(pg.NodeProperties(0).size(), 0u);
+  LabeledGraph back = PropertyToLabeled(pg);
+  EXPECT_EQ(back.NodeLabelString(0), "x");
+  EXPECT_EQ(back.EdgeLabelString(0), "e");
+}
+
+}  // namespace
+}  // namespace kgq

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/figure2.h"
+#include "graph/generators.h"
+#include "logic/fo.h"
+#include "logic/modal.h"
+
+namespace kgq {
+namespace {
+
+// The paper's running example, Section 4.3:
+//   ψ(x) = person(x) ∧ ∃y (rides(x,y) ∧ bus(y) ∧ ∃x (rides(x,y) ∧
+//          infected(x)))
+// in modal form: person ∧ ◇^rides(bus ∧ ◇⁻^rides infected).
+ModalPtr PossiblyInfectedModal() {
+  return ModalFormula::And(
+      ModalFormula::Label("person"),
+      ModalFormula::Diamond(
+          "rides", 1,
+          ModalFormula::And(ModalFormula::Label("bus"),
+                            ModalFormula::DiamondInv(
+                                "rides", 1,
+                                ModalFormula::Label("infected")))));
+}
+
+// The same query as the paper's 3-variable φ(x):
+//   person(x) ∧ ∃y∃z (rides(x,y) ∧ bus(y) ∧ rides(z,y) ∧ infected(z)).
+FoPtr PossiblyInfectedFo3() {
+  using F = FoFormula;
+  const F::Var x = 0, y = 1, z = 2;
+  return F::And(
+      F::NodePred("person", x),
+      F::Exists(y, F::Exists(z, F::And(F::And(F::EdgePred("rides", x, y),
+                                              F::NodePred("bus", y)),
+                                       F::And(F::EdgePred("rides", z, y),
+                                              F::NodePred("infected", z))))));
+}
+
+TEST(ModalTest, PaperExampleOnFigure2) {
+  LabeledGraph g = Figure2Labeled();
+  Bitset result = EvalModal(g, *PossiblyInfectedModal());
+  // Juan and Rosa shared the bus with the infected Pedro.
+  EXPECT_TRUE(result.Test(fig2::kJuan));
+  EXPECT_TRUE(result.Test(fig2::kRosa));
+  EXPECT_FALSE(result.Test(fig2::kAna));
+  EXPECT_FALSE(result.Test(fig2::kBus));
+  EXPECT_FALSE(result.Test(fig2::kPedro));  // infected, not person.
+  EXPECT_FALSE(result.Test(fig2::kCompany));
+  EXPECT_EQ(result.Count(), 2u);
+}
+
+TEST(ModalTest, BooleansAndTruth) {
+  LabeledGraph g = Figure2Labeled();
+  Bitset everything = EvalModal(g, *ModalFormula::True());
+  EXPECT_EQ(everything.Count(), g.num_nodes());
+  Bitset nothing = EvalModal(g, *ModalFormula::Not(ModalFormula::True()));
+  EXPECT_EQ(nothing.Count(), 0u);
+  Bitset not_person = EvalModal(
+      g, *ModalFormula::Not(ModalFormula::Label("person")));
+  EXPECT_EQ(not_person.Count(), g.num_nodes() - 3);
+  Bitset person_or_bus = EvalModal(
+      g, *ModalFormula::Or(ModalFormula::Label("person"),
+                           ModalFormula::Label("bus")));
+  EXPECT_EQ(person_or_bus.Count(), 4u);
+}
+
+TEST(ModalTest, GradedDiamonds) {
+  LabeledGraph g = Figure2Labeled();
+  // Nodes with at least 3 incoming rides edges: the bus.
+  Bitset busy = EvalModal(
+      g, *ModalFormula::DiamondInv("rides", 3, ModalFormula::True()));
+  EXPECT_EQ(busy.Count(), 1u);
+  EXPECT_TRUE(busy.Test(fig2::kBus));
+  // At least 4: nobody.
+  Bitset busier = EvalModal(
+      g, *ModalFormula::DiamondInv("rides", 4, ModalFormula::True()));
+  EXPECT_EQ(busier.Count(), 0u);
+}
+
+TEST(ModalTest, AnyLabelDiamond) {
+  LabeledGraph g = Figure2Labeled();
+  // ◇⊤ with any label = has any out-edge.
+  Bitset has_out = EvalModal(
+      g, *ModalFormula::Diamond("", 1, ModalFormula::True()));
+  EXPECT_TRUE(has_out.Test(fig2::kJuan));
+  EXPECT_TRUE(has_out.Test(fig2::kCompany));
+  EXPECT_FALSE(has_out.Test(fig2::kBus));  // Bus only receives edges.
+}
+
+TEST(ModalTest, DepthAndSize) {
+  ModalPtr f = PossiblyInfectedModal();
+  EXPECT_EQ(f->Depth(), 2u);
+  EXPECT_EQ(f->Size(), 7u);
+  EXPECT_EQ(ModalFormula::Label("a")->Depth(), 0u);
+}
+
+TEST(FoTest, FreeAndDistinctVars) {
+  FoPtr phi = PossiblyInfectedFo3();
+  EXPECT_EQ(phi->FreeVars(), std::vector<FoFormula::Var>{0});
+  EXPECT_EQ(phi->NumDistinctVars(), 3u);
+}
+
+TEST(FoTest, ThreeVariablePhiOnFigure2) {
+  LabeledGraph g = Figure2Labeled();
+  FoEvalStats stats;
+  Result<Bitset> result = EvalFoNaive(g, *PossiblyInfectedFo3(), 0, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Test(fig2::kJuan));
+  EXPECT_TRUE(result->Test(fig2::kRosa));
+  EXPECT_EQ(result->Count(), 2u);
+  EXPECT_GE(stats.max_arity, 2u);
+}
+
+TEST(FoTest, RejectsWrongFreeVariables) {
+  LabeledGraph g = Figure2Labeled();
+  // Two free variables.
+  FoPtr bad = FoFormula::EdgePred("rides", 0, 1);
+  EXPECT_FALSE(EvalFoNaive(g, *bad, 0).ok());
+  // Free variable mismatch.
+  FoPtr unary = FoFormula::NodePred("person", 3);
+  EXPECT_FALSE(EvalFoNaive(g, *unary, 0).ok());
+  EXPECT_TRUE(EvalFoNaive(g, *unary, 3).ok());
+}
+
+TEST(FoTest, NegationOverDomain) {
+  LabeledGraph g = Figure2Labeled();
+  FoPtr not_person = FoFormula::Not(FoFormula::NodePred("person", 0));
+  Result<Bitset> result = EvalFoNaive(g, *not_person, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 3u);  // bus, infected, company.
+}
+
+TEST(FoTest, DisjunctionAlignsVariables) {
+  LabeledGraph g = Figure2Labeled();
+  using F = FoFormula;
+  // person(x) ∨ ∃y owns(x, y): persons plus the company.
+  FoPtr f = F::Or(F::NodePred("person", 0),
+                  F::Exists(1, F::EdgePred("owns", 0, 1)));
+  Result<Bitset> result = EvalFoNaive(g, *f, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 4u);
+  EXPECT_TRUE(result->Test(fig2::kCompany));
+}
+
+TEST(FoTest, SelfLoopEdgePredicate) {
+  LabeledGraph g;
+  NodeId a = g.AddNode("n");
+  g.AddNode("n");
+  g.AddEdge(a, a, "e").value();
+  using F = FoFormula;
+  FoPtr loop = F::EdgePred("e", 0, 0);
+  Result<Bitset> result = EvalFoNaive(g, *loop, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 1u);
+  EXPECT_TRUE(result->Test(a));
+}
+
+TEST(FoTest, ModalAndFoAgreeOnPaperExample) {
+  LabeledGraph g = Figure2Labeled();
+  Bitset modal = EvalModal(g, *PossiblyInfectedModal());
+  Result<Bitset> fo3 = EvalFoNaive(g, *PossiblyInfectedFo3(), 0);
+  ASSERT_TRUE(fo3.ok());
+  EXPECT_EQ(modal, *fo3);
+
+  // And via the two-variable translation ψ(x) (paper: ψ ≡ φ).
+  Result<FoPtr> psi = ModalToFo(*PossiblyInfectedModal(), 0);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_EQ((*psi)->NumDistinctVars(), 2u);  // The whole point.
+  Result<Bitset> fo2 = EvalFoNaive(g, **psi, 0);
+  ASSERT_TRUE(fo2.ok());
+  EXPECT_EQ(modal, *fo2);
+}
+
+TEST(FoTest, ModalToFoRejectsAnyLabelDiamonds) {
+  ModalPtr any = ModalFormula::Diamond("", 1, ModalFormula::True());
+  EXPECT_EQ(ModalToFo(*any, 0).status().code(), StatusCode::kUnsupported);
+}
+
+TEST(FoTest, CountingQuantifierSemantics) {
+  LabeledGraph g = Figure2Labeled();
+  using F = FoFormula;
+  // ∃^{≥n}y rides(y, x): nodes with at least n riders — the bus for
+  // n ≤ 3, nothing for n = 4.
+  for (size_t n = 1; n <= 4; ++n) {
+    FoPtr f = F::ExistsAtLeast(n, 1, F::EdgePred("rides", 1, 0));
+    Result<Bitset> result = EvalFoNaive(g, *f, 0);
+    ASSERT_TRUE(result.ok()) << n;
+    if (n <= 3) {
+      EXPECT_EQ(result->Count(), 1u) << n;
+      EXPECT_TRUE(result->Test(fig2::kBus)) << n;
+    } else {
+      EXPECT_EQ(result->Count(), 0u) << n;
+    }
+  }
+}
+
+/// ER-like *simple* graph: no parallel edges (the C2 ↔ graded-modal
+/// equivalence needs edge counts == witness counts).
+LabeledGraph SimpleRandomGraph(size_t n, size_t tries, Rng* rng) {
+  LabeledGraph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(rng->Bernoulli(0.5) ? "p" : "q");
+  }
+  std::set<uint64_t> seen;
+  for (size_t t = 0; t < tries; ++t) {
+    NodeId a = static_cast<NodeId>(rng->Below(n));
+    NodeId b = static_cast<NodeId>(rng->Below(n));
+    std::string label = rng->Bernoulli(0.5) ? "a" : "b";
+    uint64_t key = (static_cast<uint64_t>(a) * n + b) * 2 + (label == "a");
+    if (a == b || !seen.insert(key).second) continue;
+    g.AddEdge(a, b, label).value();
+  }
+  return g;
+}
+
+TEST(FoTest, CountingQuantifierMatchesGradedModal) {
+  // The C2 ↔ graded-modal correspondence, empirically: translate graded
+  // diamonds through ModalToFo and compare evaluations. Simple graphs
+  // only: with parallel edges the modal grades count edges while C2
+  // counts witnesses (documented in modal.h).
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    LabeledGraph g = SimpleRandomGraph(15, 90, &rng);
+    std::vector<ModalPtr> formulas = {
+        ModalFormula::Diamond("a", 2, ModalFormula::Label("p")),
+        ModalFormula::DiamondInv("b", 3, ModalFormula::True()),
+        ModalFormula::And(
+            ModalFormula::Label("q"),
+            ModalFormula::Diamond(
+                "a", 2, ModalFormula::DiamondInv("a", 2,
+                                                 ModalFormula::Label("q")))),
+    };
+    for (const ModalPtr& f : formulas) {
+      Result<FoPtr> fo = ModalToFo(*f, 0);
+      ASSERT_TRUE(fo.ok()) << f->ToString();
+      EXPECT_LE((*fo)->NumDistinctVars(), 2u);
+      Result<Bitset> naive = EvalFoNaive(g, **fo, 0);
+      ASSERT_TRUE(naive.ok());
+      EXPECT_EQ(*naive, EvalModal(g, *f)) << f->ToString();
+    }
+  }
+}
+
+TEST(FoTest, VacuousCountingQuantifier) {
+  LabeledGraph g = Figure2Labeled();  // 6 nodes.
+  using F = FoFormula;
+  // ∃^{≥n}y person(x): x's satisfaction is independent of y; holds iff
+  // person(x) and the domain has ≥ n elements.
+  FoPtr few = F::ExistsAtLeast(6, 1, F::NodePred("person", 0));
+  Result<Bitset> ok = EvalFoNaive(g, *few, 0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->Count(), 3u);
+  FoPtr many = F::ExistsAtLeast(7, 1, F::NodePred("person", 0));
+  Result<Bitset> none = EvalFoNaive(g, *many, 0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->Count(), 0u);
+}
+
+TEST(FoTest, ModalFoAgreementOnRandomGraphs) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 8; ++trial) {
+    LabeledGraph g =
+        ErdosRenyi(14, 40, {"p", "q", "r"}, {"a", "b"}, &rng);
+    std::vector<ModalPtr> formulas = {
+        ModalFormula::Diamond("a", 1, ModalFormula::Label("p")),
+        ModalFormula::And(
+            ModalFormula::Label("q"),
+            ModalFormula::DiamondInv(
+                "b", 1,
+                ModalFormula::Or(ModalFormula::Label("p"),
+                                 ModalFormula::Label("r")))),
+        ModalFormula::Not(ModalFormula::Diamond(
+            "a", 1, ModalFormula::Diamond("b", 1, ModalFormula::True()))),
+        ModalFormula::Diamond(
+            "a", 1,
+            ModalFormula::And(
+                ModalFormula::Label("p"),
+                ModalFormula::Diamond("a", 1, ModalFormula::Label("p")))),
+    };
+    for (const ModalPtr& f : formulas) {
+      Bitset modal = EvalModal(g, *f);
+      Result<FoPtr> fo = ModalToFo(*f, 0);
+      ASSERT_TRUE(fo.ok()) << f->ToString();
+      Result<Bitset> naive = EvalFoNaive(g, **fo, 0);
+      ASSERT_TRUE(naive.ok()) << (*fo)->ToString();
+      EXPECT_EQ(modal, *naive) << f->ToString();
+    }
+  }
+}
+
+TEST(FoTest, StatsRevealIntermediateBlowup) {
+  // On a bipartite-ish dense graph the 3-variable φ materializes a
+  // binary rides-join table while the modal evaluation never leaves
+  // node sets; max_rows grows with the graph.
+  Rng rng(7);
+  LabeledGraph small = ErdosRenyi(20, 60, {"person", "bus"}, {"rides"}, &rng);
+  LabeledGraph large =
+      ErdosRenyi(80, 1000, {"person", "bus"}, {"rides"}, &rng);
+  FoEvalStats small_stats, large_stats;
+  FoPtr phi = PossiblyInfectedFo3();
+  ASSERT_TRUE(EvalFoNaive(small, *phi, 0, &small_stats).ok());
+  ASSERT_TRUE(EvalFoNaive(large, *phi, 0, &large_stats).ok());
+  EXPECT_GT(large_stats.max_rows, small_stats.max_rows);
+}
+
+}  // namespace
+}  // namespace kgq

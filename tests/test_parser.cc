@@ -1,0 +1,210 @@
+#include "rpq/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rpq/regex.h"
+#include "rpq/test_expr.h"
+
+namespace kgq {
+namespace {
+
+// Parses, re-renders, re-parses, re-renders: the two renders must agree
+// (ToString is a canonical form for the parsed AST).
+void ExpectRoundTrip(const std::string& input) {
+  Result<RegexPtr> first = ParseRegex(input);
+  ASSERT_TRUE(first.ok()) << input << " -> " << first.status();
+  std::string rendered = (*first)->ToString();
+  Result<RegexPtr> second = ParseRegex(rendered);
+  ASSERT_TRUE(second.ok()) << rendered << " -> " << second.status();
+  EXPECT_EQ(rendered, (*second)->ToString()) << "input: " << input;
+}
+
+TEST(ParserTest, SingleLabelIsForwardEdge) {
+  Result<RegexPtr> r = ParseRegex("rides");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), Regex::Kind::kEdgeFwd);
+  EXPECT_EQ((*r)->test()->kind(), TestExpr::Kind::kLabel);
+  EXPECT_EQ((*r)->test()->label(), "rides");
+}
+
+TEST(ParserTest, NodeTest) {
+  Result<RegexPtr> r = ParseRegex("?person");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), Regex::Kind::kNodeTest);
+  EXPECT_EQ((*r)->test()->label(), "person");
+}
+
+TEST(ParserTest, BackwardEdge) {
+  Result<RegexPtr> r = ParseRegex("rides^-");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), Regex::Kind::kEdgeBwd);
+}
+
+TEST(ParserTest, PaperPossiblyInfectedQuery) {
+  Result<RegexPtr> r = ParseRegex("?person/rides/?bus/rides^-/?infected");
+  ASSERT_TRUE(r.ok());
+  // Left-associative concat: ((((?person/rides)/?bus)/rides^-)/?infected).
+  EXPECT_EQ((*r)->kind(), Regex::Kind::kConcat);
+  EXPECT_EQ((*r)->rhs()->kind(), Regex::Kind::kNodeTest);
+  EXPECT_EQ((*r)->rhs()->test()->label(), "infected");
+  EXPECT_EQ((*r)->NumAtoms(), 5u);
+}
+
+TEST(ParserTest, PaperDatePropertyQuery) {
+  Result<RegexPtr> r =
+      ParseRegex("?person/[contact & date=\"3/4/21\"]/?infected");
+  ASSERT_TRUE(r.ok());
+  const RegexPtr& edge = (*r)->lhs()->rhs();
+  ASSERT_EQ(edge->kind(), Regex::Kind::kEdgeFwd);
+  ASSERT_EQ(edge->test()->kind(), TestExpr::Kind::kAnd);
+  EXPECT_EQ(edge->test()->lhs()->kind(), TestExpr::Kind::kLabel);
+  EXPECT_EQ(edge->test()->rhs()->kind(), TestExpr::Kind::kPropEq);
+  EXPECT_EQ(edge->test()->rhs()->prop_name(), "date");
+  EXPECT_EQ(edge->test()->rhs()->value(), "3/4/21");
+}
+
+TEST(ParserTest, BarePropertyEquality) {
+  Result<RegexPtr> r = ParseRegex("date=\"3/4/21\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), Regex::Kind::kEdgeFwd);
+  EXPECT_EQ((*r)->test()->kind(), TestExpr::Kind::kPropEq);
+}
+
+TEST(ParserTest, FeatureTests) {
+  Result<RegexPtr> r =
+      ParseRegex("f1=person/[f1=contact & f5=\"3/4/21\"]/?f1=infected");
+  ASSERT_TRUE(r.ok());
+  const RegexPtr& head = (*r)->lhs()->lhs();
+  ASSERT_EQ(head->kind(), Regex::Kind::kEdgeFwd);
+  ASSERT_EQ(head->test()->kind(), TestExpr::Kind::kFeatEq);
+  EXPECT_EQ(head->test()->feature(), 0u);  // f1 is 0-based internally.
+  EXPECT_EQ(head->test()->value(), "person");
+
+  const RegexPtr& mid = (*r)->lhs()->rhs();
+  ASSERT_EQ(mid->test()->kind(), TestExpr::Kind::kAnd);
+  EXPECT_EQ(mid->test()->rhs()->feature(), 4u);
+}
+
+TEST(ParserTest, QuotedF1IsALabel) {
+  Result<RegexPtr> r = ParseRegex("\"f1\"=x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->test()->kind(), TestExpr::Kind::kPropEq);
+  EXPECT_EQ((*r)->test()->prop_name(), "f1");
+}
+
+TEST(ParserTest, FeatureIndexZeroRejected) {
+  EXPECT_FALSE(ParseRegex("f0=x").ok());
+}
+
+TEST(ParserTest, PaperInfectionPropagationQuery) {
+  Result<RegexPtr> r = ParseRegex(
+      "?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumAtoms(), 8u);
+  ExpectRoundTrip(
+      "?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person");
+}
+
+TEST(ParserTest, UnionAndStarPrecedence) {
+  // a/b+c/d == (a/b) + (c/d); a/b* == a/(b*).
+  Result<RegexPtr> r1 = ParseRegex("a/b+c/d");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->kind(), Regex::Kind::kUnion);
+  Result<RegexPtr> r2 = ParseRegex("a/b*");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->kind(), Regex::Kind::kConcat);
+  EXPECT_EQ((*r2)->rhs()->kind(), Regex::Kind::kStar);
+}
+
+TEST(ParserTest, DoubleStarParses) {
+  Result<RegexPtr> r = ParseRegex("a**");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), Regex::Kind::kStar);
+  EXPECT_EQ((*r)->lhs()->kind(), Regex::Kind::kStar);
+}
+
+TEST(ParserTest, NegationAndBooleans) {
+  Result<RegexPtr> r = ParseRegex("[!(a | b) & c]");
+  ASSERT_TRUE(r.ok());
+  const TestPtr& t = (*r)->test();
+  ASSERT_EQ(t->kind(), TestExpr::Kind::kAnd);
+  EXPECT_EQ(t->lhs()->kind(), TestExpr::Kind::kNot);
+  EXPECT_EQ(t->lhs()->lhs()->kind(), TestExpr::Kind::kOr);
+}
+
+TEST(ParserTest, TrueTest) {
+  Result<RegexPtr> r = ParseRegex("?true/true");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->lhs()->test()->kind(), TestExpr::Kind::kTrue);
+  EXPECT_EQ((*r)->rhs()->test()->kind(), TestExpr::Kind::kTrue);
+}
+
+TEST(ParserTest, QuotedStringsWithEscapes) {
+  Result<RegexPtr> r = ParseRegex("\"a \\\"quoted\\\" label\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->test()->label(), "a \"quoted\" label");
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  Result<RegexPtr> r = ParseRegex("?person/(rides");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseRegex("").ok());
+  EXPECT_FALSE(ParseRegex("/").ok());
+  EXPECT_FALSE(ParseRegex("a//b").ok());
+  EXPECT_FALSE(ParseRegex("a+").ok());
+  EXPECT_FALSE(ParseRegex("?").ok());
+  EXPECT_FALSE(ParseRegex("a^").ok());
+  EXPECT_FALSE(ParseRegex("a^+").ok());
+  EXPECT_FALSE(ParseRegex("[a").ok());
+  EXPECT_FALSE(ParseRegex("a]").ok());
+  EXPECT_FALSE(ParseRegex("\"unterminated").ok());
+  EXPECT_FALSE(ParseRegex("a=").ok());
+  EXPECT_FALSE(ParseRegex("a b").ok());
+  EXPECT_FALSE(ParseRegex("a & b").ok());  // Booleans need brackets.
+  EXPECT_FALSE(ParseRegex("a @ b").ok());
+}
+
+TEST(ParserTest, StandaloneTestParser) {
+  Result<TestPtr> t = ParseTest("person & !infected");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->kind(), TestExpr::Kind::kAnd);
+  EXPECT_FALSE(ParseTest("person person").ok());
+  EXPECT_FALSE(ParseTest("").ok());
+}
+
+TEST(ParserTest, RoundTripSuite) {
+  ExpectRoundTrip("?person/rides/?bus/rides^-/?infected");
+  ExpectRoundTrip("?person/[contact & date=\"3/4/21\"]/?infected");
+  ExpectRoundTrip("(a+b)*/c");
+  ExpectRoundTrip("[!a]^-");
+  ExpectRoundTrip("?[a | b & c]");
+  ExpectRoundTrip("f1=x/f2=y");
+  ExpectRoundTrip("a/b/c/d/e");
+  ExpectRoundTrip("((a/b)+(c/d))*");
+  ExpectRoundTrip("name=\"Juan P\\\"erez\"");
+}
+
+TEST(RegexTest, ToStringIsParseable) {
+  RegexPtr r = Regex::Concat(
+      Regex::NodeLabel("person"),
+      Regex::Star(Regex::Union(Regex::EdgeLabel("lives"),
+                               Regex::EdgeLabelBwd("contact"))));
+  Result<RegexPtr> back = ParseRegex(r->ToString());
+  ASSERT_TRUE(back.ok()) << r->ToString();
+  EXPECT_EQ(r->ToString(), (*back)->ToString());
+}
+
+TEST(TestExprTest, ToStringQuotesSpecials) {
+  TestPtr t = TestExpr::PropEq("date", "3/4/21");
+  EXPECT_EQ(t->ToString(), "date=\"3/4/21\"");
+  TestPtr label = TestExpr::Label("simple_label");
+  EXPECT_EQ(label->ToString(), "simple_label");
+}
+
+}  // namespace
+}  // namespace kgq

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/figure2.h"
+#include "rdf/bgp.h"
+#include "rdf/convert.h"
+#include "rdf/triple_store.h"
+#include "rdf/turtle.h"
+
+namespace kgq {
+namespace {
+
+// ------------------------------------------------------------ triple store
+
+TEST(TripleStoreTest, InsertAndDedup) {
+  TripleStore store;
+  EXPECT_TRUE(store.Insert("juan", "rides", "bus1"));
+  EXPECT_FALSE(store.Insert("juan", "rides", "bus1"));  // RDF is a set.
+  EXPECT_TRUE(store.Insert("juan", "rides", "bus2"));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains("juan", "rides", "bus1"));
+  EXPECT_FALSE(store.Contains("juan", "rides", "bus3"));
+  EXPECT_FALSE(store.Contains("ghost", "rides", "bus1"));
+}
+
+TEST(TripleStoreTest, PatternMatchingAllBoundCombinations) {
+  TripleStore store;
+  store.Insert("a", "p", "x");
+  store.Insert("a", "p", "y");
+  store.Insert("a", "q", "x");
+  store.Insert("b", "p", "x");
+
+  auto count = [&](std::string_view s, std::string_view p,
+                   std::string_view o) {
+    return store.MatchStrings(s, p, o).size();
+  };
+  EXPECT_EQ(count("", "", ""), 4u);
+  EXPECT_EQ(count("a", "", ""), 3u);
+  EXPECT_EQ(count("", "p", ""), 3u);
+  EXPECT_EQ(count("", "", "x"), 3u);
+  EXPECT_EQ(count("a", "p", ""), 2u);
+  EXPECT_EQ(count("a", "", "x"), 2u);
+  EXPECT_EQ(count("", "p", "x"), 2u);
+  EXPECT_EQ(count("a", "p", "x"), 1u);
+  EXPECT_EQ(count("a", "p", "z"), 0u);
+  EXPECT_EQ(count("zz", "", ""), 0u);  // Unknown constant.
+}
+
+TEST(TripleStoreTest, MatchAfterIncrementalInserts) {
+  TripleStore store;
+  store.Insert("a", "p", "x");
+  EXPECT_EQ(store.MatchStrings("", "p", "").size(), 1u);
+  store.Insert("b", "p", "y");  // Indexes must rebuild lazily.
+  EXPECT_EQ(store.MatchStrings("", "p", "").size(), 2u);
+  EXPECT_EQ(store.AllTriples().size(), 2u);
+}
+
+// -------------------------------------------------------------------- BGP
+
+TripleStore Fig2Store() { return LabeledToRdf(Figure2Labeled()); }
+
+TEST(BgpTest, PaperPossiblyInfectedAsBgp) {
+  TripleStore store = Fig2Store();
+  // person(x) ∧ rides(x,y) ∧ bus(y) ∧ rides(z,y) ∧ infected(z).
+  Result<std::vector<TriplePattern>> patterns = ParseBgp(
+      "?x kgq:label person . ?x rides ?y . ?y kgq:label bus . "
+      "?z rides ?y . ?z kgq:label infected");
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  Result<std::vector<Binding>> solutions = EvalBgp(store, *patterns);
+  ASSERT_TRUE(solutions.ok());
+  std::set<std::string> xs;
+  for (const Binding& b : *solutions) {
+    xs.insert(store.dict().Lookup(b.at("x")));
+  }
+  EXPECT_EQ(xs, (std::set<std::string>{"n0", "n4"}));  // Juan, Rosa.
+}
+
+TEST(BgpTest, JoinOrderIndependence) {
+  TripleStore store = Fig2Store();
+  Result<std::vector<TriplePattern>> fwd = ParseBgp(
+      "?x kgq:label person . ?x rides ?y");
+  Result<std::vector<TriplePattern>> rev = ParseBgp(
+      "?x rides ?y . ?x kgq:label person");
+  ASSERT_TRUE(fwd.ok() && rev.ok());
+  auto a = EvalBgp(store, *fwd);
+  auto b = EvalBgp(store, *rev);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->size(), 2u);  // Juan and Rosa ride.
+}
+
+TEST(BgpTest, RepeatedVariableWithinPattern) {
+  TripleStore store;
+  store.Insert("a", "knows", "a");
+  store.Insert("a", "knows", "b");
+  Result<std::vector<TriplePattern>> p = ParseBgp("?x knows ?x");
+  ASSERT_TRUE(p.ok());
+  auto solutions = EvalBgp(store, *p);
+  ASSERT_TRUE(solutions.ok());
+  ASSERT_EQ(solutions->size(), 1u);
+  EXPECT_EQ(store.dict().Lookup((*solutions)[0].at("x")), "a");
+}
+
+TEST(BgpTest, UnknownConstantGivesEmpty) {
+  TripleStore store = Fig2Store();
+  Result<std::vector<TriplePattern>> p = ParseBgp("?x flies ?y");
+  ASSERT_TRUE(p.ok());
+  auto solutions = EvalBgp(store, *p);
+  ASSERT_TRUE(solutions.ok());
+  EXPECT_TRUE(solutions->empty());
+}
+
+TEST(BgpTest, ParseErrors) {
+  EXPECT_FALSE(ParseBgp("").ok());
+  EXPECT_FALSE(ParseBgp("?x rides").ok());
+  EXPECT_FALSE(ParseBgp("a b c d").ok());
+  EXPECT_FALSE(ParseBgp("? rides ?y").ok());
+  EXPECT_FALSE(ParseBgp("\"open literal").ok());
+  EXPECT_FALSE(EvalBgp(TripleStore(), {}).ok());
+}
+
+TEST(BgpTest, PropertyPathPatterns) {
+  TripleStore store = Fig2Store();
+  // SPARQL 1.1 flavor: who is connected to the infected node via a
+  // shared bus, as one property-path pattern.
+  Result<std::vector<TriplePattern>> patterns = ParseBgp(
+      "?x kgq:label person . ?x (rides/rides^-) ?z . ?z kgq:label infected");
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  EXPECT_NE((*patterns)[1].path, nullptr);
+  Result<std::vector<Binding>> solutions = EvalBgp(store, *patterns);
+  ASSERT_TRUE(solutions.ok());
+  std::set<std::string> xs;
+  for (const Binding& b : *solutions) {
+    xs.insert(store.dict().Lookup(b.at("x")));
+  }
+  EXPECT_EQ(xs, (std::set<std::string>{"n0", "n4"}));  // Juan, Rosa.
+}
+
+TEST(BgpTest, PropertyPathWithStar) {
+  TripleStore store = Fig2Store();
+  // Transitive contact closure from Juan (n0).
+  Result<std::vector<TriplePattern>> patterns =
+      ParseBgp("n0 (contact*) ?y");
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  Result<std::vector<Binding>> solutions = EvalBgp(store, *patterns);
+  ASSERT_TRUE(solutions.ok());
+  std::set<std::string> ys;
+  for (const Binding& b : *solutions) {
+    ys.insert(store.dict().Lookup(b.at("y")));
+  }
+  EXPECT_EQ(ys, (std::set<std::string>{"n0", "n1", "n4"}));
+}
+
+TEST(BgpTest, PropertyPathBothConstants) {
+  TripleStore store = Fig2Store();
+  Result<std::vector<TriplePattern>> yes =
+      ParseBgp("n0 (rides/rides^-) n3");
+  ASSERT_TRUE(yes.ok());
+  Result<std::vector<Binding>> hit = EvalBgp(store, *yes);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->size(), 1u);  // One (empty) solution: the pattern holds.
+
+  Result<std::vector<TriplePattern>> no = ParseBgp("n1 (rides) ?y");
+  Result<std::vector<Binding>> miss = EvalBgp(store, *no);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());  // Ana doesn't ride.
+}
+
+TEST(BgpTest, PropertyPathParseErrors) {
+  EXPECT_FALSE(ParseBgp("?x (rides ?y").ok());     // Unterminated.
+  EXPECT_FALSE(ParseBgp("?x (a//b) ?y").ok());     // Bad regex inside.
+  EXPECT_FALSE(ParseBgp("(rides) ?p ?y").ok());    // Path in subject slot.
+}
+
+TEST(BgpTest, QuotedConstants) {
+  TripleStore store;
+  store.Insert("e1", "date", "3/4/21");
+  Result<std::vector<TriplePattern>> p = ParseBgp("?e date \"3/4/21\"");
+  ASSERT_TRUE(p.ok());
+  auto solutions = EvalBgp(store, *p);
+  ASSERT_TRUE(solutions.ok());
+  EXPECT_EQ(solutions->size(), 1u);
+}
+
+// ----------------------------------------------------------------- Turtle
+
+TEST(TurtleTest, BasicStatementsAndComments) {
+  TripleStore store;
+  Result<size_t> n = LoadTurtle(
+      "# a comment\n"
+      "juan rides bus1 .\n"
+      "juan name \"Juan P.\" .\n"
+      "juan rides bus1 .  # duplicate collapses\n",
+      &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_TRUE(store.Contains("juan", "name", "Juan P."));
+}
+
+TEST(TurtleTest, PrefixesAndIris) {
+  TripleStore store;
+  Result<size_t> n = LoadTurtle(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:juan ex:rides <http://example.org/bus1> .\n"
+      "ex:juan a ex:Person .\n",
+      &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_TRUE(store.Contains("http://example.org/juan",
+                             "http://example.org/rides",
+                             "http://example.org/bus1"));
+  // 'a' expands to rdf:type.
+  EXPECT_TRUE(store.Contains(
+      "http://example.org/juan",
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+      "http://example.org/Person"));
+}
+
+TEST(TurtleTest, UniversalInterpretationAcrossDocuments) {
+  // The paper: the same constant in two RDF graphs denotes the same
+  // element. Loading two documents into one store merges on IRIs.
+  TripleStore store;
+  ASSERT_TRUE(LoadTurtle("<http://ex/a> knows <http://ex/b> .", &store).ok());
+  ASSERT_TRUE(LoadTurtle("<http://ex/b> knows <http://ex/c> .", &store).ok());
+  auto hops = store.MatchStrings("", "knows", "");
+  EXPECT_EQ(hops.size(), 2u);
+  // b is both object and subject — one constant.
+  EXPECT_EQ(store.dict().Find("http://ex/b").has_value(), true);
+}
+
+TEST(TurtleTest, Errors) {
+  TripleStore store;
+  EXPECT_FALSE(LoadTurtle("a b .", &store).ok());
+  EXPECT_FALSE(LoadTurtle("a b c", &store).ok());  // Missing terminator.
+  // Unknown prefixes are opaque constants, not errors.
+  EXPECT_TRUE(LoadTurtle("x:y p o .", &store).ok());
+  EXPECT_TRUE(store.Contains("x:y", "p", "o"));
+  EXPECT_FALSE(LoadTurtle("\"open p o .", &store).ok());
+  EXPECT_FALSE(LoadTurtle("<open p o .", &store).ok());
+  EXPECT_FALSE(LoadTurtle("@prefix ex: <http://e/>", &store).ok());
+}
+
+TEST(TurtleTest, SaveLoadRoundTrip) {
+  TripleStore store;
+  store.Insert("juan", "name", "Juan Pérez");
+  store.Insert("juan", "rides", "bus 1");
+  store.Insert("e", "date", "3/4/21");  // '/' needs no quoting; '.' would.
+  std::string text = SaveTurtle(store);
+  TripleStore reloaded;
+  Result<size_t> n = LoadTurtle(text, &reloaded);
+  ASSERT_TRUE(n.ok()) << n.status() << "\n" << text;
+  EXPECT_EQ(*n, store.size());
+  for (const Triple& t : store.AllTriples()) {
+    EXPECT_TRUE(reloaded.Contains(store.dict().Lookup(t.s),
+                                  store.dict().Lookup(t.p),
+                                  store.dict().Lookup(t.o)));
+  }
+}
+
+// ------------------------------------------------------------- conversion
+
+TEST(ConvertTest, LabeledGraphRoundTrip) {
+  LabeledGraph g = Figure2Labeled();
+  TripleStore store = LabeledToRdf(g);
+  // 6 label triples + 7 edges.
+  EXPECT_EQ(store.size(), 13u);
+  Result<LabeledGraph> back = RdfToLabeled(store);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), g.num_nodes());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  // Edge multiset by (source label, edge label, target label) matches.
+  std::multiset<std::string> want, got;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    want.insert(g.NodeLabelString(g.EdgeSource(e)) + "|" +
+                g.EdgeLabelString(e) + "|" +
+                g.NodeLabelString(g.EdgeTarget(e)));
+  }
+  for (EdgeId e = 0; e < back->num_edges(); ++e) {
+    got.insert(back->NodeLabelString(back->EdgeSource(e)) + "|" +
+               back->EdgeLabelString(e) + "|" +
+               back->NodeLabelString(back->EdgeTarget(e)));
+  }
+  EXPECT_EQ(want, got);
+}
+
+TEST(ConvertTest, ParallelEdgesCollapse) {
+  // The documented lossiness: RDF has no edge identities.
+  LabeledGraph g;
+  NodeId a = g.AddNode("x");
+  NodeId b = g.AddNode("y");
+  g.AddEdge(a, b, "e").value();
+  g.AddEdge(a, b, "e").value();  // Parallel duplicate.
+  g.AddEdge(a, b, "f").value();  // Different label survives.
+  TripleStore store = LabeledToRdf(g);
+  Result<LabeledGraph> back = RdfToLabeled(store);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), 2u);
+}
+
+TEST(ConvertTest, RejectsForeignStores) {
+  TripleStore store;
+  store.Insert("a", "p", "b");
+  EXPECT_FALSE(RdfToLabeled(store).ok());
+
+  TripleStore twice;
+  twice.Insert("n0", kNodeLabelPredicate, "x");
+  twice.Insert("n0", kNodeLabelPredicate, "y");
+  EXPECT_FALSE(RdfToLabeled(twice).ok());
+
+  TripleStore dangling;
+  dangling.Insert("n0", kNodeLabelPredicate, "x");
+  dangling.Insert("n0", "p", "n9");
+  EXPECT_FALSE(RdfToLabeled(dangling).ok());
+}
+
+}  // namespace
+}  // namespace kgq

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "pathalg/pairs.h"
+#include "rdf/rdf_view.h"
+#include "rdf/rdfs.h"
+#include "rdf/triple_store.h"
+#include "rdf/turtle.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+
+namespace kgq {
+namespace {
+
+TEST(RdfsTest, SubClassTransitivityAndTypeInheritance) {
+  TripleStore store;
+  store.Insert("Bus", "rdfs:subClassOf", "Vehicle");
+  store.Insert("Vehicle", "rdfs:subClassOf", "Thing");
+  store.Insert("bus1", "rdf:type", "Bus");
+  size_t derived = MaterializeRdfs(&store);
+  EXPECT_TRUE(store.Contains("Bus", "rdfs:subClassOf", "Thing"));   // rdfs11.
+  EXPECT_TRUE(store.Contains("bus1", "rdf:type", "Vehicle"));       // rdfs9.
+  EXPECT_TRUE(store.Contains("bus1", "rdf:type", "Thing"));
+  EXPECT_EQ(derived, 3u);
+}
+
+TEST(RdfsTest, SubPropertyAndInheritance) {
+  TripleStore store;
+  store.Insert("rides", "rdfs:subPropertyOf", "uses");
+  store.Insert("uses", "rdfs:subPropertyOf", "relatesTo");
+  store.Insert("juan", "rides", "bus1");
+  MaterializeRdfs(&store);
+  EXPECT_TRUE(store.Contains("juan", "uses", "bus1"));       // rdfs7.
+  EXPECT_TRUE(store.Contains("juan", "relatesTo", "bus1"));  // Chained.
+  EXPECT_TRUE(
+      store.Contains("rides", "rdfs:subPropertyOf", "relatesTo"));  // rdfs5.
+}
+
+TEST(RdfsTest, DomainAndRange) {
+  TripleStore store;
+  store.Insert("rides", "rdfs:domain", "Person");
+  store.Insert("rides", "rdfs:range", "Bus");
+  store.Insert("juan", "rides", "bus1");
+  MaterializeRdfs(&store);
+  EXPECT_TRUE(store.Contains("juan", "rdf:type", "Person"));  // rdfs2.
+  EXPECT_TRUE(store.Contains("bus1", "rdf:type", "Bus"));     // rdfs3.
+}
+
+TEST(RdfsTest, InteractionOfRules) {
+  // Domain typing feeds subclass inheritance, through subproperties.
+  TripleStore store;
+  store.Insert("rides", "rdfs:subPropertyOf", "uses");
+  store.Insert("uses", "rdfs:domain", "Agent");
+  store.Insert("Agent", "rdfs:subClassOf", "Thing");
+  store.Insert("juan", "rides", "bus1");
+  MaterializeRdfs(&store);
+  EXPECT_TRUE(store.Contains("juan", "uses", "bus1"));
+  EXPECT_TRUE(store.Contains("juan", "rdf:type", "Agent"));
+  EXPECT_TRUE(store.Contains("juan", "rdf:type", "Thing"));
+}
+
+TEST(RdfsTest, IdempotentFixpoint) {
+  TripleStore store;
+  store.Insert("A", "rdfs:subClassOf", "B");
+  store.Insert("B", "rdfs:subClassOf", "A");  // Cycle is fine.
+  store.Insert("x", "rdf:type", "A");
+  size_t first = MaterializeRdfs(&store);
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(MaterializeRdfs(&store), 0u);  // Already saturated.
+  EXPECT_TRUE(store.Contains("x", "rdf:type", "B"));
+  // Cyclic hierarchies derive reflexive subclass edges.
+  EXPECT_TRUE(store.Contains("A", "rdfs:subClassOf", "A"));
+}
+
+TEST(RdfsTest, CustomVocabulary) {
+  TripleStore store;
+  store.Insert("C", "isa", "D");
+  store.Insert("x", "instanceOf", "C");
+  RdfsVocabulary vocab;
+  vocab.type = "instanceOf";
+  vocab.sub_class_of = "isa";
+  MaterializeRdfs(&store, vocab);
+  EXPECT_TRUE(store.Contains("x", "instanceOf", "D"));
+}
+
+// ------------------------------------------------------------- RDF view
+
+TEST(RdfViewTest, NodesEdgesAndLabels) {
+  TripleStore store;
+  ASSERT_TRUE(LoadTurtle("juan rides bus1 .\n"
+                         "pedro rides bus1 .\n"
+                         "juan rdf:type Person .\n"
+                         "pedro rdf:type Infected .\n"
+                         "bus1 rdf:type Bus .\n",
+                         &store)
+                  .ok());
+  RdfGraphView view(store);
+  // Terms: juan, rides? No — predicates are not nodes. Subjects/objects:
+  // juan, bus1, pedro, Person, Infected, Bus.
+  EXPECT_EQ(view.num_nodes(), 6u);
+  EXPECT_EQ(view.num_edges(), 5u);
+  NodeId juan = view.NodeOf("juan");
+  ASSERT_NE(juan, kNoNode);
+  EXPECT_TRUE(view.NodeLabelIs(juan, "Person"));
+  EXPECT_FALSE(view.NodeLabelIs(juan, "Bus"));
+  EXPECT_EQ(view.NodeOf("rides"), kNoNode);
+  EXPECT_EQ(view.TermOf(juan), "juan");
+}
+
+TEST(RdfViewTest, PropertyPathsOverRdf) {
+  // SPARQL-property-path flavor: who shared a bus with an infected
+  // individual, straight over triples.
+  TripleStore store;
+  ASSERT_TRUE(LoadTurtle("juan rides bus1 .\n"
+                         "rosa rides bus2 .\n"
+                         "pedro rides bus1 .\n"
+                         "juan rdf:type Person .\n"
+                         "rosa rdf:type Person .\n"
+                         "pedro rdf:type Infected .\n",
+                         &store)
+                  .ok());
+  RdfGraphView view(store);
+  Result<RegexPtr> q = ParseRegex("?Person/rides/rides^-/?Infected");
+  Result<PathNfa> nfa = PathNfa::Compile(view, **q);
+  ASSERT_TRUE(nfa.ok());
+  Bitset from_juan = ReachableFrom(*nfa, view.NodeOf("juan"));
+  EXPECT_TRUE(from_juan.Test(view.NodeOf("pedro")));
+  Bitset from_rosa = ReachableFrom(*nfa, view.NodeOf("rosa"));
+  EXPECT_TRUE(from_rosa.None());  // Different bus.
+}
+
+TEST(RdfViewTest, ReasoningChangesQueryAnswers) {
+  // The Section 2.3 loop: materialize, then query the produced
+  // knowledge. Before RDFS, the subproperty edge is invisible to the
+  // query; after, it matches.
+  TripleStore store;
+  ASSERT_TRUE(LoadTurtle("rides rdfs:subPropertyOf uses .\n"
+                         "juan rides bus1 .\n",
+                         &store)
+                  .ok());
+  {
+    RdfGraphView before(store);
+    PathNfa nfa = *PathNfa::Compile(before, **ParseRegex("uses"));
+    EXPECT_TRUE(ReachableFrom(nfa, before.NodeOf("juan")).None());
+  }
+  MaterializeRdfs(&store);
+  {
+    RdfGraphView after(store);
+    PathNfa nfa = *PathNfa::Compile(after, **ParseRegex("uses"));
+    Bitset r = ReachableFrom(nfa, after.NodeOf("juan"));
+    EXPECT_TRUE(r.Test(after.NodeOf("bus1")));
+  }
+}
+
+}  // namespace
+}  // namespace kgq

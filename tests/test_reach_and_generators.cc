@@ -1,0 +1,167 @@
+// Direct unit tests for the ReachTable (the shared preprocessing
+// structure of enumeration and the FPRAS) and for the graph generators'
+// structural contracts.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datasets/figure2.h"
+#include "graph/generators.h"
+#include "graph/graph_view.h"
+#include "pathalg/exact.h"
+#include "pathalg/reach.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+
+namespace kgq {
+namespace {
+
+RegexPtr Parse(const std::string& s) { return *ParseRegex(s); }
+
+// -------------------------------------------------------------- ReachTable
+
+TEST(ReachTableTest, LayerZeroIsAcceptance) {
+  LabeledGraph g = Figure2Labeled();
+  LabeledGraphView view(g);
+  PathNfa nfa = *PathNfa::Compile(view, *Parse("?person"));
+  ReachTable reach(nfa, 3, {});
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    // A node can finish with 0 steps iff its start mask is accepting.
+    EXPECT_EQ(reach.CanFinish(0, n, nfa.StartMask(n)),
+              nfa.Accepting(nfa.StartMask(n)))
+        << n;
+  }
+}
+
+TEST(ReachTableTest, CanFinishAgreesWithExactCounts) {
+  // CanFinish(j, n, StartMask(n)) must be true exactly when some
+  // conforming path of length j starts at n.
+  Rng rng(5);
+  LabeledGraph g = ErdosRenyi(10, 24, {"p", "q"}, {"a", "b"}, &rng);
+  LabeledGraphView view(g);
+  for (const char* q : {"(a+b/b^-)*", "?p/a/b", "a*"}) {
+    RegexPtr regex = Parse(q);
+    PathNfa nfa = *PathNfa::Compile(view, *regex);
+    const size_t max_len = 4;
+    ReachTable reach(nfa, max_len, {});
+    for (size_t j = 0; j <= max_len; ++j) {
+      for (NodeId n = 0; n < g.num_nodes(); ++n) {
+        PathQueryOptions opts;
+        opts.start = n;
+        ExactPathIndex index(nfa, j, opts);
+        bool has_path = index.Count(j) > 0;
+        EXPECT_EQ(reach.CanFinish(j, n, nfa.StartMask(n)), has_path)
+            << q << " j=" << j << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ReachTableTest, RespectsEndAndAvoid) {
+  LabeledGraph g = Figure2Labeled();
+  LabeledGraphView view(g);
+  PathNfa nfa = *PathNfa::Compile(view, *Parse("rides/rides^-"));
+  PathQueryOptions opts;
+  opts.end = fig2::kPedro;
+  ReachTable reach(nfa, 2, opts);
+  // Juan can finish in 2 steps at Pedro; Ana cannot start at all.
+  EXPECT_TRUE(reach.CanFinish(2, fig2::kJuan, nfa.StartMask(fig2::kJuan)));
+  EXPECT_FALSE(reach.CanFinish(2, fig2::kAna, nfa.StartMask(fig2::kAna)));
+  // Avoiding the bus kills every route.
+  PathQueryOptions avoid;
+  avoid.end = fig2::kPedro;
+  avoid.avoid = fig2::kBus;
+  ReachTable blocked(nfa, 2, avoid);
+  EXPECT_FALSE(
+      blocked.CanFinish(2, fig2::kJuan, nfa.StartMask(fig2::kJuan)));
+}
+
+// ---------------------------------------------------------- SampleUpTo
+
+TEST(ExactSampleTest, SampleUpToMixesLengths) {
+  LabeledGraph g = Figure2Labeled();
+  LabeledGraphView view(g);
+  PathNfa nfa = *PathNfa::Compile(view, *Parse("(rides+rides^-)*"));
+  ExactPathIndex index(nfa, 2);
+  double c0 = index.Count(0), c1 = index.Count(1), c2 = index.Count(2);
+  ASSERT_GT(c0, 0.0);
+  ASSERT_GT(c1, 0.0);
+  Rng rng(9);
+  std::map<size_t, size_t> by_length;
+  const int draws = 6000;
+  for (int i = 0; i < draws; ++i) {
+    Result<Path> p = index.SampleUpTo(2, &rng);
+    ASSERT_TRUE(p.ok());
+    by_length[p->Length()]++;
+  }
+  double total = c0 + c1 + c2;
+  EXPECT_NEAR(by_length[0] / static_cast<double>(draws), c0 / total, 0.03);
+  EXPECT_NEAR(by_length[1] / static_cast<double>(draws), c1 / total, 0.03);
+  EXPECT_NEAR(by_length[2] / static_cast<double>(draws), c2 / total, 0.03);
+}
+
+TEST(ExactSampleTest, SampleUpToFailsOnEmptySet) {
+  LabeledGraph g = Figure2Labeled();
+  LabeledGraphView view(g);
+  PathNfa nfa = *PathNfa::Compile(view, *Parse("owns/owns"));
+  ExactPathIndex index(nfa, 3);
+  Rng rng(2);
+  EXPECT_EQ(index.SampleUpTo(3, &rng).status().code(),
+            StatusCode::kNotFound);
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(GeneratorsTest, FixedOutDegreeHonorsSequence) {
+  Rng rng(8);
+  std::vector<size_t> degrees = {0, 1, 2, 3, 5, 0, 7};
+  LabeledGraph g = FixedOutDegreeGraph(degrees, {"n"}, {"e"}, &rng);
+  ASSERT_EQ(g.num_nodes(), degrees.size());
+  size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.topology().OutDegree(v), degrees[v]) << v;
+    total += degrees[v];
+  }
+  EXPECT_EQ(g.num_edges(), total);
+}
+
+TEST(GeneratorsTest, LayeredDagShape) {
+  LabeledGraph g = LayeredDag(3, 4, "n", "e");
+  EXPECT_EQ(g.num_nodes(), 16u);        // 4 columns of 4.
+  EXPECT_EQ(g.num_edges(), 3u * 16u);   // 3 layers × 4×4 bicliques.
+  // Sources have no in-edges; sinks no out-edges.
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.topology().InDegree(v), 0u);
+  for (NodeId v = 12; v < 16; ++v) EXPECT_EQ(g.topology().OutDegree(v), 0u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDegreeSkew) {
+  Rng rng(77);
+  LabeledGraph g = BarabasiAlbert(400, 2, {"n"}, {"e"}, &rng);
+  // Preferential attachment: max total degree far above the mean.
+  size_t max_deg = 0, total_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t d = g.topology().OutDegree(v) + g.topology().InDegree(v);
+    max_deg = std::max(max_deg, d);
+    total_deg += d;
+  }
+  double mean = static_cast<double>(total_deg) / g.num_nodes();
+  EXPECT_GT(static_cast<double>(max_deg), 6.0 * mean);
+}
+
+TEST(GeneratorsTest, ErdosRenyiUsesAlphabets) {
+  Rng rng(3);
+  LabeledGraph g = ErdosRenyi(50, 150, {"p", "q"}, {"a", "b", "c"}, &rng);
+  std::map<std::string, size_t> node_hist, edge_hist;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    node_hist[g.NodeLabelString(v)]++;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edge_hist[g.EdgeLabelString(e)]++;
+  }
+  EXPECT_EQ(node_hist.size(), 2u);
+  EXPECT_EQ(edge_hist.size(), 3u);
+}
+
+}  // namespace
+}  // namespace kgq

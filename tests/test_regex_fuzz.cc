@@ -1,0 +1,108 @@
+// Randomized differential testing: generate random regexes and random
+// graphs, then require that the paper-literal reference evaluator, the
+// Glushkov product, and the Thompson product agree path-for-path, and
+// that the exact counter and enumerator agree with all of them.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph_view.h"
+#include "pathalg/enumerate.h"
+#include "pathalg/exact.h"
+#include "rpq/parser.h"
+#include "rpq/path_nfa.h"
+#include "rpq/reference_eval.h"
+
+namespace kgq {
+namespace {
+
+/// Random regex over labels {a, b} and node labels {p, q}, bounded size.
+RegexPtr RandomRegex(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.35)) {
+    // Atom.
+    switch (rng->Below(6)) {
+      case 0:
+        return Regex::EdgeLabel(rng->Bernoulli(0.5) ? "a" : "b");
+      case 1:
+        return Regex::EdgeLabelBwd(rng->Bernoulli(0.5) ? "a" : "b");
+      case 2:
+        return Regex::NodeLabel(rng->Bernoulli(0.5) ? "p" : "q");
+      case 3:
+        return Regex::EdgeFwd(TestExpr::Or(TestExpr::Label("a"),
+                                           TestExpr::Label("b")));
+      case 4:
+        return Regex::EdgeFwd(TestExpr::Not(TestExpr::Label("a")));
+      default:
+        return Regex::NodeTest(TestExpr::True());
+    }
+  }
+  switch (rng->Below(3)) {
+    case 0:
+      return Regex::Union(RandomRegex(rng, depth - 1),
+                          RandomRegex(rng, depth - 1));
+    case 1:
+      return Regex::Concat(RandomRegex(rng, depth - 1),
+                           RandomRegex(rng, depth - 1));
+    default:
+      return Regex::Star(RandomRegex(rng, depth - 1));
+  }
+}
+
+class RegexFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegexFuzz, AllEnginesAgree) {
+  Rng rng(1000 + GetParam());
+  LabeledGraph g = ErdosRenyi(8, 18, {"p", "q"}, {"a", "b"}, &rng);
+  LabeledGraphView view(g);
+  const size_t max_len = 4;
+
+  for (int round = 0; round < 6; ++round) {
+    RegexPtr regex = RandomRegex(&rng, 3);
+    SCOPED_TRACE(regex->ToString());
+
+    // The textual form must round-trip through the parser.
+    Result<RegexPtr> reparsed = ParseRegex(regex->ToString());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ((*reparsed)->ToString(), regex->ToString());
+
+    std::set<Path> reference;
+    for (Path& p : EvalReference(view, *regex, max_len)) {
+      reference.insert(std::move(p));
+    }
+
+    Result<PathNfa> glushkov =
+        PathNfa::Compile(view, *regex, PathNfa::Construction::kGlushkov);
+    Result<PathNfa> thompson =
+        PathNfa::Compile(view, *regex, PathNfa::Construction::kThompson);
+    ASSERT_TRUE(glushkov.ok());
+    ASSERT_TRUE(thompson.ok());
+
+    for (size_t k = 0; k <= max_len; ++k) {
+      std::set<Path> at_k;
+      for (const Path& p : reference) {
+        if (p.Length() == k) at_k.insert(p);
+      }
+      // Enumeration on both constructions.
+      for (PathNfa* nfa : {&*glushkov, &*thompson}) {
+        PathEnumerator enumerator(*nfa, k);
+        std::set<Path> got;
+        Path p;
+        while (enumerator.Next(&p)) {
+          ASSERT_TRUE(got.insert(p).second) << "duplicate " << p.ToString();
+        }
+        ASSERT_EQ(got, at_k) << "k=" << k;
+        // Counter agreement.
+        ExactPathIndex index(*nfa, k);
+        ASSERT_EQ(index.Count(k), static_cast<double>(at_k.size()))
+            << "k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace kgq

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bitset.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace kgq {
+namespace {
+
+double benchmark_sink_ = 0;  // Defeats dead-code elimination in TimerTest.
+
+// ---------------------------------------------------------------- Interner
+
+TEST(InternerTest, InterningIsIdempotent) {
+  Interner in;
+  ConstId a = in.Intern("person");
+  ConstId b = in.Intern("bus");
+  ConstId a2 = in.Intern("person");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(InternerTest, IdsAreDense) {
+  Interner in;
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Intern("b"), 1u);
+  EXPECT_EQ(in.Intern("c"), 2u);
+}
+
+TEST(InternerTest, LookupRoundTrips) {
+  Interner in;
+  ConstId id = in.Intern("rides");
+  EXPECT_EQ(in.Lookup(id), "rides");
+}
+
+TEST(InternerTest, FindDoesNotIntern) {
+  Interner in;
+  EXPECT_FALSE(in.Find("ghost").has_value());
+  EXPECT_EQ(in.size(), 0u);
+  in.Intern("ghost");
+  ASSERT_TRUE(in.Find("ghost").has_value());
+}
+
+TEST(InternerTest, NullConstIsBottom) {
+  Interner in;
+  EXPECT_EQ(in.Lookup(kNullConst), "\xE2\x8A\xA5");
+}
+
+TEST(InternerTest, EmptyStringIsAValidConstant) {
+  Interner in;
+  ConstId id = in.Intern("");
+  EXPECT_EQ(in.Lookup(id), "");
+  EXPECT_EQ(in.Find(""), id);
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(123);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, BetweenIsInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All 5 values hit in 2000 draws.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) counts[rng.WeightedIndex(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  double ratio = static_cast<double>(counts[2]) / counts[0];
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / trials;
+  double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesDifferentStream) {
+  Rng rng(29);
+  Rng fork = rng.Fork();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (rng.Next() != fork.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ------------------------------------------------------------------ Bitset
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(100);
+  EXPECT_FALSE(b.Test(63));
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, SetAllRespectsUniverse) {
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ClearAll();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, BooleanOps) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  a.Set(3);
+  b.Set(3);
+  b.Set(5);
+  Bitset u = a | b;
+  EXPECT_EQ(u.Count(), 3u);
+  Bitset i = a & b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(3));
+  Bitset x = a ^ b;
+  EXPECT_EQ(x.Count(), 2u);
+  EXPECT_TRUE(x.Test(1));
+  EXPECT_TRUE(x.Test(5));
+}
+
+TEST(BitsetTest, ComplementWithinUniverse) {
+  Bitset a(67);
+  a.Set(0);
+  a.Set(66);
+  Bitset c = a.Complement();
+  EXPECT_EQ(c.Count(), 65u);
+  EXPECT_FALSE(c.Test(0));
+  EXPECT_FALSE(c.Test(66));
+  EXPECT_TRUE(c.Test(33));
+}
+
+TEST(BitsetTest, SubtractFrom) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  a.SubtractFrom(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+}
+
+TEST(BitsetTest, SubsetCheck) {
+  Bitset a(128), b(128);
+  a.Set(5);
+  a.Set(100);
+  b.Set(5);
+  b.Set(100);
+  b.Set(7);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, NextSetBitWalk) {
+  Bitset b(200);
+  b.Set(0);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.NextSetBit(0), 0u);
+  EXPECT_EQ(b.NextSetBit(1), 64u);
+  EXPECT_EQ(b.NextSetBit(65), 199u);
+  EXPECT_EQ(b.NextSetBit(200), 200u);
+  Bitset empty(200);
+  EXPECT_EQ(empty.NextSetBit(0), 200u);
+}
+
+TEST(BitsetTest, ForEachVisitsInOrder) {
+  Bitset b(150);
+  std::vector<size_t> expected = {3, 64, 65, 130};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+  auto vec = b.ToVector();
+  EXPECT_EQ(vec.size(), 4u);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a(90), b(90);
+  a.Set(17);
+  b.Set(17);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(18);
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table t("demo", {"k", "count"});
+  t.AddRow({"4", "12"});
+  t.AddNumericRow({8.0, 3.14159}, 2);
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("count"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  benchmark_sink_ = sink;
+  EXPECT_GT(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds() * 1000.0 * 0.99);
+}
+
+}  // namespace
+}  // namespace kgq
