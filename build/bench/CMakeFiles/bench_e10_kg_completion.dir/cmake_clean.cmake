@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_kg_completion.dir/bench_e10_kg_completion.cc.o"
+  "CMakeFiles/bench_e10_kg_completion.dir/bench_e10_kg_completion.cc.o.d"
+  "bench_e10_kg_completion"
+  "bench_e10_kg_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_kg_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e10_kg_completion.
+# This may be replaced when dependencies are built.

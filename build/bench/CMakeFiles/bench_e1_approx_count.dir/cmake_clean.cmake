@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_approx_count.dir/bench_e1_approx_count.cc.o"
+  "CMakeFiles/bench_e1_approx_count.dir/bench_e1_approx_count.cc.o.d"
+  "bench_e1_approx_count"
+  "bench_e1_approx_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_approx_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

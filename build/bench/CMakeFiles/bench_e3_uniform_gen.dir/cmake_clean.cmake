@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_uniform_gen.dir/bench_e3_uniform_gen.cc.o"
+  "CMakeFiles/bench_e3_uniform_gen.dir/bench_e3_uniform_gen.cc.o.d"
+  "bench_e3_uniform_gen"
+  "bench_e3_uniform_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_uniform_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_analytics.dir/bench_e4_analytics.cc.o"
+  "CMakeFiles/bench_e4_analytics.dir/bench_e4_analytics.cc.o.d"
+  "bench_e4_analytics"
+  "bench_e4_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_bcr.dir/bench_e5_bcr.cc.o"
+  "CMakeFiles/bench_e5_bcr.dir/bench_e5_bcr.cc.o.d"
+  "bench_e5_bcr"
+  "bench_e5_bcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_bcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

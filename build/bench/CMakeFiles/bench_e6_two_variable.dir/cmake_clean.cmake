@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_two_variable.dir/bench_e6_two_variable.cc.o"
+  "CMakeFiles/bench_e6_two_variable.dir/bench_e6_two_variable.cc.o.d"
+  "bench_e6_two_variable"
+  "bench_e6_two_variable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_two_variable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_logic_gnn.dir/bench_e7_logic_gnn.cc.o"
+  "CMakeFiles/bench_e7_logic_gnn.dir/bench_e7_logic_gnn.cc.o.d"
+  "bench_e7_logic_gnn"
+  "bench_e7_logic_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_logic_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

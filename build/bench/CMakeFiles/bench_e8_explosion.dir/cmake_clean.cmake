@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_explosion.dir/bench_e8_explosion.cc.o"
+  "CMakeFiles/bench_e8_explosion.dir/bench_e8_explosion.cc.o.d"
+  "bench_e8_explosion"
+  "bench_e8_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_semantics.dir/bench_e9_semantics.cc.o"
+  "CMakeFiles/bench_e9_semantics.dir/bench_e9_semantics.cc.o.d"
+  "bench_e9_semantics"
+  "bench_e9_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

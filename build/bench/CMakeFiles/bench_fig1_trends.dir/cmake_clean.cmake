@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trends.dir/bench_fig1_trends.cc.o"
+  "CMakeFiles/bench_fig1_trends.dir/bench_fig1_trends.cc.o.d"
+  "bench_fig1_trends"
+  "bench_fig1_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_core.dir/bench_micro_core.cc.o"
+  "CMakeFiles/bench_micro_core.dir/bench_micro_core.cc.o.d"
+  "bench_micro_core"
+  "bench_micro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

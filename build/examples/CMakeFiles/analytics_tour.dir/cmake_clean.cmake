@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_tour.dir/analytics_tour.cc.o"
+  "CMakeFiles/analytics_tour.dir/analytics_tour.cc.o.d"
+  "analytics_tour"
+  "analytics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

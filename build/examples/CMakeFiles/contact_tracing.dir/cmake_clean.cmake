@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_tracing.dir/contact_tracing.cc.o"
+  "CMakeFiles/contact_tracing.dir/contact_tracing.cc.o.d"
+  "contact_tracing"
+  "contact_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_trends.dir/kg_trends.cc.o"
+  "CMakeFiles/kg_trends.dir/kg_trends.cc.o.d"
+  "kg_trends"
+  "kg_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

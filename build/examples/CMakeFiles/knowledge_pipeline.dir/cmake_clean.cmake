@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_pipeline.dir/knowledge_pipeline.cc.o"
+  "CMakeFiles/knowledge_pipeline.dir/knowledge_pipeline.cc.o.d"
+  "knowledge_pipeline"
+  "knowledge_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

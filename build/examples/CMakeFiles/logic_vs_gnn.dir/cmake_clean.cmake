@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_vs_gnn.dir/logic_vs_gnn.cc.o"
+  "CMakeFiles/logic_vs_gnn.dir/logic_vs_gnn.cc.o.d"
+  "logic_vs_gnn"
+  "logic_vs_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_vs_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/betweenness.cc" "src/CMakeFiles/kgq.dir/analytics/betweenness.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/betweenness.cc.o.d"
+  "/root/repo/src/analytics/centrality_extra.cc" "src/CMakeFiles/kgq.dir/analytics/centrality_extra.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/centrality_extra.cc.o.d"
+  "/root/repo/src/analytics/clustering.cc" "src/CMakeFiles/kgq.dir/analytics/clustering.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/clustering.cc.o.d"
+  "/root/repo/src/analytics/components.cc" "src/CMakeFiles/kgq.dir/analytics/components.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/components.cc.o.d"
+  "/root/repo/src/analytics/densest.cc" "src/CMakeFiles/kgq.dir/analytics/densest.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/densest.cc.o.d"
+  "/root/repo/src/analytics/pagerank.cc" "src/CMakeFiles/kgq.dir/analytics/pagerank.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/pagerank.cc.o.d"
+  "/root/repo/src/analytics/shortest_paths.cc" "src/CMakeFiles/kgq.dir/analytics/shortest_paths.cc.o" "gcc" "src/CMakeFiles/kgq.dir/analytics/shortest_paths.cc.o.d"
+  "/root/repo/src/automata/dfa.cc" "src/CMakeFiles/kgq.dir/automata/dfa.cc.o" "gcc" "src/CMakeFiles/kgq.dir/automata/dfa.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/CMakeFiles/kgq.dir/automata/nfa.cc.o" "gcc" "src/CMakeFiles/kgq.dir/automata/nfa.cc.o.d"
+  "/root/repo/src/datasets/contact_scenario.cc" "src/CMakeFiles/kgq.dir/datasets/contact_scenario.cc.o" "gcc" "src/CMakeFiles/kgq.dir/datasets/contact_scenario.cc.o.d"
+  "/root/repo/src/datasets/dblp_synth.cc" "src/CMakeFiles/kgq.dir/datasets/dblp_synth.cc.o" "gcc" "src/CMakeFiles/kgq.dir/datasets/dblp_synth.cc.o.d"
+  "/root/repo/src/datasets/figure2.cc" "src/CMakeFiles/kgq.dir/datasets/figure2.cc.o" "gcc" "src/CMakeFiles/kgq.dir/datasets/figure2.cc.o.d"
+  "/root/repo/src/embed/transe.cc" "src/CMakeFiles/kgq.dir/embed/transe.cc.o" "gcc" "src/CMakeFiles/kgq.dir/embed/transe.cc.o.d"
+  "/root/repo/src/gnn/acgnn.cc" "src/CMakeFiles/kgq.dir/gnn/acgnn.cc.o" "gcc" "src/CMakeFiles/kgq.dir/gnn/acgnn.cc.o.d"
+  "/root/repo/src/gnn/logic_to_gnn.cc" "src/CMakeFiles/kgq.dir/gnn/logic_to_gnn.cc.o" "gcc" "src/CMakeFiles/kgq.dir/gnn/logic_to_gnn.cc.o.d"
+  "/root/repo/src/gnn/matrix.cc" "src/CMakeFiles/kgq.dir/gnn/matrix.cc.o" "gcc" "src/CMakeFiles/kgq.dir/gnn/matrix.cc.o.d"
+  "/root/repo/src/gnn/train.cc" "src/CMakeFiles/kgq.dir/gnn/train.cc.o" "gcc" "src/CMakeFiles/kgq.dir/gnn/train.cc.o.d"
+  "/root/repo/src/gnn/wl.cc" "src/CMakeFiles/kgq.dir/gnn/wl.cc.o" "gcc" "src/CMakeFiles/kgq.dir/gnn/wl.cc.o.d"
+  "/root/repo/src/graph/conversions.cc" "src/CMakeFiles/kgq.dir/graph/conversions.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/conversions.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/kgq.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph_view.cc" "src/CMakeFiles/kgq.dir/graph/graph_view.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/graph_view.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/kgq.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/labeled_graph.cc" "src/CMakeFiles/kgq.dir/graph/labeled_graph.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/labeled_graph.cc.o.d"
+  "/root/repo/src/graph/multigraph.cc" "src/CMakeFiles/kgq.dir/graph/multigraph.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/multigraph.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/CMakeFiles/kgq.dir/graph/property_graph.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/property_graph.cc.o.d"
+  "/root/repo/src/graph/transform.cc" "src/CMakeFiles/kgq.dir/graph/transform.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/transform.cc.o.d"
+  "/root/repo/src/graph/vector_graph.cc" "src/CMakeFiles/kgq.dir/graph/vector_graph.cc.o" "gcc" "src/CMakeFiles/kgq.dir/graph/vector_graph.cc.o.d"
+  "/root/repo/src/logic/fo.cc" "src/CMakeFiles/kgq.dir/logic/fo.cc.o" "gcc" "src/CMakeFiles/kgq.dir/logic/fo.cc.o.d"
+  "/root/repo/src/logic/modal.cc" "src/CMakeFiles/kgq.dir/logic/modal.cc.o" "gcc" "src/CMakeFiles/kgq.dir/logic/modal.cc.o.d"
+  "/root/repo/src/logic/rpq_to_modal.cc" "src/CMakeFiles/kgq.dir/logic/rpq_to_modal.cc.o" "gcc" "src/CMakeFiles/kgq.dir/logic/rpq_to_modal.cc.o.d"
+  "/root/repo/src/pathalg/enumerate.cc" "src/CMakeFiles/kgq.dir/pathalg/enumerate.cc.o" "gcc" "src/CMakeFiles/kgq.dir/pathalg/enumerate.cc.o.d"
+  "/root/repo/src/pathalg/exact.cc" "src/CMakeFiles/kgq.dir/pathalg/exact.cc.o" "gcc" "src/CMakeFiles/kgq.dir/pathalg/exact.cc.o.d"
+  "/root/repo/src/pathalg/fpras.cc" "src/CMakeFiles/kgq.dir/pathalg/fpras.cc.o" "gcc" "src/CMakeFiles/kgq.dir/pathalg/fpras.cc.o.d"
+  "/root/repo/src/pathalg/pairs.cc" "src/CMakeFiles/kgq.dir/pathalg/pairs.cc.o" "gcc" "src/CMakeFiles/kgq.dir/pathalg/pairs.cc.o.d"
+  "/root/repo/src/pathalg/reach.cc" "src/CMakeFiles/kgq.dir/pathalg/reach.cc.o" "gcc" "src/CMakeFiles/kgq.dir/pathalg/reach.cc.o.d"
+  "/root/repo/src/pathalg/simple_paths.cc" "src/CMakeFiles/kgq.dir/pathalg/simple_paths.cc.o" "gcc" "src/CMakeFiles/kgq.dir/pathalg/simple_paths.cc.o.d"
+  "/root/repo/src/query/match_query.cc" "src/CMakeFiles/kgq.dir/query/match_query.cc.o" "gcc" "src/CMakeFiles/kgq.dir/query/match_query.cc.o.d"
+  "/root/repo/src/rdf/bgp.cc" "src/CMakeFiles/kgq.dir/rdf/bgp.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/bgp.cc.o.d"
+  "/root/repo/src/rdf/convert.cc" "src/CMakeFiles/kgq.dir/rdf/convert.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/convert.cc.o.d"
+  "/root/repo/src/rdf/rdf_view.cc" "src/CMakeFiles/kgq.dir/rdf/rdf_view.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/rdf_view.cc.o.d"
+  "/root/repo/src/rdf/rdfs.cc" "src/CMakeFiles/kgq.dir/rdf/rdfs.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/rdfs.cc.o.d"
+  "/root/repo/src/rdf/reify.cc" "src/CMakeFiles/kgq.dir/rdf/reify.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/reify.cc.o.d"
+  "/root/repo/src/rdf/triple_store.cc" "src/CMakeFiles/kgq.dir/rdf/triple_store.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/triple_store.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "src/CMakeFiles/kgq.dir/rdf/turtle.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rdf/turtle.cc.o.d"
+  "/root/repo/src/rpq/parser.cc" "src/CMakeFiles/kgq.dir/rpq/parser.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/parser.cc.o.d"
+  "/root/repo/src/rpq/path.cc" "src/CMakeFiles/kgq.dir/rpq/path.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/path.cc.o.d"
+  "/root/repo/src/rpq/path_nfa.cc" "src/CMakeFiles/kgq.dir/rpq/path_nfa.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/path_nfa.cc.o.d"
+  "/root/repo/src/rpq/query_automaton.cc" "src/CMakeFiles/kgq.dir/rpq/query_automaton.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/query_automaton.cc.o.d"
+  "/root/repo/src/rpq/reference_eval.cc" "src/CMakeFiles/kgq.dir/rpq/reference_eval.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/reference_eval.cc.o.d"
+  "/root/repo/src/rpq/regex.cc" "src/CMakeFiles/kgq.dir/rpq/regex.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/regex.cc.o.d"
+  "/root/repo/src/rpq/test_eval.cc" "src/CMakeFiles/kgq.dir/rpq/test_eval.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/test_eval.cc.o.d"
+  "/root/repo/src/rpq/test_expr.cc" "src/CMakeFiles/kgq.dir/rpq/test_expr.cc.o" "gcc" "src/CMakeFiles/kgq.dir/rpq/test_expr.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/kgq.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/kgq.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/interner.cc" "src/CMakeFiles/kgq.dir/util/interner.cc.o" "gcc" "src/CMakeFiles/kgq.dir/util/interner.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/kgq.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/kgq.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/kgq.dir/util/status.cc.o" "gcc" "src/CMakeFiles/kgq.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/kgq.dir/util/table.cc.o" "gcc" "src/CMakeFiles/kgq.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics.dir/test_analytics.cc.o"
+  "CMakeFiles/test_analytics.dir/test_analytics.cc.o.d"
+  "test_analytics"
+  "test_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

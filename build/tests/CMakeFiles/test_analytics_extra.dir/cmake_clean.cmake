@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics_extra.dir/test_analytics_extra.cc.o"
+  "CMakeFiles/test_analytics_extra.dir/test_analytics_extra.cc.o.d"
+  "test_analytics_extra"
+  "test_analytics_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

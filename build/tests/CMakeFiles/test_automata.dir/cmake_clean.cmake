@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automata.dir/test_automata.cc.o"
+  "CMakeFiles/test_automata.dir/test_automata.cc.o.d"
+  "test_automata"
+  "test_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

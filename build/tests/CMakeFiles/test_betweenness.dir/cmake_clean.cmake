@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_betweenness.dir/test_betweenness.cc.o"
+  "CMakeFiles/test_betweenness.dir/test_betweenness.cc.o.d"
+  "test_betweenness"
+  "test_betweenness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

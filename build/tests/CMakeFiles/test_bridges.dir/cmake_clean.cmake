@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridges.dir/test_bridges.cc.o"
+  "CMakeFiles/test_bridges.dir/test_bridges.cc.o.d"
+  "test_bridges"
+  "test_bridges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

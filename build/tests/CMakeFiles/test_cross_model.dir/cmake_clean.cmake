@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_model.dir/test_cross_model.cc.o"
+  "CMakeFiles/test_cross_model.dir/test_cross_model.cc.o.d"
+  "test_cross_model"
+  "test_cross_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

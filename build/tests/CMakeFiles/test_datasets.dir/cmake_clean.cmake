@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets.dir/test_datasets.cc.o"
+  "CMakeFiles/test_datasets.dir/test_datasets.cc.o.d"
+  "test_datasets"
+  "test_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn_train.dir/test_gnn_train.cc.o"
+  "CMakeFiles/test_gnn_train.dir/test_gnn_train.cc.o.d"
+  "test_gnn_train"
+  "test_gnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

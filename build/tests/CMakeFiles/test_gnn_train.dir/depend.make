@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gnn_train.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_models.dir/test_graph_models.cc.o"
+  "CMakeFiles/test_graph_models.dir/test_graph_models.cc.o.d"
+  "test_graph_models"
+  "test_graph_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_scale.dir/test_integration_scale.cc.o"
+  "CMakeFiles/test_integration_scale.dir/test_integration_scale.cc.o.d"
+  "test_integration_scale"
+  "test_integration_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

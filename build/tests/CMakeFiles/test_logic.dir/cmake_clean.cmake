@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/test_logic.cc.o"
+  "CMakeFiles/test_logic.dir/test_logic.cc.o.d"
+  "test_logic"
+  "test_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_query.dir/test_match_query.cc.o"
+  "CMakeFiles/test_match_query.dir/test_match_query.cc.o.d"
+  "test_match_query"
+  "test_match_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_semantics.dir/test_pair_semantics.cc.o"
+  "CMakeFiles/test_pair_semantics.dir/test_pair_semantics.cc.o.d"
+  "test_pair_semantics"
+  "test_pair_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathalg.dir/test_pathalg.cc.o"
+  "CMakeFiles/test_pathalg.dir/test_pathalg.cc.o.d"
+  "test_pathalg"
+  "test_pathalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

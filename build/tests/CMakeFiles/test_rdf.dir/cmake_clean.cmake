@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdf.dir/test_rdf.cc.o"
+  "CMakeFiles/test_rdf.dir/test_rdf.cc.o.d"
+  "test_rdf"
+  "test_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdfs_reasoning.dir/test_rdfs_reasoning.cc.o"
+  "CMakeFiles/test_rdfs_reasoning.dir/test_rdfs_reasoning.cc.o.d"
+  "test_rdfs_reasoning"
+  "test_rdfs_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdfs_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reach_and_generators.dir/test_reach_and_generators.cc.o"
+  "CMakeFiles/test_reach_and_generators.dir/test_reach_and_generators.cc.o.d"
+  "test_reach_and_generators"
+  "test_reach_and_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reach_and_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

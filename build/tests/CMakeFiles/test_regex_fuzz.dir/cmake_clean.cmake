@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regex_fuzz.dir/test_regex_fuzz.cc.o"
+  "CMakeFiles/test_regex_fuzz.dir/test_regex_fuzz.cc.o.d"
+  "test_regex_fuzz"
+  "test_regex_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regex_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpq_semantics.dir/test_rpq_semantics.cc.o"
+  "CMakeFiles/test_rpq_semantics.dir/test_rpq_semantics.cc.o.d"
+  "test_rpq_semantics"
+  "test_rpq_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpq_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

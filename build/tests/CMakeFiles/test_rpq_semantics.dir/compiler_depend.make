@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_rpq_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transe.dir/test_transe.cc.o"
+  "CMakeFiles/test_transe.dir/test_transe.cc.o.d"
+  "test_transe"
+  "test_transe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

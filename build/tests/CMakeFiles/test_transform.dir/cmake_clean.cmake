@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform.dir/test_transform.cc.o"
+  "CMakeFiles/test_transform.dir/test_transform.cc.o.d"
+  "test_transform"
+  "test_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
