@@ -100,6 +100,44 @@ void BM_Betweenness(benchmark::State& state) {
 }
 BENCHMARK(BM_Betweenness)->Arg(1000)->Arg(2000);
 
+// Thread-count sweeps over the parallel kernels: range(0) is the number
+// of threads (1 = the sequential reference path). The substrate
+// guarantees identical output at every point of the sweep, so these
+// curves measure pure scheduling overhead/speedup.
+void BM_PageRankThreads(benchmark::State& state) {
+  LabeledGraph g = MakeBa(10000);
+  PageRankOptions opts;
+  opts.parallel.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto pr = PageRank(g.topology(), opts);
+    benchmark::DoNotOptimize(pr);
+  }
+}
+BENCHMARK(BM_PageRankThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BetweennessThreads(benchmark::State& state) {
+  LabeledGraph g = MakeBa(2000);
+  ParallelOptions par{static_cast<size_t>(state.range(0))};
+  for (auto _ : state) {
+    auto bc =
+        BetweennessCentrality(g.topology(), EdgeDirection::kUndirected, par);
+    benchmark::DoNotOptimize(bc);
+  }
+}
+BENCHMARK(BM_BetweennessThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ApproxBetweennessThreads(benchmark::State& state) {
+  LabeledGraph g = MakeBa(5000);
+  ParallelOptions par{static_cast<size_t>(state.range(0))};
+  for (auto _ : state) {
+    Rng rng(11);
+    auto bc = ApproxBetweennessCentrality(
+        g.topology(), EdgeDirection::kUndirected, 128, &rng, par);
+    benchmark::DoNotOptimize(bc);
+  }
+}
+BENCHMARK(BM_ApproxBetweennessThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_HarmonicCloseness(benchmark::State& state) {
   LabeledGraph g = MakeBa(state.range(0));
   for (auto _ : state) {

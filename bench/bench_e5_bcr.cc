@@ -93,8 +93,61 @@ int main() {
     }
     t.Print(std::cout);
     ok = ok && approx_ok;
-    std::printf("randomized bc_r tracks exact (shape, top-1) → %s\n",
+    std::printf("randomized bc_r tracks exact (shape, top-1) → %s\n\n",
                 approx_ok ? "OK" : "FAIL");
+  }
+
+  // ---- Thread scaling of the source-parallel bc_r sweep -----------------
+  {
+    ContactScenarioOptions opts;
+    opts.num_people = 60;
+    opts.num_buses = 4;
+    Rng gen(2085);
+    PropertyGraph city = ContactScenario(opts, &gen);
+    PropertyGraphView view(city);
+    RegexPtr transport = *ParseRegex("?person/rides/?bus/rides^-/?person");
+
+    Table t("E5c — bc_r thread scaling (source-parallel sweep)",
+            {"threads", "t_exact(s)", "speedup", "t_approx(s)", "speedup",
+             "identical to 1-thread"});
+    double exact_base = 0.0, approx_base = 0.0;
+    std::vector<double> exact_ref, approx_ref;
+    bool identical = true;
+    for (size_t threads : {1, 2, 4, 8}) {
+      BcrOptions bopts;
+      bopts.max_path_length = 4;
+      bopts.parallel.num_threads = threads;
+
+      Timer t_exact;
+      Result<std::vector<double>> exact =
+          RegexBetweenness(view, *transport, bopts);
+      double s_exact = t_exact.Seconds();
+
+      Rng rng(7);
+      Timer t_approx;
+      Result<std::vector<double>> approx =
+          RegexBetweennessApprox(view, *transport, bopts, &rng);
+      double s_approx = t_approx.Seconds();
+
+      if (threads == 1) {
+        exact_base = s_exact;
+        approx_base = s_approx;
+        exact_ref = *exact;
+        approx_ref = *approx;
+      }
+      bool same = *exact == exact_ref && *approx == approx_ref;
+      identical = identical && same;
+      t.AddRow({std::to_string(threads), FormatDouble(s_exact, 2),
+                FormatDouble(exact_base / s_exact, 2),
+                FormatDouble(s_approx, 2),
+                FormatDouble(approx_base / s_approx, 2),
+                same ? "yes" : "NO"});
+    }
+    t.Print(std::cout);
+    ok = ok && identical;
+    std::printf(
+        "bc_r output is bit-identical at every thread count → %s\n",
+        identical ? "OK" : "FAIL");
   }
   return ok ? 0 : 1;
 }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <queue>
 #include <set>
+#include <utility>
 
 #include "pathalg/enumerate.h"
 #include "pathalg/exact.h"
 #include "rpq/path_nfa.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -55,34 +57,69 @@ void BrandesFromSource(const Multigraph& g, EdgeDirection dir, NodeId s,
   }
 }
 
+/// Source-chunk size for the parallel sweeps. Depends only on the
+/// source count (never the thread count) so chunk boundaries — and
+/// therefore the merged floating-point sums — are identical for every
+/// thread schedule. ≤128 chunks bounds the partial-vector memory.
+size_t SourceGrain(size_t num_sources) {
+  return std::max<size_t>(1, (num_sources + 127) / 128);
+}
+
+/// Element-wise sum of two per-chunk accumulator vectors.
+std::vector<double> AddInto(std::vector<double> a,
+                            const std::vector<double>& b) {
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  return a;
+}
+
 }  // namespace
 
 std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
                                                 EdgeDirection dir,
-                                                size_t num_pivots, Rng* rng) {
+                                                size_t num_pivots, Rng* rng,
+                                                const ParallelOptions& par) {
   size_t n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
   if (n == 0 || num_pivots == 0) return bc;
   num_pivots = std::min(num_pivots, n);
   double weight = static_cast<double>(n) / static_cast<double>(num_pivots);
-  // Sample pivots without replacement (partial Fisher–Yates).
+  // Sample pivots without replacement (partial Fisher–Yates). Drawing
+  // all pivots up front keeps the rng stream independent of the
+  // parallel schedule, so a fixed seed reproduces at any thread count.
   std::vector<NodeId> pool(n);
   for (NodeId v = 0; v < n; ++v) pool[v] = v;
   for (size_t i = 0; i < num_pivots; ++i) {
     size_t j = i + rng->Below(n - i);
     std::swap(pool[i], pool[j]);
-    BrandesFromSource(g, dir, pool[i], weight, &bc);
   }
-  return bc;
+  return ParallelReduce(
+      0, num_pivots, SourceGrain(num_pivots), std::move(bc),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> local(n, 0.0);
+        for (size_t i = lo; i < hi; ++i) {
+          BrandesFromSource(g, dir, pool[i], weight, &local);
+        }
+        return local;
+      },
+      AddInto, par);
 }
 
 std::vector<double> BetweennessCentrality(const Multigraph& g,
-                                          EdgeDirection dir) {
-  std::vector<double> bc(g.num_nodes(), 0.0);
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    BrandesFromSource(g, dir, s, /*weight=*/1.0, &bc);
-  }
-  return bc;
+                                          EdgeDirection dir,
+                                          const ParallelOptions& par) {
+  size_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
+  return ParallelReduce(
+      0, n, SourceGrain(n), std::move(bc),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> local(n, 0.0);
+        for (NodeId s = lo; s < hi; ++s) {
+          BrandesFromSource(g, dir, s, /*weight=*/1.0, &local);
+        }
+        return local;
+      },
+      AddInto, par);
 }
 
 Result<std::vector<double>> RegexBetweenness(const GraphView& view,
@@ -91,8 +128,9 @@ Result<std::vector<double>> RegexBetweenness(const GraphView& view,
   KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
   size_t n = view.num_nodes();
   std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
 
-  for (NodeId a = 0; a < n; ++a) {
+  auto process_source = [&](NodeId a, std::vector<double>* acc) {
     std::vector<std::optional<size_t>> dist =
         ShortestAcceptedLengths(nfa, a, opts.max_path_length);
     for (NodeId b = 0; b < n; ++b) {
@@ -105,6 +143,9 @@ Result<std::vector<double>> RegexBetweenness(const GraphView& view,
       PathQueryOptions popts;
       popts.start = a;
       popts.end = b;
+      // Source-level parallelism dominates; the per-pair structures
+      // stay sequential.
+      popts.parallel.num_threads = 1;
       PathEnumerator enumerator(nfa, d, popts);
       double sigma = 0.0;
       std::vector<double> through(n, 0.0);
@@ -120,11 +161,19 @@ Result<std::vector<double>> RegexBetweenness(const GraphView& view,
       }
       if (sigma == 0.0) continue;
       for (NodeId x = 0; x < n; ++x) {
-        if (through[x] > 0.0) bc[x] += through[x] / sigma;
+        if (through[x] > 0.0) (*acc)[x] += through[x] / sigma;
       }
     }
-  }
-  return bc;
+  };
+
+  return ParallelReduce(
+      0, n, SourceGrain(n), std::move(bc),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> local(n, 0.0);
+        for (NodeId a = lo; a < hi; ++a) process_source(a, &local);
+        return local;
+      },
+      AddInto, opts.parallel);
 }
 
 Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
@@ -134,16 +183,30 @@ Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
   KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
   size_t n = view.num_nodes();
   std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
   const size_t samples_per_pair = 32;
 
+  // Per-source randomness is planned up front from the master rng in
+  // source order: whether the source block runs, and the seed of its
+  // private stream. This decouples the random draws from the parallel
+  // schedule, so a fixed master seed reproduces bit-identically at any
+  // thread count.
+  struct SourcePlan {
+    bool run;
+    uint64_t seed;
+  };
+  std::vector<SourcePlan> plans(n);
   for (NodeId a = 0; a < n; ++a) {
     // Sources are sampled as whole blocks when thinning pairs: skipping
     // a source skips its (expensive) configuration BFS too.
-    if (opts.pair_fraction < 1.0 && !rng->Bernoulli(opts.pair_fraction)) {
-      continue;
-    }
-    double scale = opts.pair_fraction < 1.0 ? 1.0 / opts.pair_fraction : 1.0;
+    plans[a].run =
+        !(opts.pair_fraction < 1.0 && !rng->Bernoulli(opts.pair_fraction));
+    plans[a].seed = rng->Next();
+  }
+  double scale = opts.pair_fraction < 1.0 ? 1.0 / opts.pair_fraction : 1.0;
 
+  auto process_source = [&](NodeId a, std::vector<double>* acc) {
+    Rng local_rng(plans[a].seed);
     std::vector<std::optional<size_t>> dist =
         ShortestAcceptedLengths(nfa, a, opts.max_path_length);
     for (NodeId b = 0; b < n; ++b) {
@@ -154,8 +217,9 @@ Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
       PathQueryOptions popts;
       popts.start = a;
       popts.end = b;
+      popts.parallel.num_threads = 1;
       FprasOptions fopts = opts.fpras;
-      fopts.seed = rng->Next();
+      fopts.seed = local_rng.Next();
       FprasPathCounter counter(nfa, d, popts, fopts);
       if (counter.Estimate() <= 0.0) continue;
 
@@ -163,19 +227,29 @@ Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
       // samples that contain x.
       std::set<NodeId> members;
       for (size_t i = 0; i < samples_per_pair; ++i) {
-        Result<Path> p = counter.Sample(rng);
+        Result<Path> p = counter.Sample(&local_rng);
         if (!p.ok()) break;
         members.clear();
         members.insert(p->nodes.begin(), p->nodes.end());
         for (NodeId x : members) {
           if (x != a && x != b) {
-            bc[x] += scale / static_cast<double>(samples_per_pair);
+            (*acc)[x] += scale / static_cast<double>(samples_per_pair);
           }
         }
       }
     }
-  }
-  return bc;
+  };
+
+  return ParallelReduce(
+      0, n, SourceGrain(n), std::move(bc),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> local(n, 0.0);
+        for (NodeId a = lo; a < hi; ++a) {
+          if (plans[a].run) process_source(a, &local);
+        }
+        return local;
+      },
+      AddInto, opts.parallel);
 }
 
 }  // namespace kgq

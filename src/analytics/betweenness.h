@@ -10,23 +10,31 @@
 #include "rpq/regex.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
 /// Classical betweenness centrality (Freeman):
 ///   bc(x) = Σ_{a≠x, b≠x} |S_{a,b}(x)| / |S_{a,b}|
 /// over all ordered pairs with S_{a,b} ≠ ∅, computed with Brandes'
-/// dependency-accumulation algorithm in O(nm).
+/// dependency-accumulation algorithm in O(nm). Source-parallel: each
+/// thread accumulates dependencies into a private vector and partials
+/// are merged in a fixed order, so the result is identical for every
+/// thread count.
 std::vector<double> BetweennessCentrality(const Multigraph& g,
-                                          EdgeDirection dir);
+                                          EdgeDirection dir,
+                                          const ParallelOptions& par = {});
 
 /// Brandes-style pivot sampling: run the dependency accumulation from
 /// `num_pivots` random sources only and scale by n/num_pivots — the
 /// classic scalable approximation (Brandes–Pich). Converges to
-/// BetweennessCentrality as num_pivots → n.
+/// BetweennessCentrality as num_pivots → n. Pivots are drawn up front
+/// from `rng`, then processed source-parallel: a fixed seed reproduces
+/// bit-identically at any thread count.
 std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
                                                 EdgeDirection dir,
-                                                size_t num_pivots, Rng* rng);
+                                                size_t num_pivots, Rng* rng,
+                                                const ParallelOptions& par = {});
 
 /// Knobs for the regex-constrained centrality computations.
 struct BcrOptions {
@@ -38,6 +46,10 @@ struct BcrOptions {
   double pair_fraction = 1.0;
   /// Approximate variant only: FPRAS budgets for the path counts.
   FprasOptions fpras;
+  /// Thread budget for the source-parallel sweep. Exact bc_r is
+  /// bit-identical at every thread count; the approximate variant is
+  /// bit-identical at every thread count for a fixed rng seed.
+  ParallelOptions parallel;
 };
 
 /// Regex-constrained betweenness centrality of Section 4.2:

@@ -1,6 +1,9 @@
 #include "analytics/pagerank.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -8,24 +11,50 @@ std::vector<double> PageRank(const Multigraph& g,
                              const PageRankOptions& opts) {
   size_t n = g.num_nodes();
   if (n == 0) return {};
+  const ParallelOptions& par = opts.parallel;
+  // Node-block size: fixed by n alone so reduction chunking (and hence
+  // floating-point rounding) is independent of the thread count.
+  size_t grain = std::max<size_t>(64, (n + 255) / 256);
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
   for (size_t iter = 0; iter < opts.max_iterations; ++iter) {
-    double dangling = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (g.OutDegree(v) == 0) dangling += rank[v];
-    }
+    double dangling = ParallelReduce(
+        0, n, grain, 0.0,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (NodeId v = lo; v < hi; ++v) {
+            if (g.OutDegree(v) == 0) s += rank[v];
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; }, par);
     double base = (1.0 - opts.damping) / static_cast<double>(n) +
                   opts.damping * dangling / static_cast<double>(n);
-    for (NodeId v = 0; v < n; ++v) next[v] = base;
-    for (NodeId v = 0; v < n; ++v) {
-      size_t deg = g.OutDegree(v);
-      if (deg == 0) continue;
-      double share = opts.damping * rank[v] / static_cast<double>(deg);
-      for (EdgeId e : g.OutEdges(v)) next[g.EdgeTarget(e)] += share;
-    }
-    double delta = 0.0;
-    for (NodeId v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    // Pull form of the update: each node gathers over its in-edges, so
+    // node blocks write disjoint slots of `next` and the per-node sum
+    // order is fixed regardless of the schedule.
+    ParallelFor(
+        0, n, grain,
+        [&](size_t lo, size_t hi) {
+          for (NodeId v = lo; v < hi; ++v) {
+            double sum = base;
+            for (EdgeId e : g.InEdges(v)) {
+              NodeId u = g.EdgeSource(e);
+              sum += opts.damping * rank[u] /
+                     static_cast<double>(g.OutDegree(u));
+            }
+            next[v] = sum;
+          }
+        },
+        par);
+    double delta = ParallelReduce(
+        0, n, grain, 0.0,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (NodeId v = lo; v < hi; ++v) s += std::fabs(next[v] - rank[v]);
+          return s;
+        },
+        [](double a, double b) { return a + b; }, par);
     rank.swap(next);
     if (delta < opts.tolerance) break;
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/multigraph.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -12,6 +13,11 @@ struct PageRankOptions {
   double damping = 0.85;
   size_t max_iterations = 100;
   double tolerance = 1e-10;  ///< L1 change threshold for early stop.
+  /// Thread budget for the block-parallel iterations. Each iteration
+  /// pulls over in-edges (race-free) and reduces the dangling mass and
+  /// the L1 delta with a deterministic tree, so results are identical
+  /// for every thread count.
+  ParallelOptions parallel;
 };
 
 /// PageRank by power iteration with uniform teleport; dangling mass is

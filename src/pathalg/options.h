@@ -2,6 +2,7 @@
 #define KGQ_PATHALG_OPTIONS_H_
 
 #include "graph/multigraph.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -16,6 +17,10 @@ struct PathQueryOptions {
   NodeId end = kNoNode;
   /// If set, only paths that never visit this node.
   NodeId avoid = kNoNode;
+  /// Thread budget for the parallel phases (ReachTable layers,
+  /// multi-source pair evaluation). Results are identical for every
+  /// thread count; see ParallelOptions.
+  ParallelOptions parallel;
 };
 
 }  // namespace kgq

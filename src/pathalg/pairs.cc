@@ -1,7 +1,10 @@
 #include "pathalg/pairs.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -50,15 +53,24 @@ Bitset ReachableFrom(const PathNfa& nfa, NodeId start,
 
 std::vector<Bitset> AllPairs(const PathNfa& nfa,
                              const PathQueryOptions& opts) {
-  std::vector<Bitset> out;
-  out.reserve(nfa.num_nodes());
-  for (NodeId a = 0; a < nfa.num_nodes(); ++a) {
-    if (opts.start != kNoNode && a != opts.start) {
-      out.push_back(Bitset(nfa.num_nodes()));
-      continue;
-    }
-    out.push_back(ReachableFrom(nfa, a, opts));
-  }
+  size_t n = nfa.num_nodes();
+  std::vector<Bitset> out(n);
+  // Chunked multi-source evaluation: each source BFS is independent and
+  // writes only its own row, so source chunks run in parallel. Rows are
+  // exact bit sets — the schedule cannot change the result.
+  size_t grain = std::max<size_t>(1, (n + 127) / 128);
+  ParallelFor(
+      0, n, grain,
+      [&](size_t lo, size_t hi) {
+        for (NodeId a = lo; a < hi; ++a) {
+          if (opts.start != kNoNode && a != opts.start) {
+            out[a] = Bitset(n);
+          } else {
+            out[a] = ReachableFrom(nfa, a, opts);
+          }
+        }
+      },
+      opts.parallel);
   return out;
 }
 

@@ -1,0 +1,143 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace kgq {
+
+namespace {
+
+/// True while the current thread is executing chunks of some
+/// ParallelFor. Nested ParallelFor calls observe it and degrade to the
+/// sequential path, so pool workers never block waiting on the pool.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+size_t ParallelOptions::ResolveThreads() const {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(std::max<size_t>(3, hw == 0 ? 1 : hw));
+  }();
+  return *pool;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const ParallelOptions& opts) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  size_t num_chunks = (end - begin + grain - 1) / grain;
+  size_t threads = std::min(opts.ResolveThreads(), num_chunks);
+
+  if (threads <= 1 || t_in_parallel_region) {
+    // Sequential reference path: same chunk boundaries, ascending
+    // order, calling thread only. Exceptions propagate directly.
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t from = begin + c * grain;
+      body(from, std::min(end, from + grain));
+    }
+    return;
+  }
+
+  struct State {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // First exception; guarded by mu.
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t helpers_left = 0;  // Guarded by mu.
+  };
+  auto state = std::make_shared<State>();
+
+  auto run_chunks = [&state, &body, begin, end, grain, num_chunks] {
+    for (;;) {
+      if (state->failed.load(std::memory_order_relaxed)) break;
+      size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      size_t from = begin + c * grain;
+      try {
+        body(from, std::min(end, from + grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  size_t helpers = threads - 1;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->helpers_left = helpers;
+  }
+  for (size_t i = 0; i < helpers; ++i) {
+    // The caller blocks until helpers_left reaches 0, so capturing
+    // run_chunks (and through it `body`) by reference is safe.
+    ThreadPool::Shared().Submit([state, &run_chunks] {
+      t_in_parallel_region = true;
+      run_chunks();
+      t_in_parallel_region = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->helpers_left;
+      }
+      state->cv.notify_all();
+    });
+  }
+
+  t_in_parallel_region = true;
+  run_chunks();
+  t_in_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->helpers_left == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace kgq

@@ -1,0 +1,138 @@
+#ifndef KGQ_UTIL_THREAD_POOL_H_
+#define KGQ_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace kgq {
+
+/// Thread-count knob shared by every parallel entry point in the
+/// library (analytics kernels, ReachTable construction, multi-source
+/// pair evaluation). Plumbed through PathQueryOptions and the analytics
+/// option structs.
+///
+/// The determinism contract: for a fixed input (and, for randomized
+/// algorithms, a fixed seed), every kernel built on ParallelFor /
+/// ParallelReduce returns *bit-identical* results for every value of
+/// num_threads. Work is cut into chunks whose boundaries depend only on
+/// the problem size (never on the thread count), and partial results
+/// are merged in a fixed tree order — threads only change the schedule,
+/// never the arithmetic.
+struct ParallelOptions {
+  /// Number of threads cooperating on the call, including the calling
+  /// thread. 0 = one per hardware thread; 1 = run entirely on the
+  /// calling thread with no pool involvement (the sequential reference
+  /// path).
+  size_t num_threads = 0;
+
+  /// The effective thread count (resolves 0 to the hardware count,
+  /// never returns 0).
+  size_t ResolveThreads() const;
+};
+
+/// A fixed-size pool of worker threads fed from one FIFO queue.
+///
+/// Deliberately work-stealing-free: ParallelFor distributes chunks with
+/// a single atomic cursor, which is contention-cheap at the grain sizes
+/// the kernels use and keeps the code auditable. The destructor drains
+/// the queue (every submitted task runs) and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Process-wide pool shared by all ParallelFor/ParallelReduce calls.
+  /// Sized at least 3 workers so that multi-threaded requests exercise
+  /// real concurrency even on small machines (the differential tests
+  /// rely on this to surface races).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [begin, end) into chunks of `grain` indices (the last chunk
+/// may be short; grain 0 is treated as 1) and invokes body(lo, hi) once
+/// per chunk. Chunks are claimed dynamically by up to
+/// opts.ResolveThreads() threads (the caller participates); with one
+/// thread the chunks run in ascending order on the calling thread and
+/// the pool is never touched.
+///
+/// Exceptions thrown by `body` are captured (the first one wins),
+/// remaining chunks are abandoned, and the exception is rethrown on the
+/// calling thread once all in-flight chunks have finished.
+///
+/// Nested calls — a ParallelFor issued from inside a body — run
+/// sequentially on the calling thread. The outer level owns the
+/// parallelism; this keeps the shared pool deadlock-free by
+/// construction.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const ParallelOptions& opts = {});
+
+/// Deterministic tree reduction over [begin, end).
+///
+/// `map(lo, hi) -> T` computes the partial result of one chunk;
+/// `combine(T, T) -> T` merges two partials. Chunk boundaries depend
+/// only on (begin, end, grain) and partials are folded in a fixed tree
+/// order determined by the chunk count alone, so the result is
+/// bit-identical for every thread count — including non-associative
+/// floating-point combines. `identity` is the result for an empty range
+/// and is folded into the final result otherwise.
+///
+/// Memory: all chunk partials are materialized at once; pick `grain`
+/// so that (range/grain) copies of T are affordable.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                 MapFn&& map, CombineFn&& combine,
+                 const ParallelOptions& opts = {}) {
+  if (end <= begin) return identity;
+  if (grain == 0) grain = 1;
+  size_t num_chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partials(num_chunks);
+  ParallelFor(
+      0, num_chunks, 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t c = lo; c < hi; ++c) {
+          size_t from = begin + c * grain;
+          partials[c] = map(from, std::min(end, from + grain));
+        }
+      },
+      opts);
+  // Fixed-shape tree fold: pair partials at stride `half` until one
+  // remains. The shape depends only on num_chunks.
+  for (size_t width = num_chunks; width > 1;) {
+    size_t half = (width + 1) / 2;
+    for (size_t i = 0; i + half < width; ++i) {
+      partials[i] =
+          combine(std::move(partials[i]), std::move(partials[i + half]));
+    }
+    width = half;
+  }
+  return combine(std::move(identity), std::move(partials[0]));
+}
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_THREAD_POOL_H_

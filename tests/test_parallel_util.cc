@@ -1,0 +1,237 @@
+// Unit tests for the parallel execution substrate: thread-pool
+// lifecycle, exception propagation out of ParallelFor, grain-size edge
+// cases, and the determinism guarantee of ParallelReduce (bit-identical
+// results across thread counts, even for non-associative FP sums).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace kgq {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.num_workers(), 3u);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // The destructor drains the queue and joins the workers.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SurvivesRepeatedConstruction) {
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    // Destruction at scope exit must not deadlock or drop tasks.
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolHasWorkers) {
+  EXPECT_GE(ThreadPool::Shared().num_workers(), 3u);
+}
+
+TEST(ParallelOptionsTest, ResolveThreads) {
+  EXPECT_GE(ParallelOptions{0}.ResolveThreads(), 1u);
+  EXPECT_EQ(ParallelOptions{1}.ResolveThreads(), 1u);
+  EXPECT_EQ(ParallelOptions{7}.ResolveThreads(), 7u);
+}
+
+// ------------------------------------------------------------ ParallelFor
+
+class ParallelForThreads : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelForThreads, CoversEveryIndexExactlyOnce) {
+  ParallelOptions par{GetParam()};
+  for (size_t grain : {size_t{1}, size_t{3}, size_t{64}, size_t{1000}}) {
+    const size_t n = 257;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(
+        0, n, grain,
+        [&](size_t lo, size_t hi) {
+          ASSERT_LT(lo, hi);
+          ASSERT_LE(hi, n);
+          for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        },
+        par);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST_P(ParallelForThreads, EmptyRangeNeverInvokesBody) {
+  std::atomic<int> calls{0};
+  ParallelFor(
+      5, 5, 4, [&](size_t, size_t) { calls.fetch_add(1); },
+      ParallelOptions{GetParam()});
+  ParallelFor(
+      7, 3, 4, [&](size_t, size_t) { calls.fetch_add(1); },
+      ParallelOptions{GetParam()});
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ParallelForThreads, RangeSmallerThanGrainIsOneChunk) {
+  std::atomic<int> calls{0};
+  ParallelFor(
+      10, 14, 100,
+      [&](size_t lo, size_t hi) {
+        EXPECT_EQ(lo, 10u);
+        EXPECT_EQ(hi, 14u);
+        calls.fetch_add(1);
+      },
+      ParallelOptions{GetParam()});
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_P(ParallelForThreads, GrainZeroBehavesLikeGrainOne) {
+  const size_t n = 17;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(
+      0, n, 0,
+      [&](size_t lo, size_t hi) {
+        EXPECT_EQ(hi, lo + 1);  // Chunks of exactly one index.
+        hits[lo].fetch_add(1);
+      },
+      ParallelOptions{GetParam()});
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(ParallelForThreads, PropagatesExceptionFromBody) {
+  EXPECT_THROW(
+      ParallelFor(
+          0, 100, 1,
+          [](size_t lo, size_t) {
+            if (lo == 42) throw std::runtime_error("boom");
+          },
+          ParallelOptions{GetParam()}),
+      std::runtime_error);
+  // The substrate must stay usable after a failed call.
+  std::atomic<int> ok{0};
+  ParallelFor(
+      0, 10, 1, [&](size_t, size_t) { ok.fetch_add(1); },
+      ParallelOptions{GetParam()});
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST_P(ParallelForThreads, NestedCallsCompleteWithoutDeadlock) {
+  const size_t n = 16;
+  std::vector<std::atomic<int>> hits(n * n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(
+      0, n, 1,
+      [&](size_t outer_lo, size_t outer_hi) {
+        for (size_t i = outer_lo; i < outer_hi; ++i) {
+          // The inner level serializes onto the current thread.
+          ParallelFor(
+              0, n, 1,
+              [&](size_t lo, size_t hi) {
+                for (size_t j = lo; j < hi; ++j) hits[i * n + j].fetch_add(1);
+              },
+              ParallelOptions{GetParam()});
+        }
+      },
+      ParallelOptions{GetParam()});
+  for (size_t k = 0; k < n * n; ++k) EXPECT_EQ(hits[k].load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForThreads,
+                         ::testing::Values(1, 2, 8));
+
+// --------------------------------------------------------- ParallelReduce
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  double out = ParallelReduce(
+      3, 3, 4, 1.5, [](size_t, size_t) { return 100.0; },
+      [](double a, double b) { return a + b; }, ParallelOptions{4});
+  EXPECT_EQ(out, 1.5);
+}
+
+TEST(ParallelReduceTest, SumsIntegersExactly) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    long total = ParallelReduce(
+        1, 1001, 7, 0l,
+        [](size_t lo, size_t hi) {
+          long s = 0;
+          for (size_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+          return s;
+        },
+        [](long a, long b) { return a + b; }, ParallelOptions{threads});
+    EXPECT_EQ(total, 500500l) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduceTest, FloatingPointSumIsBitIdenticalAcrossThreadCounts) {
+  // Random doubles make the sum order-sensitive; the fixed chunking and
+  // fold tree must hide the schedule entirely.
+  Rng rng(99);
+  std::vector<double> values(10007);
+  for (double& v : values) v = rng.NextDouble() * 2.0 - 1.0;
+  auto sum_with = [&](size_t threads) {
+    return ParallelReduce(
+        0, values.size(), 13, 0.0,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; }, ParallelOptions{threads});
+  };
+  double seq = sum_with(1);
+  EXPECT_EQ(seq, sum_with(2));
+  EXPECT_EQ(seq, sum_with(4));
+  EXPECT_EQ(seq, sum_with(8));
+}
+
+TEST(ParallelReduceTest, VectorAccumulatorsMergeDeterministically) {
+  const size_t n = 500;
+  auto run = [&](size_t threads) {
+    Rng rng(7);
+    std::vector<double> noise(n);
+    for (double& v : noise) v = rng.NextGaussian();
+    return ParallelReduce(
+        0, n, 11, std::vector<double>(4, 0.0),
+        [&](size_t lo, size_t hi) {
+          std::vector<double> acc(4, 0.0);
+          for (size_t i = lo; i < hi; ++i) acc[i % 4] += noise[i];
+          return acc;
+        },
+        [](std::vector<double> a, const std::vector<double>& b) {
+          for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+          return a;
+        },
+        ParallelOptions{threads});
+  };
+  std::vector<double> seq = run(1);
+  EXPECT_EQ(seq, run(2));
+  EXPECT_EQ(seq, run(8));
+}
+
+TEST(ParallelReduceTest, PropagatesExceptionFromMap) {
+  EXPECT_THROW(
+      ParallelReduce(
+          0, 64, 1, 0.0,
+          [](size_t lo, size_t) -> double {
+            if (lo == 17) throw std::runtime_error("map failed");
+            return 1.0;
+          },
+          [](double a, double b) { return a + b; }, ParallelOptions{4}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kgq

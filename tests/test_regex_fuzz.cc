@@ -11,6 +11,7 @@
 #include "graph/graph_view.h"
 #include "pathalg/enumerate.h"
 #include "pathalg/exact.h"
+#include "pathalg/pairs.h"
 #include "rpq/parser.h"
 #include "rpq/path_nfa.h"
 #include "rpq/reference_eval.h"
@@ -98,6 +99,26 @@ TEST_P(RegexFuzz, AllEnginesAgree) {
         ASSERT_EQ(index.Count(k), static_cast<double>(at_k.size()))
             << "k=" << k;
       }
+    }
+
+    // Pair (existential) semantics under the parallel multi-source
+    // evaluator: the two constructions must agree row-for-row, and the
+    // parallel schedule must not change any row.
+    PathQueryOptions seq_opts;
+    seq_opts.parallel.num_threads = 1;
+    PathQueryOptions par_opts;
+    par_opts.parallel.num_threads = 4;
+    std::vector<Bitset> glushkov_seq = AllPairs(*glushkov, seq_opts);
+    std::vector<Bitset> glushkov_par = AllPairs(*glushkov, par_opts);
+    std::vector<Bitset> thompson_par = AllPairs(*thompson, par_opts);
+    ASSERT_EQ(glushkov_seq, glushkov_par) << "parallel changed pairs";
+    ASSERT_EQ(glushkov_par, thompson_par)
+        << "Glushkov vs Thompson disagree under the parallel evaluator";
+    // Every reference path witnesses its (start, end) pair in the
+    // unbounded pair relation.
+    for (const Path& p : reference) {
+      EXPECT_TRUE(glushkov_par[p.nodes.front()].Test(p.nodes.back()))
+          << p.ToString();
     }
   }
 }
