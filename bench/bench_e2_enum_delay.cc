@@ -4,12 +4,21 @@
 // (layered DAGs) while the measured max delay stays flat; the ablation
 // compares against run-level DFS with post-hoc deduplication, whose
 // time-to-first-k answers degrades with ambiguity.
+//
+// Every configuration runs on both traversal backends — the list-based
+// reference and the CSR snapshot — with a preprocessing thread sweep,
+// and all measurements are mirrored to BENCH_e2_enum_delay.json as the
+// machine-readable regression baseline.
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/generators.h"
 #include "graph/graph_view.h"
 #include "pathalg/enumerate.h"
@@ -31,10 +40,6 @@ size_t RunLevelDfsFirstK(const PathNfa& nfa, size_t length, size_t want,
                          double* seconds) {
   Timer timer;
   std::set<Path> seen;
-  struct Frame {
-    NodeId node;
-    uint32_t q;
-  };
   // Iterative DFS over (path, single automaton state).
   std::vector<Path> stack_paths;
   std::vector<uint32_t> stack_states;
@@ -75,80 +80,174 @@ size_t RunLevelDfsFirstK(const PathNfa& nfa, size_t length, size_t want,
   return seen.size();
 }
 
+/// One JSON record of the delay experiment.
+struct DelayRow {
+  size_t layers, width, threads;
+  const char* backend;
+  double total, t_preproc_ms, mean_delay_us, max_delay_us;
+  size_t answers;
+};
+
+/// One JSON record of the ablation.
+struct AblationRow {
+  std::string query;
+  const char* engine;
+  size_t first_k;
+  double millis;
+};
+
 }  // namespace
 
 int main() {
   using namespace kgq;
 
   Table t("E2 — enumeration: preprocessing + per-answer delay",
-          {"layers", "width", "total answers", "t_preproc(ms)",
-           "mean delay(us)", "max delay(us)", "answers timed"});
+          {"layers", "width", "backend", "threads", "total answers",
+           "t_preproc(ms)", "mean delay(us)", "max delay(us)",
+           "answers timed"});
 
+  std::vector<DelayRow> delay_rows;
   bool delays_flat = true;
   double first_max_delay = 0.0;
   for (size_t layers : {6, 10, 14}) {
     const size_t width = 6;
     LabeledGraph g = LayeredDag(layers, width, "n", "e");
     LabeledGraphView view(g);
+    CsrSnapshot snap = CsrSnapshot::FromGraph(g);
     RegexPtr regex = *ParseRegex("e*");
-    PathNfa nfa = *PathNfa::Compile(view, *regex);
 
-    ExactPathIndex index(nfa, layers);
-    double total = index.Count(layers);
+    for (const char* backend : {"list", "csr"}) {
+      PathNfa nfa = *PathNfa::Compile(view, *regex);
+      if (backend[0] == 'c' && !nfa.AttachSnapshot(&snap).ok()) continue;
 
-    Timer preproc;
-    PathEnumerator enumerator(nfa, layers);
-    double t_preproc = preproc.Millis();
+      ExactPathIndex index(nfa, layers);
+      double total = index.Count(layers);
 
-    const size_t timed = 20000;
-    Path p;
-    double max_delay = 0.0, sum_delay = 0.0;
-    size_t produced = 0;
-    for (size_t i = 0; i < timed; ++i) {
-      Timer delay;
-      if (!enumerator.Next(&p)) break;
-      double us = delay.Micros();
-      max_delay = std::max(max_delay, us);
-      sum_delay += us;
-      ++produced;
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        PathQueryOptions popts;
+        popts.parallel.num_threads = threads;
+        Timer preproc;
+        PathEnumerator enumerator(nfa, layers, popts);
+        double t_preproc = preproc.Millis();
+
+        const size_t timed = 20000;
+        Path p;
+        double max_delay = 0.0, sum_delay = 0.0;
+        size_t produced = 0;
+        for (size_t i = 0; i < timed; ++i) {
+          Timer delay;
+          if (!enumerator.Next(&p)) break;
+          double us = delay.Micros();
+          max_delay = std::max(max_delay, us);
+          sum_delay += us;
+          ++produced;
+        }
+        if (layers == 6 && backend[0] == 'l' && threads == 1) {
+          first_max_delay = max_delay;
+        }
+        // "Flat": max delay on the biggest instance within 20x of the
+        // smallest (wall-clock noise tolerated), although the answer
+        // count grew by 6^8 ≈ 1.7M times. Applied to both backends.
+        if (layers == 14 &&
+            max_delay > 20.0 * std::max(first_max_delay, 5.0)) {
+          delays_flat = false;
+        }
+        double mean = produced == 0 ? 0.0 : sum_delay / produced;
+        t.AddRow({std::to_string(layers), std::to_string(width), backend,
+                  std::to_string(threads), FormatDouble(total, 0),
+                  FormatDouble(t_preproc, 2), FormatDouble(mean, 2),
+                  FormatDouble(max_delay, 1), std::to_string(produced)});
+        delay_rows.push_back({layers, width, threads, backend, total,
+                              t_preproc, mean, max_delay, produced});
+      }
     }
-    if (layers == 6) first_max_delay = max_delay;
-    // "Flat": max delay on the biggest instance within 20x of smallest
-    // (wall-clock noise tolerated), although the answer count grew by
-    // 6^8 ≈ 1.7M times.
-    if (layers == 14 && max_delay > 20.0 * std::max(first_max_delay, 5.0)) {
-      delays_flat = false;
-    }
-    t.AddRow({std::to_string(layers), std::to_string(width),
-              FormatDouble(total, 0), FormatDouble(t_preproc, 2),
-              FormatDouble(sum_delay / produced, 2),
-              FormatDouble(max_delay, 1), std::to_string(produced)});
   }
   t.Print(std::cout);
 
-  // Ablation: configuration-level (dedup-free) vs run-level DFS + dedup
-  // on an ambiguous query, time to first 5000 distinct answers.
+  // Ablation: configuration-level (dedup-free) enumeration on each
+  // backend vs run-level DFS + dedup on an ambiguous query, time to
+  // first 5000 distinct answers.
   Table ab("E2b — ablation: config-level enumeration vs run-level DFS+dedup",
-           {"n", "query", "first-k", "t_config(ms)", "t_runlevel(ms)"});
+           {"n", "query", "engine", "first-k", "t(ms)"});
+  std::vector<AblationRow> ablation_rows;
+  double list_total_ms = 0.0, csr_total_ms = 0.0;
   Rng gen(4242);
   LabeledGraph g = ErdosRenyi(150, 600, {"p"}, {"a", "b"}, &gen);
   LabeledGraphView view(g);
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
   for (const char* q : {"(a+b/b^-)*", "((a+b)/a + b/(a+b)/(a+b))*"}) {
     RegexPtr regex = *ParseRegex(q);
-    PathNfa nfa = *PathNfa::Compile(view, *regex);
     const size_t k = 8, want = 5000;
-    Timer t_config;
-    PathEnumerator enumerator(nfa, k);
-    Path p;
-    size_t produced = 0;
-    while (produced < want && enumerator.Next(&p)) ++produced;
-    double config_ms = t_config.Millis();
+
+    for (const char* backend : {"list", "csr"}) {
+      PathNfa nfa = *PathNfa::Compile(view, *regex);
+      if (backend[0] == 'c' && !nfa.AttachSnapshot(&snap).ok()) continue;
+      Timer t_config;
+      PathEnumerator enumerator(nfa, k);
+      Path p;
+      size_t produced = 0;
+      while (produced < want && enumerator.Next(&p)) ++produced;
+      double ms = t_config.Millis();
+      (backend[0] == 'l' ? list_total_ms : csr_total_ms) += ms;
+      std::string engine = std::string("config-") + backend;
+      ab.AddRow({"150", q, engine, std::to_string(produced),
+                 FormatDouble(ms, 1)});
+      ablation_rows.push_back({q, backend[0] == 'l' ? "config-list"
+                                                    : "config-csr",
+                               produced, ms});
+    }
+
+    PathNfa nfa = *PathNfa::Compile(view, *regex);
     double run_secs = 0.0;
     size_t run_got = RunLevelDfsFirstK(nfa, k, want, &run_secs);
-    ab.AddRow({"150", q, std::to_string(std::min(produced, run_got)),
-               FormatDouble(config_ms, 1), FormatDouble(run_secs * 1e3, 1)});
+    ab.AddRow({"150", q, "run-level", std::to_string(run_got),
+               FormatDouble(run_secs * 1e3, 1)});
+    ablation_rows.push_back({q, "run-level", run_got, run_secs * 1e3});
   }
   ab.Print(std::cout);
+
+  double enum_speedup =
+      csr_total_ms > 0.0 ? list_total_ms / csr_total_ms : 0.0;
+  std::printf("CSR vs list enumeration (first-k total): %.1fms vs %.1fms "
+              "(%.2fx)\n",
+              csr_total_ms, list_total_ms, enum_speedup);
+
+  // Machine-readable mirror of everything above.
+  {
+    std::ofstream out("BENCH_e2_enum_delay.json");
+    out << "{\n  \"benchmark\": \"e2_enum_delay\",\n  \"delay\": [\n";
+    for (size_t i = 0; i < delay_rows.size(); ++i) {
+      const DelayRow& r = delay_rows[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "    {\"layers\": %zu, \"width\": %zu, \"backend\": \"%s\", "
+          "\"threads\": %zu, \"total_answers\": %.0f, "
+          "\"t_preproc_ms\": %.4f, \"mean_delay_us\": %.4f, "
+          "\"max_delay_us\": %.2f, \"answers_timed\": %zu}%s\n",
+          r.layers, r.width, r.backend, r.threads, r.total, r.t_preproc_ms,
+          r.mean_delay_us, r.max_delay_us, r.answers,
+          i + 1 < delay_rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ],\n  \"ablation\": [\n";
+    for (size_t i = 0; i < ablation_rows.size(); ++i) {
+      const AblationRow& r = ablation_rows[i];
+      char buf[512];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"query\": \"%s\", \"engine\": \"%s\", "
+                    "\"first_k\": %zu, \"t_ms\": %.4f}%s\n",
+                    r.query.c_str(), r.engine, r.first_k, r.millis,
+                    i + 1 < ablation_rows.size() ? "," : "");
+      out << buf;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  ],\n  \"enumeration_speedup_csr_over_list\": %.4f,\n"
+                  "  \"delays_flat\": %s\n}\n",
+                  enum_speedup, delays_flat ? "true" : "false");
+    out << buf;
+  }
 
   std::printf("Paper shape: delay bounded by a polynomial in the input, "
               "independent of the answer count → %s\n",

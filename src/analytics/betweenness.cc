@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "graph/traversal.h"
 #include "pathalg/enumerate.h"
 #include "pathalg/exact.h"
 #include "rpq/path_nfa.h"
@@ -15,8 +16,10 @@ namespace kgq {
 namespace {
 
 /// One Brandes source iteration: accumulates dependencies of `s` into
-/// `bc` with the given weight.
-void BrandesFromSource(const Multigraph& g, EdgeDirection dir, NodeId s,
+/// `bc` with the given weight. The traversal backend (list reference or
+/// CSR snapshot) enumerates neighbors in the same order either way, so
+/// the accumulation is bit-identical across backends.
+void BrandesFromSource(const Traversal& g, EdgeDirection dir, NodeId s,
                        double weight, std::vector<double>* bc) {
   size_t n = g.num_nodes();
   std::vector<uint32_t> dist(n, kUnreachable);
@@ -43,9 +46,9 @@ void BrandesFromSource(const Multigraph& g, EdgeDirection dir, NodeId s,
         preds[w].push_back(v);
       }
     };
-    for (EdgeId e : g.OutEdges(v)) visit(g.EdgeTarget(e));
+    g.ForEachOut(v, [&](EdgeId, NodeId w) { visit(w); });
     if (dir == EdgeDirection::kUndirected) {
-      for (EdgeId e : g.InEdges(v)) visit(g.EdgeSource(e));
+      g.ForEachIn(v, [&](EdgeId, NodeId w) { visit(w); });
     }
   }
   for (size_t i = order.size(); i-- > 0;) {
@@ -77,7 +80,9 @@ std::vector<double> AddInto(std::vector<double> a,
 std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
                                                 EdgeDirection dir,
                                                 size_t num_pivots, Rng* rng,
-                                                const ParallelOptions& par) {
+                                                const ParallelOptions& par,
+                                                const CsrSnapshot* snapshot) {
+  Traversal trav(g, snapshot);
   size_t n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
   if (n == 0 || num_pivots == 0) return bc;
@@ -97,7 +102,7 @@ std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
       [&](size_t lo, size_t hi) {
         std::vector<double> local(n, 0.0);
         for (size_t i = lo; i < hi; ++i) {
-          BrandesFromSource(g, dir, pool[i], weight, &local);
+          BrandesFromSource(trav, dir, pool[i], weight, &local);
         }
         return local;
       },
@@ -106,7 +111,9 @@ std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
 
 std::vector<double> BetweennessCentrality(const Multigraph& g,
                                           EdgeDirection dir,
-                                          const ParallelOptions& par) {
+                                          const ParallelOptions& par,
+                                          const CsrSnapshot* snapshot) {
+  Traversal trav(g, snapshot);
   size_t n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
   if (n == 0) return bc;
@@ -115,7 +122,7 @@ std::vector<double> BetweennessCentrality(const Multigraph& g,
       [&](size_t lo, size_t hi) {
         std::vector<double> local(n, 0.0);
         for (NodeId s = lo; s < hi; ++s) {
-          BrandesFromSource(g, dir, s, /*weight=*/1.0, &local);
+          BrandesFromSource(trav, dir, s, /*weight=*/1.0, &local);
         }
         return local;
       },
@@ -126,6 +133,9 @@ Result<std::vector<double>> RegexBetweenness(const GraphView& view,
                                              const Regex& regex,
                                              const BcrOptions& opts) {
   KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
+  if (opts.snapshot != nullptr) {
+    KGQ_RETURN_IF_ERROR(nfa.AttachSnapshot(opts.snapshot));
+  }
   size_t n = view.num_nodes();
   std::vector<double> bc(n, 0.0);
   if (n == 0) return bc;
@@ -181,6 +191,9 @@ Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
                                                    const BcrOptions& opts,
                                                    Rng* rng) {
   KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
+  if (opts.snapshot != nullptr) {
+    KGQ_RETURN_IF_ERROR(nfa.AttachSnapshot(opts.snapshot));
+  }
   size_t n = view.num_nodes();
   std::vector<double> bc(n, 0.0);
   if (n == 0) return bc;

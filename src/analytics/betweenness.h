@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analytics/shortest_paths.h"
+#include "graph/csr_snapshot.h"
 #include "graph/graph_view.h"
 #include "graph/multigraph.h"
 #include "pathalg/fpras.h"
@@ -21,20 +22,25 @@ namespace kgq {
 /// thread accumulates dependencies into a private vector and partials
 /// are merged in a fixed order, so the result is identical for every
 /// thread count.
-std::vector<double> BetweennessCentrality(const Multigraph& g,
-                                          EdgeDirection dir,
-                                          const ParallelOptions& par = {});
+///
+/// When `snapshot` (a CsrSnapshot of g) is given, the per-source BFS
+/// runs over its contiguous adjacency — same visit order, same
+/// floating-point schedule, bit-identical output, less pointer chasing.
+/// A snapshot whose topology does not match g is ignored.
+std::vector<double> BetweennessCentrality(
+    const Multigraph& g, EdgeDirection dir, const ParallelOptions& par = {},
+    const CsrSnapshot* snapshot = nullptr);
 
 /// Brandes-style pivot sampling: run the dependency accumulation from
 /// `num_pivots` random sources only and scale by n/num_pivots — the
 /// classic scalable approximation (Brandes–Pich). Converges to
 /// BetweennessCentrality as num_pivots → n. Pivots are drawn up front
 /// from `rng`, then processed source-parallel: a fixed seed reproduces
-/// bit-identically at any thread count.
-std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
-                                                EdgeDirection dir,
-                                                size_t num_pivots, Rng* rng,
-                                                const ParallelOptions& par = {});
+/// bit-identically at any thread count. `snapshot` as in
+/// BetweennessCentrality.
+std::vector<double> ApproxBetweennessCentrality(
+    const Multigraph& g, EdgeDirection dir, size_t num_pivots, Rng* rng,
+    const ParallelOptions& par = {}, const CsrSnapshot* snapshot = nullptr);
 
 /// Knobs for the regex-constrained centrality computations.
 struct BcrOptions {
@@ -50,6 +56,12 @@ struct BcrOptions {
   /// bit-identical at every thread count; the approximate variant is
   /// bit-identical at every thread count for a fixed rng seed.
   ParallelOptions parallel;
+  /// Optional CSR snapshot of the queried graph, attached to the
+  /// compiled product automaton so every configuration BFS, enumeration
+  /// and FPRAS pass scans contiguous adjacency. Results are
+  /// bit-identical with or without it; a snapshot of a different
+  /// topology is an InvalidArgument.
+  const CsrSnapshot* snapshot = nullptr;
 };
 
 /// Regex-constrained betweenness centrality of Section 4.2:

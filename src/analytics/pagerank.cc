@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/traversal.h"
 #include "util/thread_pool.h"
 
 namespace kgq {
 
 std::vector<double> PageRank(const Multigraph& g,
                              const PageRankOptions& opts) {
+  Traversal t(g, opts.snapshot);
   size_t n = g.num_nodes();
   if (n == 0) return {};
   const ParallelOptions& par = opts.parallel;
@@ -23,7 +25,7 @@ std::vector<double> PageRank(const Multigraph& g,
         [&](size_t lo, size_t hi) {
           double s = 0.0;
           for (NodeId v = lo; v < hi; ++v) {
-            if (g.OutDegree(v) == 0) s += rank[v];
+            if (t.OutDegree(v) == 0) s += rank[v];
           }
           return s;
         },
@@ -38,11 +40,10 @@ std::vector<double> PageRank(const Multigraph& g,
         [&](size_t lo, size_t hi) {
           for (NodeId v = lo; v < hi; ++v) {
             double sum = base;
-            for (EdgeId e : g.InEdges(v)) {
-              NodeId u = g.EdgeSource(e);
+            t.ForEachIn(v, [&](EdgeId, NodeId u) {
               sum += opts.damping * rank[u] /
-                     static_cast<double>(g.OutDegree(u));
-            }
+                     static_cast<double>(t.OutDegree(u));
+            });
             next[v] = sum;
           }
         },
@@ -61,7 +62,9 @@ std::vector<double> PageRank(const Multigraph& g,
   return rank;
 }
 
-HitsScores Hits(const Multigraph& g, size_t iterations) {
+HitsScores Hits(const Multigraph& g, size_t iterations,
+                const CsrSnapshot* snapshot) {
+  Traversal t(g, snapshot);
   size_t n = g.num_nodes();
   HitsScores out;
   out.hub.assign(n, 1.0);
@@ -80,14 +83,14 @@ HitsScores Hits(const Multigraph& g, size_t iterations) {
     // authority(v) = Σ hub(u) over edges u→v.
     for (NodeId v = 0; v < n; ++v) {
       double score = 0.0;
-      for (EdgeId e : g.InEdges(v)) score += out.hub[g.EdgeSource(e)];
+      t.ForEachIn(v, [&](EdgeId, NodeId u) { score += out.hub[u]; });
       out.authority[v] = score;
     }
     normalize(out.authority);
     // hub(v) = Σ authority(w) over edges v→w.
     for (NodeId v = 0; v < n; ++v) {
       double score = 0.0;
-      for (EdgeId e : g.OutEdges(v)) score += out.authority[g.EdgeTarget(e)];
+      t.ForEachOut(v, [&](EdgeId, NodeId w) { score += out.authority[w]; });
       out.hub[v] = score;
     }
     normalize(out.hub);

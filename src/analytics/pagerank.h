@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/multigraph.h"
 #include "util/thread_pool.h"
 
@@ -18,6 +19,11 @@ struct PageRankOptions {
   /// the L1 delta with a deterministic tree, so results are identical
   /// for every thread count.
   ParallelOptions parallel;
+  /// Optional CSR snapshot of the ranked graph: the pull loop then
+  /// gathers over the snapshot's contiguous in view instead of the
+  /// per-node edge lists. Same gather order, bit-identical scores; a
+  /// snapshot of a different topology is ignored.
+  const CsrSnapshot* snapshot = nullptr;
 };
 
 /// PageRank by power iteration with uniform teleport; dangling mass is
@@ -26,11 +32,13 @@ std::vector<double> PageRank(const Multigraph& g,
                              const PageRankOptions& opts = {});
 
 /// Hub and authority scores (Kleinberg's HITS), L2-normalized.
+/// `snapshot` as in PageRankOptions.
 struct HitsScores {
   std::vector<double> hub;
   std::vector<double> authority;
 };
-HitsScores Hits(const Multigraph& g, size_t iterations = 50);
+HitsScores Hits(const Multigraph& g, size_t iterations = 50,
+                const CsrSnapshot* snapshot = nullptr);
 
 }  // namespace kgq
 

@@ -1,0 +1,140 @@
+#include "graph/csr_snapshot.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kgq {
+
+template <typename SpellFn>
+CsrSnapshot CsrSnapshot::Build(const Multigraph& g,
+                               const std::vector<ConstId>& edge_label_const,
+                               SpellFn&& spell) {
+  CsrSnapshot snap;
+  size_t n = g.num_nodes();
+  size_t m = g.num_edges();
+  snap.num_nodes_ = n;
+  snap.sources_.resize(m);
+  snap.targets_.resize(m);
+  snap.edge_labels_.resize(m);
+
+  // Re-intern the distinct label constants into dense LabelIds in first
+  // appearance (edge-id) order.
+  std::unordered_map<ConstId, LabelId> label_index;
+  for (EdgeId e = 0; e < m; ++e) {
+    snap.sources_[e] = g.EdgeSource(e);
+    snap.targets_[e] = g.EdgeTarget(e);
+    ConstId c = edge_label_const[e];
+    auto [it, inserted] =
+        label_index.emplace(c, static_cast<LabelId>(label_index.size()));
+    if (inserted) snap.label_names_.push_back(spell(c));
+    snap.edge_labels_[e] = it->second;
+  }
+
+  // Counting sort of the edges by source (out view) and by target (in
+  // view). Edges are visited in ascending id, so entries within one
+  // node keep ascending edge id — the Multigraph insertion order.
+  snap.out_offsets_.assign(n + 1, 0);
+  snap.in_offsets_.assign(n + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    ++snap.out_offsets_[snap.sources_[e] + 1];
+    ++snap.in_offsets_[snap.targets_[e] + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    snap.out_offsets_[i] += snap.out_offsets_[i - 1];
+    snap.in_offsets_[i] += snap.in_offsets_[i - 1];
+  }
+  snap.out_entries_.resize(m);
+  snap.in_entries_.resize(m);
+  std::vector<size_t> out_cursor(snap.out_offsets_.begin(),
+                                 snap.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(snap.in_offsets_.begin(),
+                                snap.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    LabelId l = snap.edge_labels_[e];
+    snap.out_entries_[out_cursor[snap.sources_[e]]++] =
+        Entry{e, snap.targets_[e], l};
+    snap.in_entries_[in_cursor[snap.targets_[e]]++] =
+        Entry{e, snap.sources_[e], l};
+  }
+
+  // Label-partitioned copies: within each node span, stable-sort by
+  // label — stability keeps ascending edge id inside every partition.
+  snap.out_label_entries_ = snap.out_entries_;
+  snap.in_label_entries_ = snap.in_entries_;
+  auto by_label = [](const Entry& a, const Entry& b) {
+    return a.label < b.label;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    std::stable_sort(
+        snap.out_label_entries_.begin() + snap.out_offsets_[v],
+        snap.out_label_entries_.begin() + snap.out_offsets_[v + 1], by_label);
+    std::stable_sort(
+        snap.in_label_entries_.begin() + snap.in_offsets_[v],
+        snap.in_label_entries_.begin() + snap.in_offsets_[v + 1], by_label);
+  }
+  return snap;
+}
+
+CsrSnapshot CsrSnapshot::FromGraph(const LabeledGraph& g) {
+  std::vector<ConstId> labels(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) labels[e] = g.EdgeLabel(e);
+  return Build(g.topology(), labels,
+               [&](ConstId c) { return g.dict().Lookup(c); });
+}
+
+CsrSnapshot CsrSnapshot::FromGraph(const PropertyGraph& g) {
+  return FromGraph(g.labeled());
+}
+
+CsrSnapshot CsrSnapshot::FromGraph(const VectorGraph& g) {
+  std::vector<ConstId> labels(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) labels[e] = g.EdgeFeature(e, 0);
+  return Build(g.topology(), labels,
+               [&](ConstId c) { return g.dict().Lookup(c); });
+}
+
+CsrSnapshot CsrSnapshot::FromTopology(const Multigraph& g) {
+  std::vector<ConstId> labels(g.num_edges(), 0);
+  return Build(g, labels, [](ConstId) { return std::string(); });
+}
+
+std::optional<LabelId> CsrSnapshot::FindLabel(std::string_view name) const {
+  for (LabelId l = 0; l < label_names_.size(); ++l) {
+    if (label_names_[l] == name) return l;
+  }
+  return std::nullopt;
+}
+
+CsrSnapshot::Span CsrSnapshot::ForLabel(const std::vector<Entry>& entries,
+                                        const std::vector<size_t>& offsets,
+                                        NodeId n, LabelId l) const {
+  const Entry* lo = entries.data() + offsets[n];
+  const Entry* hi = entries.data() + offsets[n + 1];
+  auto [first, last] = std::equal_range(
+      lo, hi, Entry{0, 0, l},
+      [](const Entry& a, const Entry& b) { return a.label < b.label; });
+  return {first, static_cast<size_t>(last - first)};
+}
+
+bool CsrSnapshot::MatchesTopology(const Multigraph& g) const {
+  if (g.num_nodes() != num_nodes_ || g.num_edges() != sources_.size()) {
+    return false;
+  }
+  for (EdgeId e = 0; e < sources_.size(); ++e) {
+    if (g.EdgeSource(e) != sources_[e] || g.EdgeTarget(e) != targets_[e]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CsrSnapshot::EdgeRecord> CsrSnapshot::ToEdgeList() const {
+  std::vector<EdgeRecord> out(sources_.size());
+  for (EdgeId e = 0; e < sources_.size(); ++e) {
+    out[e] = EdgeRecord{sources_[e], targets_[e],
+                        label_names_[edge_labels_[e]]};
+  }
+  return out;
+}
+
+}  // namespace kgq

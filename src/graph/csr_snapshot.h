@@ -1,0 +1,202 @@
+#ifndef KGQ_GRAPH_CSR_SNAPSHOT_H_
+#define KGQ_GRAPH_CSR_SNAPSHOT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "graph/multigraph.h"
+#include "graph/property_graph.h"
+#include "graph/vector_graph.h"
+
+namespace kgq {
+
+/// Dense label identifier local to one CsrSnapshot: the distinct edge
+/// labels of the source graph re-interned into [0, num_labels) in first
+/// appearance (edge-id) order.
+using LabelId = uint32_t;
+
+/// Sentinel: "no such label in this snapshot".
+inline constexpr LabelId kNoLabel = 0xFFFFFFFFu;
+
+/// An immutable, cache-friendly view of a graph's adjacency — the
+/// traversal substrate of the hot kernels.
+///
+/// The mutable models (Multigraph and the labeled/property/vector
+/// graphs on top of it) store one heap-allocated edge-id vector per
+/// node; every traversal chases two pointers per step. A snapshot packs
+/// the same information into four contiguous arrays:
+///
+///   * out view: entries sorted by (source, edge id) + node offsets,
+///   * in view:  entries sorted by (target, edge id) + node offsets,
+///   * a label-partitioned copy of each, sorted by (node, label,
+///     edge id), so all edges with one label at one node form a single
+///     contiguous range (`OutForLabel` / `InForLabel`) — the scan shape
+///     of a product-automaton step over a fixed label.
+///
+/// Each entry carries the neighbor and the edge's dense LabelId, so a
+/// traversal touches exactly one sequential stream.
+///
+/// Ordering contract: `Out(n)` and `In(n)` enumerate edges in ascending
+/// edge id — exactly the insertion order of `Multigraph::OutEdges` /
+/// `InEdges`. Kernels that branch between the list-based reference and
+/// a snapshot therefore see the *same step sequence* either way, which
+/// is what makes CSR-backed results bit-identical (including the
+/// rng-stream-sensitive FPRAS); `tests/test_csr_equivalence.cc`
+/// enforces this.
+///
+/// A snapshot does not own or observe its source graph afterwards: it
+/// copies everything it needs (including label spellings), so the
+/// source may mutate or die. Conversely a snapshot attached to a kernel
+/// must outlive that kernel.
+class CsrSnapshot {
+ public:
+  /// One adjacency slot: the crossed edge, the node on the other side
+  /// (target for out-entries, source for in-entries) and the edge's
+  /// dense label.
+  struct Entry {
+    EdgeId edge;
+    NodeId neighbor;
+    LabelId label;
+  };
+
+  /// A contiguous run of entries (iterable, indexable).
+  struct Span {
+    const Entry* data = nullptr;
+    size_t count = 0;
+    const Entry* begin() const { return data; }
+    const Entry* end() const { return data + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const Entry& operator[](size_t i) const { return data[i]; }
+  };
+
+  CsrSnapshot() = default;
+
+  /// Snapshot of a labeled graph: edge labels become the label
+  /// partitions.
+  static CsrSnapshot FromGraph(const LabeledGraph& g);
+
+  /// Snapshot of a property graph (labels of the underlying labeled
+  /// graph; properties are not part of the adjacency substrate).
+  static CsrSnapshot FromGraph(const PropertyGraph& g);
+
+  /// Snapshot of a vector-labeled graph: feature row 0 plays the label
+  /// role, consistently with VectorGraphView::EdgeLabelIs.
+  static CsrSnapshot FromGraph(const VectorGraph& g);
+
+  /// Snapshot of a bare topology: every edge gets the single pseudo
+  /// label "" (one partition per node — label scans degenerate to full
+  /// scans).
+  static CsrSnapshot FromTopology(const Multigraph& g);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return sources_.size(); }
+  size_t num_labels() const { return label_names_.size(); }
+
+  bool HasNode(NodeId n) const { return n < num_nodes_; }
+  bool HasEdge(EdgeId e) const { return e < sources_.size(); }
+
+  /// ρ(e) — endpoints of edge e.
+  NodeId EdgeSource(EdgeId e) const { return sources_[e]; }
+  NodeId EdgeTarget(EdgeId e) const { return targets_[e]; }
+  /// Dense label of edge e.
+  LabelId EdgeLabel(EdgeId e) const { return edge_labels_[e]; }
+
+  /// Spelling of a dense label id.
+  const std::string& LabelName(LabelId l) const { return label_names_[l]; }
+
+  /// Dense id of a label spelling, or nullopt if no edge carries it.
+  std::optional<LabelId> FindLabel(std::string_view name) const;
+
+  /// Out-entries of n in ascending edge id (== Multigraph insertion
+  /// order); entry.neighbor is the edge target.
+  Span Out(NodeId n) const {
+    return {out_entries_.data() + out_offsets_[n],
+            out_offsets_[n + 1] - out_offsets_[n]};
+  }
+  /// In-entries of n in ascending edge id; entry.neighbor is the edge
+  /// source.
+  Span In(NodeId n) const {
+    return {in_entries_.data() + in_offsets_[n],
+            in_offsets_[n + 1] - in_offsets_[n]};
+  }
+
+  /// Out-entries of n with label l: one contiguous range of the
+  /// label-partitioned view, ascending edge id within the range.
+  Span OutForLabel(NodeId n, LabelId l) const {
+    return ForLabel(out_label_entries_, out_offsets_, n, l);
+  }
+  /// In-entries of n with label l.
+  Span InForLabel(NodeId n, LabelId l) const {
+    return ForLabel(in_label_entries_, in_offsets_, n, l);
+  }
+
+  /// The full label-partitioned adjacency of n, sorted by (label, edge
+  /// id) — the concatenation of its per-label partitions.
+  Span OutPartitioned(NodeId n) const {
+    return {out_label_entries_.data() + out_offsets_[n],
+            out_offsets_[n + 1] - out_offsets_[n]};
+  }
+  Span InPartitioned(NodeId n) const {
+    return {in_label_entries_.data() + in_offsets_[n],
+            in_offsets_[n + 1] - in_offsets_[n]};
+  }
+
+  size_t OutDegree(NodeId n) const {
+    return out_offsets_[n + 1] - out_offsets_[n];
+  }
+  size_t InDegree(NodeId n) const {
+    return in_offsets_[n + 1] - in_offsets_[n];
+  }
+
+  /// True iff this snapshot describes exactly the topology of `g`
+  /// (same node count, edge count and per-edge endpoints) — the cheap
+  /// compatibility check kernels run before trusting a snapshot.
+  bool MatchesTopology(const Multigraph& g) const;
+
+  /// One edge as (source, target, label spelling).
+  struct EdgeRecord {
+    NodeId from;
+    NodeId to;
+    std::string label;
+    bool operator==(const EdgeRecord&) const = default;
+  };
+
+  /// Round-trips the snapshot back to its edge list in edge-id order
+  /// (test/debug surface).
+  std::vector<EdgeRecord> ToEdgeList() const;
+
+ private:
+  /// Shared builder: `edge_label_const[e]` is the source-graph ConstId
+  /// of e's label and `spell` maps one to its string.
+  template <typename SpellFn>
+  static CsrSnapshot Build(const Multigraph& g,
+                           const std::vector<ConstId>& edge_label_const,
+                           SpellFn&& spell);
+
+  Span ForLabel(const std::vector<Entry>& entries,
+                const std::vector<size_t>& offsets, NodeId n,
+                LabelId l) const;
+
+  size_t num_nodes_ = 0;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> targets_;
+  std::vector<LabelId> edge_labels_;
+  std::vector<std::string> label_names_;
+
+  // The two views share their offset arrays between the edge-id-ordered
+  // and the label-partitioned copies (same per-node sizes).
+  std::vector<size_t> out_offsets_;  // num_nodes + 1
+  std::vector<size_t> in_offsets_;   // num_nodes + 1
+  std::vector<Entry> out_entries_;        // by (source, edge)
+  std::vector<Entry> in_entries_;         // by (target, edge)
+  std::vector<Entry> out_label_entries_;  // by (source, label, edge)
+  std::vector<Entry> in_label_entries_;   // by (target, label, edge)
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_GRAPH_CSR_SNAPSHOT_H_

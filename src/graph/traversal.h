@@ -1,0 +1,75 @@
+#ifndef KGQ_GRAPH_TRAVERSAL_H_
+#define KGQ_GRAPH_TRAVERSAL_H_
+
+#include "graph/csr_snapshot.h"
+#include "graph/multigraph.h"
+
+namespace kgq {
+
+/// The common traversal interface of the analytics kernels: one object
+/// that answers "edges out of / into n, in insertion order" from either
+/// the list-based Multigraph adjacency (the reference implementation)
+/// or an attached CsrSnapshot (the fast path).
+///
+/// Both backends enumerate edges in ascending edge id, so a kernel's
+/// visit order — and therefore every floating-point accumulation order —
+/// is identical whichever backend serves it; switching backends can
+/// change timing but never a bit of the result.
+///
+/// The branch is taken once per adjacency scan (not per edge) and both
+/// bodies are inlined, so the wrapper costs nothing measurable against
+/// the memory traffic it orchestrates.
+class Traversal {
+ public:
+  /// List-based reference over `g`; if `snapshot` is non-null and
+  /// matches g's topology, scans use its contiguous arrays instead.
+  /// A mismatched snapshot is ignored (the kernel silently falls back
+  /// to the reference adjacency rather than traversing a different
+  /// graph). Both referents must outlive the Traversal.
+  explicit Traversal(const Multigraph& g,
+                     const CsrSnapshot* snapshot = nullptr)
+      : g_(g),
+        csr_(snapshot != nullptr && snapshot->MatchesTopology(g) ? snapshot
+                                                                 : nullptr) {}
+
+  bool using_csr() const { return csr_ != nullptr; }
+  const Multigraph& graph() const { return g_; }
+
+  size_t num_nodes() const { return g_.num_nodes(); }
+  size_t num_edges() const { return g_.num_edges(); }
+
+  size_t OutDegree(NodeId n) const {
+    return csr_ ? csr_->OutDegree(n) : g_.OutDegree(n);
+  }
+  size_t InDegree(NodeId n) const {
+    return csr_ ? csr_->InDegree(n) : g_.InDegree(n);
+  }
+
+  /// Calls fn(edge, target) for every edge leaving n, ascending edge id.
+  template <typename Fn>
+  void ForEachOut(NodeId n, Fn&& fn) const {
+    if (csr_ != nullptr) {
+      for (const CsrSnapshot::Entry& a : csr_->Out(n)) fn(a.edge, a.neighbor);
+    } else {
+      for (EdgeId e : g_.OutEdges(n)) fn(e, g_.EdgeTarget(e));
+    }
+  }
+
+  /// Calls fn(edge, source) for every edge entering n, ascending edge id.
+  template <typename Fn>
+  void ForEachIn(NodeId n, Fn&& fn) const {
+    if (csr_ != nullptr) {
+      for (const CsrSnapshot::Entry& a : csr_->In(n)) fn(a.edge, a.neighbor);
+    } else {
+      for (EdgeId e : g_.InEdges(n)) fn(e, g_.EdgeSource(e));
+    }
+  }
+
+ private:
+  const Multigraph& g_;
+  const CsrSnapshot* csr_;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_GRAPH_TRAVERSAL_H_

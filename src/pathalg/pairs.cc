@@ -33,13 +33,18 @@ Bitset ReachableFrom(const PathNfa& nfa, NodeId start,
     }
   };
 
+  // Expansion goes per automaton state (ForEachSuccessor) rather than
+  // per step: with a snapshot attached, each pure-label transition
+  // scans one contiguous per-label range. Saturation makes the
+  // discovery order irrelevant — `seen` converges to the same fixpoint
+  // as the step-at-a-time reference.
   push(start, nfa.StartMask(start));
   while (!frontier.empty()) {
     auto [n, q] = frontier.back();
     frontier.pop_back();
-    nfa.ForEachStep(n, [&](const PathNfa::Step& s) {
-      if (opts.avoid != kNoNode && s.to == opts.avoid) return;
-      push(s.to, nfa.AdvanceSingle(q, s));
+    nfa.ForEachSuccessor(n, q, [&](NodeId to, uint32_t to_state) {
+      if (opts.avoid != kNoNode && to == opts.avoid) return;
+      push(to, nfa.CloseAt(to, 1ull << to_state));
     });
   }
 

@@ -58,6 +58,7 @@ Result<PathNfa> PathNfa::Compile(const GraphView& view, const Regex& regex,
           Bitset match = MatchEdges(view, *atom.test);
           nfa.edge_fwd_usable_ |= match;
           nfa.edge_match_.push_back(std::move(match));
+          nfa.RecordAtomLabel(*atom.test);
           nfa.fwd_trans_[q].push_back(
               {static_cast<uint32_t>(nfa.edge_match_.size() - 1), t.to});
           break;
@@ -66,6 +67,7 @@ Result<PathNfa> PathNfa::Compile(const GraphView& view, const Regex& regex,
           Bitset match = MatchEdges(view, *atom.test);
           nfa.edge_bwd_usable_ |= match;
           nfa.edge_match_.push_back(std::move(match));
+          nfa.RecordAtomLabel(*atom.test);
           nfa.bwd_trans_[q].push_back(
               {static_cast<uint32_t>(nfa.edge_match_.size() - 1), t.to});
           break;
@@ -118,6 +120,52 @@ Result<PathNfa> PathNfa::Compile(const GraphView& view, const Regex& regex,
     }
   }
   return nfa;
+}
+
+void PathNfa::RecordAtomLabel(const TestExpr& test) {
+  if (test.kind() == TestExpr::Kind::kLabel) {
+    atom_pure_label_.push_back(test.label());
+  } else {
+    atom_pure_label_.push_back(std::nullopt);
+  }
+}
+
+Status PathNfa::AttachSnapshot(const CsrSnapshot* snapshot) {
+  if (snapshot == nullptr) {
+    csr_ = nullptr;
+    atom_csr_label_.clear();
+    return Status::OK();
+  }
+  if (!snapshot->MatchesTopology(view_->topology())) {
+    return Status::InvalidArgument(
+        "CsrSnapshot topology does not match the compiled graph (" +
+        std::to_string(snapshot->num_nodes()) + " nodes / " +
+        std::to_string(snapshot->num_edges()) + " edges vs " +
+        std::to_string(num_nodes_) + " / " +
+        std::to_string(view_->num_edges()) + ")");
+  }
+  // Resolve pure-label atoms to the snapshot's dense label ids. The
+  // partition is only trusted when it reproduces the compiled match
+  // bitset exactly — snapshots of the graph the query was compiled
+  // against always pass; a topology-equal snapshot with different
+  // labels degrades to bitset filtering instead of changing results.
+  size_t m = view_->num_edges();
+  atom_csr_label_.assign(edge_match_.size(), kAtomFiltered);
+  for (size_t a = 0; a < edge_match_.size(); ++a) {
+    if (!atom_pure_label_[a].has_value()) continue;
+    std::optional<LabelId> lab = snapshot->FindLabel(*atom_pure_label_[a]);
+    if (!lab.has_value()) {
+      if (edge_match_[a].None()) atom_csr_label_[a] = kAtomDead;
+      continue;
+    }
+    bool exact = true;
+    for (EdgeId e = 0; e < m && exact; ++e) {
+      exact = (edge_match_[a].Test(e) == (snapshot->EdgeLabel(e) == *lab));
+    }
+    if (exact) atom_csr_label_[a] = *lab;
+  }
+  csr_ = snapshot;
+  return Status::OK();
 }
 
 PathNfa::StateMask PathNfa::CloseAt(NodeId n, StateMask m) const {

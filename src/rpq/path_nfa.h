@@ -2,8 +2,11 @@
 #define KGQ_RPQ_PATH_NFA_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/graph_view.h"
 #include "rpq/path.h"
 #include "rpq/query_automaton.h"
@@ -60,6 +63,27 @@ class PathNfa {
       const GraphView& view, const Regex& regex,
       Construction construction = Construction::kGlushkov);
 
+  /// Attaches an immutable CSR snapshot of the same topology (or
+  /// detaches with nullptr). Step iteration then scans the snapshot's
+  /// contiguous adjacency instead of the multigraph's per-node lists,
+  /// and pure-label edge atoms are resolved to the snapshot's label
+  /// partitions so saturating searches (ForEachSuccessor) scan one
+  /// contiguous range per transition. Steps are produced in exactly the
+  /// same order either way, so every downstream algorithm —
+  /// enumeration, the exact DP, FPRAS preprocessing and sampling —
+  /// returns bit-identical results with or without a snapshot.
+  ///
+  /// Fails with InvalidArgument if the snapshot's topology differs from
+  /// the compiled view's. An atom whose match bitset disagrees with the
+  /// snapshot's label partition (a snapshot of a *different* graph that
+  /// happens to share topology) falls back to bitset filtering, so a
+  /// successful attach never changes results. The snapshot must outlive
+  /// this PathNfa (or be detached first).
+  Status AttachSnapshot(const CsrSnapshot* snapshot);
+
+  /// The attached snapshot, or nullptr.
+  const CsrSnapshot* snapshot() const { return csr_; }
+
   /// Number of automaton states.
   size_t num_states() const { return num_q_; }
   size_t num_nodes() const { return num_nodes_; }
@@ -90,8 +114,27 @@ class PathNfa {
   /// one edge atom. Self-loops are emitted once (backward = false).
   /// Steps entering `blocked` (or leaving it) are the caller's business —
   /// the path algorithms filter on their own options.
+  ///
+  /// With an attached snapshot the scan runs over its contiguous
+  /// adjacency; both backends emit the identical step sequence (out
+  /// edges then in edges, ascending edge id).
   template <typename Fn>
   void ForEachStep(NodeId n, Fn&& fn) const {
+    if (csr_ != nullptr) {
+      for (const CsrSnapshot::Entry& a : csr_->Out(n)) {
+        bool self = (a.neighbor == n);
+        bool usable = edge_fwd_usable_.Test(a.edge) ||
+                      (self && edge_bwd_usable_.Test(a.edge));
+        if (usable) fn(Step{a.edge, false, n, a.neighbor});
+      }
+      for (const CsrSnapshot::Entry& a : csr_->In(n)) {
+        if (a.neighbor == n) continue;  // Self-loop emitted as forward.
+        if (edge_bwd_usable_.Test(a.edge)) {
+          fn(Step{a.edge, true, n, a.neighbor});
+        }
+      }
+      return;
+    }
     const Multigraph& g = view_->topology();
     for (EdgeId e : g.OutEdges(n)) {
       NodeId to = g.EdgeTarget(e);
@@ -111,6 +154,21 @@ class PathNfa {
   /// used by the FPRAS layer recurrence).
   template <typename Fn>
   void ForEachStepInto(NodeId n, Fn&& fn) const {
+    if (csr_ != nullptr) {
+      for (const CsrSnapshot::Entry& a : csr_->In(n)) {
+        bool self = (a.neighbor == n);
+        bool usable = edge_fwd_usable_.Test(a.edge) ||
+                      (self && edge_bwd_usable_.Test(a.edge));
+        if (usable) fn(Step{a.edge, false, a.neighbor, n});
+      }
+      for (const CsrSnapshot::Entry& a : csr_->Out(n)) {
+        if (a.neighbor == n) continue;
+        if (edge_bwd_usable_.Test(a.edge)) {
+          fn(Step{a.edge, true, a.neighbor, n});
+        }
+      }
+      return;
+    }
     const Multigraph& g = view_->topology();
     for (EdgeId e : g.InEdges(n)) {
       NodeId from = g.EdgeSource(e);
@@ -124,6 +182,67 @@ class PathNfa {
       if (from == n) continue;
       if (edge_bwd_usable_.Test(e)) fn(Step{e, true, from, n});
     }
+  }
+
+  /// Per-state successor expansion for saturating searches: calls
+  /// fn(to_node, to_state) for every (edge step, transition) the single
+  /// automaton state `q` can take out of node n — the union over calls
+  /// equals { (s.to, bits of AdvanceSingle(q, s) before closure) } over
+  /// ForEachStep(n). Callers close the emitted states at to_node.
+  ///
+  /// With an attached snapshot, transitions whose atom is a pure label
+  /// test scan that label's contiguous partition instead of filtering
+  /// the node's full adjacency — the product-graph step the snapshot
+  /// exists for. Emission *order* differs from the list backend, and a
+  /// (to_node, to_state) pair may be emitted once per witnessing
+  /// edge, so only order-insensitive saturating consumers (existential
+  /// reachability) may use this.
+  template <typename Fn>
+  void ForEachSuccessor(NodeId n, uint32_t q, Fn&& fn) const {
+    if (csr_ != nullptr) {
+      for (const EdgeTrans& t : fwd_trans_[q]) {
+        LabelId lab = atom_csr_label_[t.atom];
+        if (lab == kAtomDead) continue;
+        if (lab == kAtomFiltered) {
+          for (const CsrSnapshot::Entry& a : csr_->Out(n)) {
+            if (edge_match_[t.atom].Test(a.edge)) fn(a.neighbor, t.to);
+          }
+        } else {
+          for (const CsrSnapshot::Entry& a : csr_->OutForLabel(n, lab)) {
+            fn(a.neighbor, t.to);
+          }
+        }
+      }
+      // Backward atoms scan the in view; self-loops appear there too,
+      // matching the "self-loop fires both directions" step semantics.
+      for (const EdgeTrans& t : bwd_trans_[q]) {
+        LabelId lab = atom_csr_label_[t.atom];
+        if (lab == kAtomDead) continue;
+        if (lab == kAtomFiltered) {
+          for (const CsrSnapshot::Entry& a : csr_->In(n)) {
+            if (edge_match_[t.atom].Test(a.edge)) fn(a.neighbor, t.to);
+          }
+        } else {
+          for (const CsrSnapshot::Entry& a : csr_->InForLabel(n, lab)) {
+            fn(a.neighbor, t.to);
+          }
+        }
+      }
+      return;
+    }
+    ForEachStep(n, [&](const Step& s) {
+      bool self = (s.from == s.to);
+      if (!s.backward || self) {
+        for (const EdgeTrans& t : fwd_trans_[q]) {
+          if (edge_match_[t.atom].Test(s.edge)) fn(s.to, t.to);
+        }
+      }
+      if (s.backward || self) {
+        for (const EdgeTrans& t : bwd_trans_[q]) {
+          if (edge_match_[t.atom].Test(s.edge)) fn(s.to, t.to);
+        }
+      }
+    });
   }
 
   /// Runs the automaton over a whole path; returns the final closed mask
@@ -145,7 +264,17 @@ class PathNfa {
     uint32_t to;
   };
 
+  // atom_csr_label_ sentinels: atom matches no edge of the snapshot /
+  // atom is not a resolvable pure-label test (filter via edge_match_).
+  static constexpr LabelId kAtomDead = 0xFFFFFFFFu;
+  static constexpr LabelId kAtomFiltered = 0xFFFFFFFEu;
+
+  /// Remembers the label spelling of the just-pushed edge atom when its
+  /// test is a plain ℓ atom (resolved against snapshots at attach time).
+  void RecordAtomLabel(const TestExpr& test);
+
   const GraphView* view_ = nullptr;
+  const CsrSnapshot* csr_ = nullptr;
   size_t num_nodes_ = 0;
   uint32_t num_q_ = 0;
   uint32_t start_q_ = 0;
@@ -156,6 +285,12 @@ class PathNfa {
   std::vector<Bitset> edge_match_;
   std::vector<std::vector<EdgeTrans>> fwd_trans_;  // indexed by state
   std::vector<std::vector<EdgeTrans>> bwd_trans_;
+
+  // Per-atom label spelling when the atom's test is a plain ℓ atom
+  // (set at compile time), and its resolution against the attached
+  // snapshot (set by AttachSnapshot; kAtomFiltered without one).
+  std::vector<std::optional<std::string>> atom_pure_label_;
+  std::vector<LabelId> atom_csr_label_;
 
   // Union over atoms of edges usable in each direction.
   Bitset edge_fwd_usable_;

@@ -1,0 +1,317 @@
+// Differential equivalence suite for the CSR snapshot backend: over 50+
+// seeded random labeled graphs (with multi-edges, self-loops, isolated
+// nodes and empty label sets), every CSR-backed kernel must return
+// *bit-identical* results to the list-based reference — at one thread
+// and at several. This is the contract that lets callers attach a
+// snapshot opportunistically: it can only change speed, never output.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytics/betweenness.h"
+#include "analytics/pagerank.h"
+#include "graph/csr_snapshot.h"
+#include "graph/generators.h"
+#include "graph/graph_view.h"
+#include "pathalg/enumerate.h"
+#include "pathalg/exact.h"
+#include "pathalg/fpras.h"
+#include "pathalg/pairs.h"
+#include "rpq/path_nfa.h"
+#include "rpq/regex.h"
+#include "util/rng.h"
+
+namespace kgq {
+namespace {
+
+/// Random regex over edge labels {a, b} and node labels {p, q} — the
+/// same distribution as the regex fuzzer, including pure-label atoms
+/// (the partition fast path), bwd atoms, negated tests (the filtered
+/// path) and labels the graph may not contain (the dead-atom path).
+RegexPtr RandomRegex(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.35)) {
+    switch (rng->Below(6)) {
+      case 0:
+        return Regex::EdgeLabel(rng->Bernoulli(0.5) ? "a" : "b");
+      case 1:
+        return Regex::EdgeLabelBwd(rng->Bernoulli(0.5) ? "a" : "b");
+      case 2:
+        return Regex::NodeLabel(rng->Bernoulli(0.5) ? "p" : "q");
+      case 3:
+        return Regex::EdgeFwd(
+            TestExpr::Or(TestExpr::Label("a"), TestExpr::Label("b")));
+      case 4:
+        return Regex::EdgeFwd(TestExpr::Not(TestExpr::Label("a")));
+      default:
+        return Regex::NodeTest(TestExpr::True());
+    }
+  }
+  switch (rng->Below(3)) {
+    case 0:
+      return Regex::Union(RandomRegex(rng, depth - 1),
+                          RandomRegex(rng, depth - 1));
+    case 1:
+      return Regex::Concat(RandomRegex(rng, depth - 1),
+                           RandomRegex(rng, depth - 1));
+    default:
+      return Regex::Star(RandomRegex(rng, depth - 1));
+  }
+}
+
+/// Graph zoo indexed by seed: degenerate shapes (empty graph, no edges
+/// and hence an empty label set, single label) cycle through alongside
+/// multigraph-heavy and sparse/isolated-node random instances.
+LabeledGraph MakeGraph(uint64_t seed, Rng* rng) {
+  switch (seed % 8) {
+    case 0:
+      return LabeledGraph();  // 0 nodes, 0 edges.
+    case 1: {
+      LabeledGraph g;  // Nodes but no edges: empty label set.
+      for (int i = 0; i < 5; ++i) g.AddNode(i % 2 == 0 ? "p" : "q");
+      return g;
+    }
+    case 2:
+      return Cycle(6, "p", "a");  // Single edge label.
+    case 3: {
+      // Three nodes, 18 edges: saturated with parallels and self-loops.
+      std::vector<size_t> degrees = {6, 6, 6};
+      return FixedOutDegreeGraph(degrees, {"p", "q"}, {"a", "b"}, rng);
+    }
+    case 4:
+      return ErdosRenyi(12, 40, {"p", "q"}, {"a", "b"}, rng);
+    case 5:
+      return ErdosRenyi(16, 10, {"p", "q"}, {"a", "b"}, rng);  // Isolates.
+    case 6:
+      return BarabasiAlbert(14, 2, {"p", "q"}, {"a", "b"}, rng);
+    default:
+      return ErdosRenyi(6 + rng->Below(8), rng->Below(30), {"p", "q"},
+                        {"a", "b"}, rng);
+  }
+}
+
+ParallelOptions Threads(size_t k) {
+  ParallelOptions par;
+  par.num_threads = k;
+  return par;
+}
+
+class CsrEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrEquivalence, PathKernelsBitIdentical) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(7000 + seed);
+  LabeledGraph g = MakeGraph(seed, &rng);
+  LabeledGraphView view(g);
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+  ASSERT_TRUE(snap.MatchesTopology(g.topology()));
+  const size_t max_len = 3;
+
+  for (int round = 0; round < 3; ++round) {
+    RegexPtr regex = RandomRegex(&rng, 3);
+    SCOPED_TRACE(regex->ToString());
+
+    for (PathNfa::Construction cons :
+         {PathNfa::Construction::kGlushkov, PathNfa::Construction::kThompson}) {
+      Result<PathNfa> list_nfa = PathNfa::Compile(view, *regex, cons);
+      Result<PathNfa> csr_nfa = PathNfa::Compile(view, *regex, cons);
+      ASSERT_TRUE(list_nfa.ok()) << list_nfa.status();
+      ASSERT_TRUE(csr_nfa.ok()) << csr_nfa.status();
+      Status attached = csr_nfa->AttachSnapshot(&snap);
+      ASSERT_TRUE(attached.ok()) << attached;
+
+      // Existential pair semantics (reach rows), sequential and
+      // parallel: every row must match the reference exactly.
+      std::vector<Bitset> want_pairs = AllPairs(*list_nfa);
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        PathQueryOptions popts;
+        popts.parallel = Threads(threads);
+        ASSERT_EQ(AllPairs(*csr_nfa, popts), want_pairs)
+            << "threads=" << threads;
+      }
+      for (NodeId start = 0; start < g.num_nodes(); ++start) {
+        ASSERT_EQ(ReachableFrom(*csr_nfa, start), want_pairs[start])
+            << "start=" << start;
+      }
+      ASSERT_EQ(CountPairs(*csr_nfa), CountPairs(*list_nfa));
+
+      for (size_t k = 0; k <= max_len; ++k) {
+        // Enumeration: the *sequence* of paths must be identical, not
+        // just the set — the CSR branch preserves step order.
+        PathEnumerator want_enum(*list_nfa, k);
+        PathEnumerator got_enum(*csr_nfa, k);
+        std::vector<Path> want_paths = want_enum.Drain();
+        std::vector<Path> got_paths = got_enum.Drain();
+        ASSERT_EQ(got_paths.size(), want_paths.size()) << "k=" << k;
+        for (size_t i = 0; i < want_paths.size(); ++i) {
+          ASSERT_EQ(got_paths[i], want_paths[i])
+              << "k=" << k << " path #" << i << ": "
+              << got_paths[i].ToString() << " vs "
+              << want_paths[i].ToString();
+        }
+
+        // Exact counting.
+        ExactPathIndex want_index(*list_nfa, k);
+        ExactPathIndex got_index(*csr_nfa, k);
+        ASSERT_EQ(got_index.Count(k), want_index.Count(k)) << "k=" << k;
+      }
+
+      // FPRAS: the estimator consumes rng draws in step-iteration
+      // order, so identical step order ⇒ the identical random stream ⇒
+      // exactly the same estimate and samples.
+      FprasOptions fopts;
+      fopts.samples_per_state = 16;
+      fopts.union_trials = 32;
+      fopts.seed = 0xC0FFEE + seed;
+      FprasPathCounter want_fpras(*list_nfa, max_len, {}, fopts);
+      FprasPathCounter got_fpras(*csr_nfa, max_len, {}, fopts);
+      ASSERT_EQ(got_fpras.Estimate(), want_fpras.Estimate());
+      ASSERT_EQ(got_fpras.num_sketches(), want_fpras.num_sketches());
+      Rng want_rng(42 + seed), got_rng(42 + seed);
+      for (int s = 0; s < 5; ++s) {
+        Result<Path> want_p = want_fpras.Sample(&want_rng);
+        Result<Path> got_p = got_fpras.Sample(&got_rng);
+        ASSERT_EQ(got_p.ok(), want_p.ok());
+        if (!want_p.ok()) break;
+        ASSERT_EQ(*got_p, *want_p) << got_p->ToString();
+      }
+    }
+  }
+}
+
+TEST_P(CsrEquivalence, AnalyticsBitIdentical) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(9000 + seed);
+  LabeledGraph g = MakeGraph(seed, &rng);
+  const Multigraph& topo = g.topology();
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+
+  // Brandes betweenness, both directions, 1 and 4 threads.
+  for (EdgeDirection dir :
+       {EdgeDirection::kDirected, EdgeDirection::kUndirected}) {
+    std::vector<double> want = BetweennessCentrality(topo, dir);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ASSERT_EQ(BetweennessCentrality(topo, dir, Threads(threads), &snap),
+                want)
+          << "threads=" << threads;
+    }
+    // Pivot-sampled variant: same seed ⇒ same pivots ⇒ same numbers.
+    size_t pivots = std::min<size_t>(g.num_nodes(), 5);
+    Rng want_rng(11 + seed), got_rng(11 + seed);
+    std::vector<double> want_approx = ApproxBetweennessCentrality(
+        topo, dir, pivots, &want_rng, Threads(1));
+    ASSERT_EQ(ApproxBetweennessCentrality(topo, dir, pivots, &got_rng,
+                                          Threads(4), &snap),
+              want_approx);
+  }
+
+  // PageRank: pull loop over the snapshot's in view, same gather order.
+  PageRankOptions want_opts;
+  std::vector<double> want_pr = PageRank(topo, want_opts);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    PageRankOptions got_opts;
+    got_opts.parallel = Threads(threads);
+    got_opts.snapshot = &snap;
+    ASSERT_EQ(PageRank(topo, got_opts), want_pr) << "threads=" << threads;
+  }
+
+  // HITS.
+  HitsScores want_hits = Hits(topo, 20);
+  HitsScores got_hits = Hits(topo, 20, &snap);
+  ASSERT_EQ(got_hits.hub, want_hits.hub);
+  ASSERT_EQ(got_hits.authority, want_hits.authority);
+}
+
+TEST_P(CsrEquivalence, RegexBetweennessBitIdentical) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  // bc_r couples a configuration BFS, the enumerator and the FPRAS per
+  // source; run it on the smaller instances only to bound test time.
+  if (seed % 4 != 2) GTEST_SKIP() << "bc_r subset";
+  Rng rng(5000 + seed);
+  LabeledGraph g = MakeGraph(seed, &rng);
+  if (g.num_nodes() > 12) GTEST_SKIP() << "bc_r subset (size)";
+  LabeledGraphView view(g);
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+
+  RegexPtr regex =
+      Regex::Star(Regex::Union(Regex::EdgeLabel("a"), Regex::EdgeLabel("b")));
+
+  BcrOptions want_opts;
+  want_opts.max_path_length = 4;
+  Result<std::vector<double>> want = RegexBetweenness(view, *regex, want_opts);
+  ASSERT_TRUE(want.ok()) << want.status();
+
+  BcrOptions got_opts = want_opts;
+  got_opts.snapshot = &snap;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    got_opts.parallel = Threads(threads);
+    Result<std::vector<double>> got = RegexBetweenness(view, *regex, got_opts);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(*got, *want) << "threads=" << threads;
+  }
+
+  // Approximate bc_r: fixed master seed ⇒ identical source plans and
+  // per-source streams ⇒ identical output, snapshot or not.
+  BcrOptions approx_opts = want_opts;
+  approx_opts.fpras.samples_per_state = 8;
+  approx_opts.fpras.union_trials = 16;
+  Rng want_rng(77 + seed);
+  Result<std::vector<double>> want_approx =
+      RegexBetweennessApprox(view, *regex, approx_opts, &want_rng);
+  ASSERT_TRUE(want_approx.ok()) << want_approx.status();
+  approx_opts.snapshot = &snap;
+  approx_opts.parallel = Threads(4);
+  Rng got_rng(77 + seed);
+  Result<std::vector<double>> got_approx =
+      RegexBetweennessApprox(view, *regex, approx_opts, &got_rng);
+  ASSERT_TRUE(got_approx.ok()) << got_approx.status();
+  ASSERT_EQ(*got_approx, *want_approx);
+}
+
+// 52 seeds × the graph zoo: every degenerate shape appears at least six
+// times, the random shapes ~20 times each.
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalence, ::testing::Range(0, 52));
+
+// A snapshot of the wrong graph must be rejected at attach time rather
+// than silently corrupting results.
+TEST(CsrEquivalenceGuards, AttachRejectsMismatchedTopology) {
+  Rng rng(1);
+  LabeledGraph g = ErdosRenyi(8, 20, {"p"}, {"a", "b"}, &rng);
+  LabeledGraph other = ErdosRenyi(9, 20, {"p"}, {"a", "b"}, &rng);
+  LabeledGraphView view(g);
+  CsrSnapshot wrong = CsrSnapshot::FromGraph(other);
+
+  RegexPtr regex = Regex::Star(Regex::EdgeLabel("a"));
+  Result<PathNfa> nfa = PathNfa::Compile(view, *regex);
+  ASSERT_TRUE(nfa.ok());
+  Status st = nfa->AttachSnapshot(&wrong);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  // Detaching restores the list-based reference path.
+  CsrSnapshot right = CsrSnapshot::FromGraph(g);
+  ASSERT_TRUE(nfa->AttachSnapshot(&right).ok());
+  ASSERT_EQ(nfa->snapshot(), &right);
+  ASSERT_TRUE(nfa->AttachSnapshot(nullptr).ok());
+  ASSERT_EQ(nfa->snapshot(), nullptr);
+}
+
+// The Traversal facade silently ignores a mismatched snapshot — the
+// analytics entry points stay total.
+TEST(CsrEquivalenceGuards, AnalyticsIgnoreMismatchedSnapshot) {
+  Rng rng(2);
+  LabeledGraph g = ErdosRenyi(8, 20, {"p"}, {"a"}, &rng);
+  LabeledGraph other = ErdosRenyi(7, 12, {"p"}, {"a"}, &rng);
+  CsrSnapshot wrong = CsrSnapshot::FromGraph(other);
+  std::vector<double> want =
+      BetweennessCentrality(g.topology(), EdgeDirection::kDirected);
+  ASSERT_EQ(BetweennessCentrality(g.topology(), EdgeDirection::kDirected,
+                                  Threads(1), &wrong),
+            want);
+  PageRankOptions opts;
+  opts.snapshot = &wrong;
+  ASSERT_EQ(PageRank(g.topology(), opts), PageRank(g.topology()));
+}
+
+}  // namespace
+}  // namespace kgq

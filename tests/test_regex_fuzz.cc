@@ -1,12 +1,14 @@
 // Randomized differential testing: generate random regexes and random
 // graphs, then require that the paper-literal reference evaluator, the
-// Glushkov product, and the Thompson product agree path-for-path, and
-// that the exact counter and enumerator agree with all of them.
+// Glushkov product, the Thompson product, and the CSR-snapshot-backed
+// evaluator agree path-for-path, and that the exact counter and
+// enumerator agree with all of them.
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "graph/csr_snapshot.h"
 #include "graph/generators.h"
 #include "graph/graph_view.h"
 #include "pathalg/enumerate.h"
@@ -57,6 +59,7 @@ TEST_P(RegexFuzz, AllEnginesAgree) {
   Rng rng(1000 + GetParam());
   LabeledGraph g = ErdosRenyi(8, 18, {"p", "q"}, {"a", "b"}, &rng);
   LabeledGraphView view(g);
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
   const size_t max_len = 4;
 
   for (int round = 0; round < 6; ++round) {
@@ -79,14 +82,20 @@ TEST_P(RegexFuzz, AllEnginesAgree) {
         PathNfa::Compile(view, *regex, PathNfa::Construction::kThompson);
     ASSERT_TRUE(glushkov.ok());
     ASSERT_TRUE(thompson.ok());
+    // Third engine: a Glushkov product stepping over the CSR snapshot
+    // instead of the adjacency lists (three-way differential).
+    Result<PathNfa> csr =
+        PathNfa::Compile(view, *regex, PathNfa::Construction::kGlushkov);
+    ASSERT_TRUE(csr.ok());
+    ASSERT_TRUE(csr->AttachSnapshot(&snap).ok());
 
     for (size_t k = 0; k <= max_len; ++k) {
       std::set<Path> at_k;
       for (const Path& p : reference) {
         if (p.Length() == k) at_k.insert(p);
       }
-      // Enumeration on both constructions.
-      for (PathNfa* nfa : {&*glushkov, &*thompson}) {
+      // Enumeration on both constructions and on the CSR evaluator.
+      for (PathNfa* nfa : {&*glushkov, &*thompson, &*csr}) {
         PathEnumerator enumerator(*nfa, k);
         std::set<Path> got;
         Path p;
@@ -111,9 +120,15 @@ TEST_P(RegexFuzz, AllEnginesAgree) {
     std::vector<Bitset> glushkov_seq = AllPairs(*glushkov, seq_opts);
     std::vector<Bitset> glushkov_par = AllPairs(*glushkov, par_opts);
     std::vector<Bitset> thompson_par = AllPairs(*thompson, par_opts);
+    std::vector<Bitset> csr_seq = AllPairs(*csr, seq_opts);
+    std::vector<Bitset> csr_par = AllPairs(*csr, par_opts);
     ASSERT_EQ(glushkov_seq, glushkov_par) << "parallel changed pairs";
     ASSERT_EQ(glushkov_par, thompson_par)
         << "Glushkov vs Thompson disagree under the parallel evaluator";
+    ASSERT_EQ(csr_seq, glushkov_seq)
+        << "CSR vs list disagree under the sequential evaluator";
+    ASSERT_EQ(csr_par, glushkov_par)
+        << "CSR vs list disagree under the parallel evaluator";
     // Every reference path witnesses its (start, end) pair in the
     // unbounded pair relation.
     for (const Path& p : reference) {
