@@ -7,16 +7,37 @@
 // answer-count explosion that the exact DP's config count tracks).
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "graph/generators.h"
 #include "graph/graph_view.h"
+#include "obs/obs.h"
 #include "pathalg/exact.h"
 #include "pathalg/fpras.h"
 #include "rpq/parser.h"
 #include "rpq/path_nfa.h"
 #include "util/table.h"
 #include "util/timer.h"
+
+namespace {
+
+/// One JSON record of the exact-vs-FPRAS sweep.
+struct SweepRow {
+  size_t n, m, k;
+  double eps, exact, estimate, rel_err, ms_exact, ms_fpras;
+  size_t sketches;
+};
+
+/// One JSON record of the sample-budget ablation.
+struct BudgetRow {
+  size_t n, k, budget;
+  double exact, mean_rel_err, max_rel_err, ms_mean;
+};
+
+}  // namespace
 
 int main() {
   using namespace kgq;
@@ -28,36 +49,44 @@ int main() {
   const std::string query = "(a+b/b^-)*";
   size_t within_budget = 0, cases = 0;
   double worst = 0.0;
+  std::vector<SweepRow> sweep_rows;
+  std::vector<BudgetRow> budget_rows;
 
-  for (size_t n : {100, 300, 1000}) {
-    Rng gen(1000 + n);
-    LabeledGraph g = ErdosRenyi(n, 4 * n, {"p"}, {"a", "b"}, &gen);
-    LabeledGraphView view(g);
-    RegexPtr regex = *ParseRegex(query);
-    PathNfa nfa = *PathNfa::Compile(view, *regex);
-    for (size_t k : {4, 8, 12}) {
-      Timer t_exact;
-      ExactPathIndex index(nfa, k);
-      double exact = index.Count(k);
-      double ms_exact = t_exact.Millis();
-      for (double eps : {0.05, 0.1, 0.2}) {
-        FprasOptions fopts = FprasOptions::FromEpsilon(eps);
-        fopts.seed = 7 * n + k;
-        Timer t_fpras;
-        FprasPathCounter counter(nfa, k, {}, fopts);
-        double estimate = counter.Estimate();
-        double ms_fpras = t_fpras.Millis();
-        double rel_err =
-            exact > 0 ? std::fabs(estimate - exact) / exact : estimate;
-        ++cases;
-        if (rel_err <= 1.5 * eps) ++within_budget;
-        worst = std::max(worst, rel_err);
-        table.AddRow({std::to_string(n), std::to_string(g.num_edges()),
-                      std::to_string(k), FormatDouble(eps, 2),
-                      FormatDouble(exact, 0), FormatDouble(estimate, 0),
-                      FormatDouble(rel_err, 4), FormatDouble(ms_exact, 1),
-                      FormatDouble(ms_fpras, 1),
-                      std::to_string(counter.num_sketches())});
+  {
+    KGQ_SPAN("e1.exact_vs_fpras");
+    for (size_t n : {100, 300, 1000}) {
+      Rng gen(1000 + n);
+      LabeledGraph g = ErdosRenyi(n, 4 * n, {"p"}, {"a", "b"}, &gen);
+      LabeledGraphView view(g);
+      RegexPtr regex = *ParseRegex(query);
+      PathNfa nfa = *PathNfa::Compile(view, *regex);
+      for (size_t k : {4, 8, 12}) {
+        Timer t_exact;
+        ExactPathIndex index(nfa, k);
+        double exact = index.Count(k);
+        double ms_exact = t_exact.Millis();
+        for (double eps : {0.05, 0.1, 0.2}) {
+          FprasOptions fopts = FprasOptions::FromEpsilon(eps);
+          fopts.seed = 7 * n + k;
+          Timer t_fpras;
+          FprasPathCounter counter(nfa, k, {}, fopts);
+          double estimate = counter.Estimate();
+          double ms_fpras = t_fpras.Millis();
+          double rel_err =
+              exact > 0 ? std::fabs(estimate - exact) / exact : estimate;
+          ++cases;
+          if (rel_err <= 1.5 * eps) ++within_budget;
+          worst = std::max(worst, rel_err);
+          table.AddRow({std::to_string(n), std::to_string(g.num_edges()),
+                        std::to_string(k), FormatDouble(eps, 2),
+                        FormatDouble(exact, 0), FormatDouble(estimate, 0),
+                        FormatDouble(rel_err, 4), FormatDouble(ms_exact, 1),
+                        FormatDouble(ms_fpras, 1),
+                        std::to_string(counter.num_sketches())});
+          sweep_rows.push_back({n, g.num_edges(), k, eps, exact, estimate,
+                                rel_err, ms_exact, ms_fpras,
+                                counter.num_sketches()});
+        }
       }
     }
   }
@@ -73,44 +102,117 @@ int main() {
       {"n", "k", "trials", "samples", "exact", "mean.rel.err",
        "max.rel.err", "t_fpras(ms)"});
   const size_t reps = 5;
-  for (size_t n : {80, 200}) {
-    Rng gen(99 + n);
-    LabeledGraph g = ErdosRenyi(n, 4 * n, {"p"}, {"a", "b"}, &gen);
-    LabeledGraphView view(g);
-    RegexPtr regex = *ParseRegex("((a+b)/a + b/(a+b)/(a+b))*");
-    PathNfa nfa = *PathNfa::Compile(view, *regex);
-    const size_t k = 10;
-    ExactPathIndex index(nfa, k);
-    double exact = index.Count(k);
-    double prev_mean = 1e99;
-    for (size_t budget : {8, 32, 128}) {
-      FprasOptions fopts;
-      fopts.union_trials = budget;
-      fopts.samples_per_state = budget;
-      double err_sum = 0.0, err_max = 0.0, ms_sum = 0.0;
-      for (size_t rep = 0; rep < reps; ++rep) {
-        fopts.seed = 1000 * n + 10 * budget + rep;
-        Timer t;
-        double estimate = ApproxCount(nfa, k, {}, fopts);
-        ms_sum += t.Millis();
-        double rel_err =
-            exact > 0 ? std::fabs(estimate - exact) / exact : estimate;
-        err_sum += rel_err;
-        err_max = std::max(err_max, rel_err);
+  {
+    KGQ_SPAN("e1.budget_ablation");
+    for (size_t n : {80, 200}) {
+      Rng gen(99 + n);
+      LabeledGraph g = ErdosRenyi(n, 4 * n, {"p"}, {"a", "b"}, &gen);
+      LabeledGraphView view(g);
+      RegexPtr regex = *ParseRegex("((a+b)/a + b/(a+b)/(a+b))*");
+      PathNfa nfa = *PathNfa::Compile(view, *regex);
+      const size_t k = 10;
+      ExactPathIndex index(nfa, k);
+      double exact = index.Count(k);
+      double prev_mean = 1e99;
+      for (size_t budget : {8, 32, 128}) {
+        FprasOptions fopts;
+        fopts.union_trials = budget;
+        fopts.samples_per_state = budget;
+        double err_sum = 0.0, err_max = 0.0, ms_sum = 0.0;
+        for (size_t rep = 0; rep < reps; ++rep) {
+          fopts.seed = 1000 * n + 10 * budget + rep;
+          Timer t;
+          double estimate = ApproxCount(nfa, k, {}, fopts);
+          ms_sum += t.Millis();
+          double rel_err =
+              exact > 0 ? std::fabs(estimate - exact) / exact : estimate;
+          err_sum += rel_err;
+          err_max = std::max(err_max, rel_err);
+        }
+        double mean = err_sum / reps;
+        ++cases;
+        // Shape: more budget, no worse accuracy (generous tolerance).
+        if (mean <= prev_mean + 0.01 && mean < 0.25) ++within_budget;
+        prev_mean = mean;
+        worst = std::max(worst, err_max);
+        amb.AddRow({std::to_string(n), std::to_string(k),
+                    std::to_string(budget), std::to_string(budget),
+                    FormatDouble(exact, 0), FormatDouble(mean, 4),
+                    FormatDouble(err_max, 4),
+                    FormatDouble(ms_sum / reps, 1)});
+        budget_rows.push_back(
+            {n, k, budget, exact, mean, err_max, ms_sum / reps});
       }
-      double mean = err_sum / reps;
-      ++cases;
-      // Shape: more budget, no worse accuracy (generous tolerance).
-      if (mean <= prev_mean + 0.01 && mean < 0.25) ++within_budget;
-      prev_mean = mean;
-      worst = std::max(worst, err_max);
-      amb.AddRow({std::to_string(n), std::to_string(k),
-                  std::to_string(budget), std::to_string(budget),
-                  FormatDouble(exact, 0), FormatDouble(mean, 4),
-                  FormatDouble(err_max, 4), FormatDouble(ms_sum / reps, 1)});
     }
   }
   amb.Print(std::cout);
+
+  // Machine-readable mirror: every table row plus the obs registry
+  // (FPRAS samples drawn/accepted, DP config gauges, phase spans).
+  {
+    std::ofstream out("BENCH_e1_approx_count.json");
+    obs::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("benchmark");
+    w.String("e1_approx_count");
+    w.Key("sweep");
+    w.BeginArray();
+    for (const SweepRow& r : sweep_rows) {
+      w.BeginObject();
+      w.Key("n");
+      w.UInt(r.n);
+      w.Key("m");
+      w.UInt(r.m);
+      w.Key("k");
+      w.UInt(r.k);
+      w.Key("eps");
+      w.Double(r.eps);
+      w.Key("exact");
+      w.Double(r.exact);
+      w.Key("estimate");
+      w.Double(r.estimate);
+      w.Key("rel_err");
+      w.Double(r.rel_err);
+      w.Key("t_exact_ms");
+      w.Double(r.ms_exact);
+      w.Key("t_fpras_ms");
+      w.Double(r.ms_fpras);
+      w.Key("sketches");
+      w.UInt(r.sketches);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("budget_ablation");
+    w.BeginArray();
+    for (const BudgetRow& r : budget_rows) {
+      w.BeginObject();
+      w.Key("n");
+      w.UInt(r.n);
+      w.Key("k");
+      w.UInt(r.k);
+      w.Key("budget");
+      w.UInt(r.budget);
+      w.Key("exact");
+      w.Double(r.exact);
+      w.Key("mean_rel_err");
+      w.Double(r.mean_rel_err);
+      w.Key("max_rel_err");
+      w.Double(r.max_rel_err);
+      w.Key("t_fpras_ms");
+      w.Double(r.ms_mean);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("within_budget");
+    w.UInt(within_budget);
+    w.Key("cases");
+    w.UInt(cases);
+    w.Key("worst_rel_err");
+    w.Double(worst);
+    w.Key("obs");
+    obs::Registry::Get().WriteJson(&w);
+    w.EndObject();
+  }
 
   std::printf(
       "%zu/%zu cases within 1.5·eps (worst rel.err %.3f). Paper shape: the\n"

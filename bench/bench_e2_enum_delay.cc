@@ -21,6 +21,7 @@
 #include "graph/csr_snapshot.h"
 #include "graph/generators.h"
 #include "graph/graph_view.h"
+#include "obs/obs.h"
 #include "pathalg/enumerate.h"
 #include "pathalg/exact.h"
 #include "rpq/parser.h"
@@ -109,56 +110,61 @@ int main() {
   std::vector<DelayRow> delay_rows;
   bool delays_flat = true;
   double first_max_delay = 0.0;
-  for (size_t layers : {6, 10, 14}) {
-    const size_t width = 6;
-    LabeledGraph g = LayeredDag(layers, width, "n", "e");
-    LabeledGraphView view(g);
-    CsrSnapshot snap = CsrSnapshot::FromGraph(g);
-    RegexPtr regex = *ParseRegex("e*");
+  {
+    // Phase span: kernel spans (reach_table.build, pathalg.exact.count)
+    // nest under it in the exported obs tree.
+    KGQ_SPAN("e2.delay_sweep");
+    for (size_t layers : {6, 10, 14}) {
+      const size_t width = 6;
+      LabeledGraph g = LayeredDag(layers, width, "n", "e");
+      LabeledGraphView view(g);
+      CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+      RegexPtr regex = *ParseRegex("e*");
 
-    for (const char* backend : {"list", "csr"}) {
-      PathNfa nfa = *PathNfa::Compile(view, *regex);
-      if (backend[0] == 'c' && !nfa.AttachSnapshot(&snap).ok()) continue;
+      for (const char* backend : {"list", "csr"}) {
+        PathNfa nfa = *PathNfa::Compile(view, *regex);
+        if (backend[0] == 'c' && !nfa.AttachSnapshot(&snap).ok()) continue;
 
-      ExactPathIndex index(nfa, layers);
-      double total = index.Count(layers);
+        ExactPathIndex index(nfa, layers);
+        double total = index.Count(layers);
 
-      for (size_t threads : {size_t{1}, size_t{4}}) {
-        PathQueryOptions popts;
-        popts.parallel.num_threads = threads;
-        Timer preproc;
-        PathEnumerator enumerator(nfa, layers, popts);
-        double t_preproc = preproc.Millis();
+        for (size_t threads : {size_t{1}, size_t{4}}) {
+          PathQueryOptions popts;
+          popts.parallel.num_threads = threads;
+          Timer preproc;
+          PathEnumerator enumerator(nfa, layers, popts);
+          double t_preproc = preproc.Millis();
 
-        const size_t timed = 20000;
-        Path p;
-        double max_delay = 0.0, sum_delay = 0.0;
-        size_t produced = 0;
-        for (size_t i = 0; i < timed; ++i) {
-          Timer delay;
-          if (!enumerator.Next(&p)) break;
-          double us = delay.Micros();
-          max_delay = std::max(max_delay, us);
-          sum_delay += us;
-          ++produced;
+          const size_t timed = 20000;
+          Path p;
+          double max_delay = 0.0, sum_delay = 0.0;
+          size_t produced = 0;
+          for (size_t i = 0; i < timed; ++i) {
+            Timer delay;
+            if (!enumerator.Next(&p)) break;
+            double us = delay.Micros();
+            max_delay = std::max(max_delay, us);
+            sum_delay += us;
+            ++produced;
+          }
+          if (layers == 6 && backend[0] == 'l' && threads == 1) {
+            first_max_delay = max_delay;
+          }
+          // "Flat": max delay on the biggest instance within 20x of the
+          // smallest (wall-clock noise tolerated), although the answer
+          // count grew by 6^8 ≈ 1.7M times. Applied to both backends.
+          if (layers == 14 &&
+              max_delay > 20.0 * std::max(first_max_delay, 5.0)) {
+            delays_flat = false;
+          }
+          double mean = produced == 0 ? 0.0 : sum_delay / produced;
+          t.AddRow({std::to_string(layers), std::to_string(width), backend,
+                    std::to_string(threads), FormatDouble(total, 0),
+                    FormatDouble(t_preproc, 2), FormatDouble(mean, 2),
+                    FormatDouble(max_delay, 1), std::to_string(produced)});
+          delay_rows.push_back({layers, width, threads, backend, total,
+                                t_preproc, mean, max_delay, produced});
         }
-        if (layers == 6 && backend[0] == 'l' && threads == 1) {
-          first_max_delay = max_delay;
-        }
-        // "Flat": max delay on the biggest instance within 20x of the
-        // smallest (wall-clock noise tolerated), although the answer
-        // count grew by 6^8 ≈ 1.7M times. Applied to both backends.
-        if (layers == 14 &&
-            max_delay > 20.0 * std::max(first_max_delay, 5.0)) {
-          delays_flat = false;
-        }
-        double mean = produced == 0 ? 0.0 : sum_delay / produced;
-        t.AddRow({std::to_string(layers), std::to_string(width), backend,
-                  std::to_string(threads), FormatDouble(total, 0),
-                  FormatDouble(t_preproc, 2), FormatDouble(mean, 2),
-                  FormatDouble(max_delay, 1), std::to_string(produced)});
-        delay_rows.push_back({layers, width, threads, backend, total,
-                              t_preproc, mean, max_delay, produced});
       }
     }
   }
@@ -175,34 +181,37 @@ int main() {
   LabeledGraph g = ErdosRenyi(150, 600, {"p"}, {"a", "b"}, &gen);
   LabeledGraphView view(g);
   CsrSnapshot snap = CsrSnapshot::FromGraph(g);
-  for (const char* q : {"(a+b/b^-)*", "((a+b)/a + b/(a+b)/(a+b))*"}) {
-    RegexPtr regex = *ParseRegex(q);
-    const size_t k = 8, want = 5000;
+  {
+    KGQ_SPAN("e2.ablation");
+    for (const char* q : {"(a+b/b^-)*", "((a+b)/a + b/(a+b)/(a+b))*"}) {
+      RegexPtr regex = *ParseRegex(q);
+      const size_t k = 8, want = 5000;
 
-    for (const char* backend : {"list", "csr"}) {
+      for (const char* backend : {"list", "csr"}) {
+        PathNfa nfa = *PathNfa::Compile(view, *regex);
+        if (backend[0] == 'c' && !nfa.AttachSnapshot(&snap).ok()) continue;
+        Timer t_config;
+        PathEnumerator enumerator(nfa, k);
+        Path p;
+        size_t produced = 0;
+        while (produced < want && enumerator.Next(&p)) ++produced;
+        double ms = t_config.Millis();
+        (backend[0] == 'l' ? list_total_ms : csr_total_ms) += ms;
+        std::string engine = std::string("config-") + backend;
+        ab.AddRow({"150", q, engine, std::to_string(produced),
+                   FormatDouble(ms, 1)});
+        ablation_rows.push_back({q, backend[0] == 'l' ? "config-list"
+                                                      : "config-csr",
+                                 produced, ms});
+      }
+
       PathNfa nfa = *PathNfa::Compile(view, *regex);
-      if (backend[0] == 'c' && !nfa.AttachSnapshot(&snap).ok()) continue;
-      Timer t_config;
-      PathEnumerator enumerator(nfa, k);
-      Path p;
-      size_t produced = 0;
-      while (produced < want && enumerator.Next(&p)) ++produced;
-      double ms = t_config.Millis();
-      (backend[0] == 'l' ? list_total_ms : csr_total_ms) += ms;
-      std::string engine = std::string("config-") + backend;
-      ab.AddRow({"150", q, engine, std::to_string(produced),
-                 FormatDouble(ms, 1)});
-      ablation_rows.push_back({q, backend[0] == 'l' ? "config-list"
-                                                    : "config-csr",
-                               produced, ms});
+      double run_secs = 0.0;
+      size_t run_got = RunLevelDfsFirstK(nfa, k, want, &run_secs);
+      ab.AddRow({"150", q, "run-level", std::to_string(run_got),
+                 FormatDouble(run_secs * 1e3, 1)});
+      ablation_rows.push_back({q, "run-level", run_got, run_secs * 1e3});
     }
-
-    PathNfa nfa = *PathNfa::Compile(view, *regex);
-    double run_secs = 0.0;
-    size_t run_got = RunLevelDfsFirstK(nfa, k, want, &run_secs);
-    ab.AddRow({"150", q, "run-level", std::to_string(run_got),
-               FormatDouble(run_secs * 1e3, 1)});
-    ablation_rows.push_back({q, "run-level", run_got, run_secs * 1e3});
   }
   ab.Print(std::cout);
 
@@ -212,41 +221,63 @@ int main() {
               "(%.2fx)\n",
               csr_total_ms, list_total_ms, enum_speedup);
 
-  // Machine-readable mirror of everything above.
+  // Machine-readable mirror of everything above, plus the full obs
+  // registry: per-answer delay histogram, edges-scanned counters, and
+  // the nested phase-span tree (e2.delay_sweep / e2.ablation with the
+  // kernel spans beneath them).
   {
     std::ofstream out("BENCH_e2_enum_delay.json");
-    out << "{\n  \"benchmark\": \"e2_enum_delay\",\n  \"delay\": [\n";
-    for (size_t i = 0; i < delay_rows.size(); ++i) {
-      const DelayRow& r = delay_rows[i];
-      char buf[512];
-      std::snprintf(
-          buf, sizeof buf,
-          "    {\"layers\": %zu, \"width\": %zu, \"backend\": \"%s\", "
-          "\"threads\": %zu, \"total_answers\": %.0f, "
-          "\"t_preproc_ms\": %.4f, \"mean_delay_us\": %.4f, "
-          "\"max_delay_us\": %.2f, \"answers_timed\": %zu}%s\n",
-          r.layers, r.width, r.backend, r.threads, r.total, r.t_preproc_ms,
-          r.mean_delay_us, r.max_delay_us, r.answers,
-          i + 1 < delay_rows.size() ? "," : "");
-      out << buf;
+    obs::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("benchmark");
+    w.String("e2_enum_delay");
+    w.Key("delay");
+    w.BeginArray();
+    for (const DelayRow& r : delay_rows) {
+      w.BeginObject();
+      w.Key("layers");
+      w.UInt(r.layers);
+      w.Key("width");
+      w.UInt(r.width);
+      w.Key("backend");
+      w.String(r.backend);
+      w.Key("threads");
+      w.UInt(r.threads);
+      w.Key("total_answers");
+      w.Double(r.total);
+      w.Key("t_preproc_ms");
+      w.Double(r.t_preproc_ms);
+      w.Key("mean_delay_us");
+      w.Double(r.mean_delay_us);
+      w.Key("max_delay_us");
+      w.Double(r.max_delay_us);
+      w.Key("answers_timed");
+      w.UInt(r.answers);
+      w.EndObject();
     }
-    out << "  ],\n  \"ablation\": [\n";
-    for (size_t i = 0; i < ablation_rows.size(); ++i) {
-      const AblationRow& r = ablation_rows[i];
-      char buf[512];
-      std::snprintf(buf, sizeof buf,
-                    "    {\"query\": \"%s\", \"engine\": \"%s\", "
-                    "\"first_k\": %zu, \"t_ms\": %.4f}%s\n",
-                    r.query.c_str(), r.engine, r.first_k, r.millis,
-                    i + 1 < ablation_rows.size() ? "," : "");
-      out << buf;
+    w.EndArray();
+    w.Key("ablation");
+    w.BeginArray();
+    for (const AblationRow& r : ablation_rows) {
+      w.BeginObject();
+      w.Key("query");
+      w.String(r.query);
+      w.Key("engine");
+      w.String(r.engine);
+      w.Key("first_k");
+      w.UInt(r.first_k);
+      w.Key("t_ms");
+      w.Double(r.millis);
+      w.EndObject();
     }
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "  ],\n  \"enumeration_speedup_csr_over_list\": %.4f,\n"
-                  "  \"delays_flat\": %s\n}\n",
-                  enum_speedup, delays_flat ? "true" : "false");
-    out << buf;
+    w.EndArray();
+    w.Key("enumeration_speedup_csr_over_list");
+    w.Double(enum_speedup);
+    w.Key("delays_flat");
+    w.Bool(delays_flat);
+    w.Key("obs");
+    obs::Registry::Get().WriteJson(&w);
+    w.EndObject();
   }
 
   std::printf("Paper shape: delay bounded by a polynomial in the input, "

@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "analytics/betweenness.h"
 #include "analytics/centrality_extra.h"
@@ -16,6 +18,7 @@
 #include "analytics/pagerank.h"
 #include "analytics/shortest_paths.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace {
@@ -183,7 +186,19 @@ void BM_LabelPropagation(benchmark::State& state) {
 }
 BENCHMARK(BM_LabelPropagation)->Arg(1000)->Arg(10000);
 
-void PrintGlobalProperties() {
+/// One JSON record of the global-properties table.
+struct PropertiesRow {
+  size_t n, m, weak_components;
+  bool has_diameter;
+  size_t diameter;
+  double avg_clustering, densest_density, max_pagerank;
+  uint32_t max_core;
+  size_t triangles;
+};
+
+std::vector<PropertiesRow> PrintGlobalProperties() {
+  KGQ_SPAN("e4.global_properties");
+  std::vector<PropertiesRow> rows;
   Table t("E4 — global properties of BA(n, 3) graphs",
           {"n", "m", "weak comps", "diameter(und)", "avg clustering",
            "densest density", "max pagerank", "max k-core", "triangles"});
@@ -198,21 +213,69 @@ void PrintGlobalProperties() {
     for (double v : pr) max_pr = std::max(max_pr, v);
     auto cores = CoreNumbers(g.topology());
     uint32_t kmax = *std::max_element(cores.begin(), cores.end());
+    size_t triangles = CountTriangles(g.topology());
     t.AddRow({std::to_string(n), std::to_string(g.num_edges()),
               std::to_string(wcc.num_components),
               diam ? std::to_string(*diam) : "-", FormatDouble(cc, 4),
               FormatDouble(dense.density, 3), FormatDouble(max_pr, 5),
-              std::to_string(kmax),
-              std::to_string(CountTriangles(g.topology()))});
+              std::to_string(kmax), std::to_string(triangles)});
+    rows.push_back({n, g.num_edges(), wcc.num_components, diam.has_value(),
+                    diam.value_or(0), cc, dense.density, max_pr, kmax,
+                    triangles});
   }
   t.Print(std::cout);
+  return rows;
+}
+
+/// BENCH_e4_analytics.json: the global-properties rows plus the full
+/// obs registry (per-phase spans, frontier-size histograms,
+/// iterations-to-convergence) accumulated across every benchmark run.
+void WriteJsonReport(const std::vector<PropertiesRow>& rows) {
+  std::ofstream out("BENCH_e4_analytics.json");
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("benchmark");
+  w.String("e4_analytics");
+  w.Key("global_properties");
+  w.BeginArray();
+  for (const PropertiesRow& r : rows) {
+    w.BeginObject();
+    w.Key("n");
+    w.UInt(r.n);
+    w.Key("m");
+    w.UInt(r.m);
+    w.Key("weak_components");
+    w.UInt(r.weak_components);
+    w.Key("diameter");
+    if (r.has_diameter) {
+      w.UInt(r.diameter);
+    } else {
+      w.Null();
+    }
+    w.Key("avg_clustering");
+    w.Double(r.avg_clustering);
+    w.Key("densest_density");
+    w.Double(r.densest_density);
+    w.Key("max_pagerank");
+    w.Double(r.max_pagerank);
+    w.Key("max_core");
+    w.UInt(r.max_core);
+    w.Key("triangles");
+    w.UInt(r.triangles);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("obs");
+  obs::Registry::Get().WriteJson(&w);
+  w.EndObject();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintGlobalProperties();
+  std::vector<PropertiesRow> rows = PrintGlobalProperties();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteJsonReport(rows);
   return 0;
 }

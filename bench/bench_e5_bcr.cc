@@ -6,22 +6,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analytics/betweenness.h"
 #include "datasets/contact_scenario.h"
 #include "datasets/figure2.h"
 #include "graph/graph_view.h"
+#include "obs/obs.h"
 #include "rpq/parser.h"
 #include "util/table.h"
 #include "util/timer.h"
 
+namespace {
+
+/// One JSON record of the Figure 2 comparison.
+struct Figure2Row {
+  std::string name;
+  double classic, bcr;
+};
+
+/// One JSON record of the exact-vs-approx comparison.
+struct ApproxRow {
+  size_t people, nodes, edges;
+  double rel_err;
+  bool top_match;
+  double s_exact, s_approx;
+};
+
+/// One JSON record of the thread-scaling sweep.
+struct ScalingRow {
+  size_t threads;
+  double s_exact, s_approx;
+  bool identical;
+};
+
+}  // namespace
+
 int main() {
   using namespace kgq;
   bool ok = true;
+  std::vector<Figure2Row> figure2_rows;
+  std::vector<ApproxRow> approx_rows;
+  std::vector<ScalingRow> scaling_rows;
 
   // ---- Figure 2: the bus-as-transport example ---------------------------
   {
+    KGQ_SPAN("e5.figure2");
     LabeledGraph g = Figure2Labeled();
     LabeledGraphView view(g);
     RegexPtr transport = *ParseRegex("?person/rides/?bus/rides^-/?person");
@@ -36,6 +69,7 @@ int main() {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       t.AddRow({names[v], g.NodeLabelString(v), FormatDouble(classic[v], 2),
                 FormatDouble((*bcr)[v], 2)});
+      figure2_rows.push_back({names[v], classic[v], (*bcr)[v]});
     }
     t.Print(std::cout);
     ok = ok && (*bcr)[fig2::kBus] > 0 && (*bcr)[fig2::kCompany] == 0 &&
@@ -46,6 +80,7 @@ int main() {
 
   // ---- Scaled scenario: exact vs randomized approximation ---------------
   {
+    KGQ_SPAN("e5.exact_vs_approx");
     Table t("E5b — bc_r exact vs randomized approximation",
             {"people", "nodes", "edges", "L1 rel err", "top-1 match",
              "t_exact(s)", "t_approx(s)"});
@@ -90,6 +125,8 @@ int main() {
                 std::to_string(city.num_edges()), FormatDouble(rel, 3),
                 top_match ? "yes" : "NO", FormatDouble(s_exact, 2),
                 FormatDouble(s_approx, 2)});
+      approx_rows.push_back({people, city.num_nodes(), city.num_edges(), rel,
+                             top_match, s_exact, s_approx});
     }
     t.Print(std::cout);
     ok = ok && approx_ok;
@@ -99,6 +136,7 @@ int main() {
 
   // ---- Thread scaling of the source-parallel bc_r sweep -----------------
   {
+    KGQ_SPAN("e5.thread_scaling");
     ContactScenarioOptions opts;
     opts.num_people = 60;
     opts.num_buses = 4;
@@ -142,12 +180,77 @@ int main() {
                 FormatDouble(s_approx, 2),
                 FormatDouble(approx_base / s_approx, 2),
                 same ? "yes" : "NO"});
+      scaling_rows.push_back({threads, s_exact, s_approx, same});
     }
     t.Print(std::cout);
     ok = ok && identical;
     std::printf(
         "bc_r output is bit-identical at every thread count → %s\n",
         identical ? "OK" : "FAIL");
+  }
+
+  // Machine-readable mirror: every table row plus the obs registry
+  // (bc_r pair counters, phase spans, FPRAS sample counters).
+  {
+    std::ofstream out("BENCH_e5_bcr.json");
+    obs::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("benchmark");
+    w.String("e5_bcr");
+    w.Key("figure2");
+    w.BeginArray();
+    for (const Figure2Row& r : figure2_rows) {
+      w.BeginObject();
+      w.Key("node");
+      w.String(r.name);
+      w.Key("classic_bc");
+      w.Double(r.classic);
+      w.Key("bcr");
+      w.Double(r.bcr);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("exact_vs_approx");
+    w.BeginArray();
+    for (const ApproxRow& r : approx_rows) {
+      w.BeginObject();
+      w.Key("people");
+      w.UInt(r.people);
+      w.Key("nodes");
+      w.UInt(r.nodes);
+      w.Key("edges");
+      w.UInt(r.edges);
+      w.Key("l1_rel_err");
+      w.Double(r.rel_err);
+      w.Key("top1_match");
+      w.Bool(r.top_match);
+      w.Key("t_exact_s");
+      w.Double(r.s_exact);
+      w.Key("t_approx_s");
+      w.Double(r.s_approx);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("thread_scaling");
+    w.BeginArray();
+    for (const ScalingRow& r : scaling_rows) {
+      w.BeginObject();
+      w.Key("threads");
+      w.UInt(r.threads);
+      w.Key("t_exact_s");
+      w.Double(r.s_exact);
+      w.Key("t_approx_s");
+      w.Double(r.s_approx);
+      w.Key("identical_to_1_thread");
+      w.Bool(r.identical);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("ok");
+    w.Bool(ok);
+    w.Key("obs");
+    obs::Registry::Get().WriteJson(&w);
+    w.EndObject();
   }
   return ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/traversal.h"
+#include "obs/obs.h"
 #include "pathalg/enumerate.h"
 #include "pathalg/exact.h"
 #include "rpq/path_nfa.h"
@@ -58,6 +59,9 @@ void BrandesFromSource(const Traversal& g, EdgeDirection dir, NodeId s,
     }
     if (w != s) (*bc)[w] += weight * delta[w];
   }
+  // BFS tree size of this source — the per-source work shape.
+  KGQ_HISTOGRAM_RECORD("analytics.brandes.reached_nodes", order.size());
+  KGQ_COUNTER_INC("analytics.brandes.sources");
 }
 
 /// Source-chunk size for the parallel sweeps. Depends only on the
@@ -82,6 +86,7 @@ std::vector<double> ApproxBetweennessCentrality(const Multigraph& g,
                                                 size_t num_pivots, Rng* rng,
                                                 const ParallelOptions& par,
                                                 const CsrSnapshot* snapshot) {
+  KGQ_SPAN("analytics.brandes_approx");
   Traversal trav(g, snapshot);
   size_t n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
@@ -113,6 +118,7 @@ std::vector<double> BetweennessCentrality(const Multigraph& g,
                                           EdgeDirection dir,
                                           const ParallelOptions& par,
                                           const CsrSnapshot* snapshot) {
+  KGQ_SPAN("analytics.brandes");
   Traversal trav(g, snapshot);
   size_t n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
@@ -132,6 +138,7 @@ std::vector<double> BetweennessCentrality(const Multigraph& g,
 Result<std::vector<double>> RegexBetweenness(const GraphView& view,
                                              const Regex& regex,
                                              const BcrOptions& opts) {
+  KGQ_SPAN("analytics.bcr_exact");
   KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
   if (opts.snapshot != nullptr) {
     KGQ_RETURN_IF_ERROR(nfa.AttachSnapshot(opts.snapshot));
@@ -147,6 +154,7 @@ Result<std::vector<double>> RegexBetweenness(const GraphView& view,
       if (b == a || !dist[b].has_value()) continue;
       size_t d = *dist[b];
       if (d == 0) continue;  // A trivial path has no interior nodes.
+      KGQ_COUNTER_INC("analytics.bcr.pairs");
 
       // Enumerate the shortest conforming paths once; their interior
       // node memberships are exactly |S_{a,b,r}(x)|.
@@ -190,6 +198,7 @@ Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
                                                    const Regex& regex,
                                                    const BcrOptions& opts,
                                                    Rng* rng) {
+  KGQ_SPAN("analytics.bcr_approx");
   KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view, regex));
   if (opts.snapshot != nullptr) {
     KGQ_RETURN_IF_ERROR(nfa.AttachSnapshot(opts.snapshot));
@@ -226,6 +235,7 @@ Result<std::vector<double>> RegexBetweennessApprox(const GraphView& view,
       if (b == a || !dist[b].has_value()) continue;
       size_t d = *dist[b];
       if (d == 0) continue;
+      KGQ_COUNTER_INC("analytics.bcr.pairs");
 
       PathQueryOptions popts;
       popts.start = a;

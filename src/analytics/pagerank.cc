@@ -4,12 +4,15 @@
 #include <cmath>
 
 #include "graph/traversal.h"
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace kgq {
 
 std::vector<double> PageRank(const Multigraph& g,
                              const PageRankOptions& opts) {
+  KGQ_SPAN("analytics.pagerank");
+  KGQ_COUNTER_INC("analytics.pagerank.runs");
   Traversal t(g, opts.snapshot);
   size_t n = g.num_nodes();
   if (n == 0) return {};
@@ -19,7 +22,9 @@ std::vector<double> PageRank(const Multigraph& g,
   size_t grain = std::max<size_t>(64, (n + 255) / 256);
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
-  for (size_t iter = 0; iter < opts.max_iterations; ++iter) {
+  size_t iterations = 0;
+  while (iterations < opts.max_iterations) {
+    ++iterations;
     double dangling = ParallelReduce(
         0, n, grain, 0.0,
         [&](size_t lo, size_t hi) {
@@ -59,6 +64,10 @@ std::vector<double> PageRank(const Multigraph& g,
     rank.swap(next);
     if (delta < opts.tolerance) break;
   }
+  // Iterations-to-convergence: the histogram aggregates across runs,
+  // the gauge holds the most recent run.
+  KGQ_HISTOGRAM_RECORD("analytics.pagerank.iterations", iterations);
+  KGQ_GAUGE_SET("analytics.pagerank.last_iterations", iterations);
   return rank;
 }
 

@@ -1,0 +1,28 @@
+#ifndef KGQ_OBS_CLOCK_H_
+#define KGQ_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kgq {
+namespace obs {
+
+/// The single time source of the repository. Trace spans, the metric
+/// histograms and the bench-harness `Timer` all read this clock, so a
+/// span duration and a bench phase timing taken around the same region
+/// can never disagree about what "elapsed" means.
+using SteadyClock = std::chrono::steady_clock;
+
+/// Nanoseconds on the steady clock (monotonic; epoch is unspecified —
+/// only differences are meaningful).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace obs
+}  // namespace kgq
+
+#endif  // KGQ_OBS_CLOCK_H_

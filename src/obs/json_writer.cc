@@ -1,0 +1,127 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kgq {
+namespace obs {
+
+void JsonWriter::Indent() {
+  out_ << '\n';
+  for (size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::Prepare() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // Value continues the "key": line.
+  }
+  if (stack_.empty()) return;  // Top-level value.
+  if (!first_in_scope_) out_ << ',';
+  first_in_scope_ = false;
+  Indent();
+}
+
+void JsonWriter::BeginObject() {
+  Prepare();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::EndObject() {
+  bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) Indent();
+  out_ << '}';
+  first_in_scope_ = false;
+  if (stack_.empty()) out_ << '\n';
+}
+
+void JsonWriter::BeginArray() {
+  Prepare();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::EndArray() {
+  bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) Indent();
+  out_ << ']';
+  first_in_scope_ = false;
+  if (stack_.empty()) out_ << '\n';
+}
+
+void JsonWriter::Key(std::string_view k) {
+  if (!first_in_scope_) out_ << ',';
+  first_in_scope_ = false;
+  Indent();
+  out_ << '"';
+  WriteEscaped(k);
+  out_ << "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view s) {
+  Prepare();
+  out_ << '"';
+  WriteEscaped(s);
+  out_ << '"';
+}
+
+void JsonWriter::Int(int64_t v) {
+  Prepare();
+  out_ << v;
+}
+
+void JsonWriter::UInt(uint64_t v) {
+  Prepare();
+  out_ << v;
+}
+
+void JsonWriter::Double(double v, int digits) {
+  Prepare();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN literals.
+    out_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, v);
+  out_ << buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  Prepare();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Prepare();
+  out_ << "null";
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace kgq

@@ -1,0 +1,69 @@
+#ifndef KGQ_OBS_JSON_WRITER_H_
+#define KGQ_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace kgq {
+namespace obs {
+
+/// Minimal streaming JSON writer: the one emitter behind every
+/// machine-readable `BENCH_*.json` file and the metric registry's
+/// export, so all of them agree on escaping, indentation and number
+/// formatting. No DOM, no allocation per value — call sequence mirrors
+/// the document structure:
+///
+///   JsonWriter w(out);
+///   w.BeginObject();
+///   w.Key("benchmark"); w.String("e2_enum_delay");
+///   w.Key("rows");      w.BeginArray();
+///   ...                 w.EndArray();
+///   w.EndObject();      // emits the trailing newline
+///
+/// The writer inserts commas and 2-space indentation; misuse (a value
+/// without a Key inside an object, unbalanced End calls) is a
+/// programming error and only lightly guarded.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key; must be followed by exactly one value or
+  /// Begin*() call.
+  void Key(std::string_view k);
+
+  void String(std::string_view s);
+  void Int(int64_t v);
+  void UInt(uint64_t v);
+  /// `digits` is the significant-digit budget (printf %.*g).
+  void Double(double v, int digits = 9);
+  void Bool(bool v);
+  void Null();
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  /// Writes separators/indentation due before a value or key.
+  void Prepare();
+  void WriteEscaped(std::string_view s);
+  void Indent();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  bool first_in_scope_ = true;   // No comma needed at the next element.
+  bool after_key_ = false;       // The next value continues a "key": line.
+};
+
+}  // namespace obs
+}  // namespace kgq
+
+#endif  // KGQ_OBS_JSON_WRITER_H_

@@ -1,0 +1,315 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace kgq {
+namespace obs {
+
+namespace {
+
+/// Initial runtime switch: on, unless KGQ_OBS=0/off in the environment.
+/// (Irrelevant when compiled out — no call site checks it.)
+bool InitialEnabled() {
+  const char* env = std::getenv("KGQ_OBS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0);
+}
+
+/// The calling thread's '/'-joined open-span path (leading '/').
+std::string& ThreadSpanPath() {
+  thread_local std::string path;
+  return path;
+}
+
+/// Find-or-create in a name-keyed map of unique_ptrs, under `mu`.
+template <typename T>
+T* FindOrCreate(std::mutex& mu,
+                std::unordered_map<std::string, std::unique_ptr<T>>* map,
+                std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map->find(std::string(name));
+  if (it == map->end()) {
+    it = map->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+/// Span tree node used at export time only.
+struct SpanNode {
+  const SpanStat* stat = nullptr;
+  std::map<std::string, SpanNode> children;  // Sorted for stable output.
+};
+
+void WriteSpanNode(JsonWriter* w, const std::string& name,
+                   const SpanNode& node) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  if (node.stat != nullptr) {
+    uint64_t count = node.stat->count.load(std::memory_order_relaxed);
+    uint64_t total = node.stat->total_ns.load(std::memory_order_relaxed);
+    uint64_t mn = node.stat->min_ns.load(std::memory_order_relaxed);
+    w->Key("count");
+    w->UInt(count);
+    w->Key("total_ns");
+    w->UInt(total);
+    w->Key("mean_ns");
+    w->Double(count == 0 ? 0.0
+                         : static_cast<double>(total) /
+                               static_cast<double>(count));
+    w->Key("min_ns");
+    w->UInt(mn == ~0ull ? 0 : mn);
+    w->Key("max_ns");
+    w->UInt(node.stat->max_ns.load(std::memory_order_relaxed));
+  }
+  if (!node.children.empty()) {
+    w->Key("children");
+    w->BeginArray();
+    for (const auto& [child_name, child] : node.children) {
+      WriteSpanNode(w, child_name, child);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::atomic<bool> Registry::enabled_{InitialEnabled()};
+
+Registry::Registry() = default;
+
+Registry& Registry::Get() {
+  // Leaked on purpose: call sites cache metric pointers in static
+  // locals and the KGQ_OBS_DUMP atexit hook exports after main().
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  return FindOrCreate(mu_, &counters_, name);
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  return FindOrCreate(mu_, &gauges_, name);
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  return FindOrCreate(mu_, &histograms_, name);
+}
+
+void Registry::RecordSpan(std::string_view path, uint64_t duration_ns) {
+  SpanStat* stat = FindOrCreate(mu_, &spans_, path);
+  stat->count.fetch_add(1, std::memory_order_relaxed);
+  stat->total_ns.fetch_add(duration_ns, std::memory_order_relaxed);
+  uint64_t cur = stat->min_ns.load(std::memory_order_relaxed);
+  while (duration_ns < cur &&
+         !stat->min_ns.compare_exchange_weak(cur, duration_ns,
+                                             std::memory_order_relaxed)) {
+  }
+  cur = stat->max_ns.load(std::memory_order_relaxed);
+  while (duration_ns > cur &&
+         !stat->max_ns.compare_exchange_weak(cur, duration_ns,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Registry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+int64_t Registry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t Registry::SpanCount(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(std::string(path));
+  return it == spans_.end()
+             ? 0
+             : it->second->count.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, s] : spans_) {
+    s->count.store(0, std::memory_order_relaxed);
+    s->total_ns.store(0, std::memory_order_relaxed);
+    s->min_ns.store(~0ull, std::memory_order_relaxed);
+    s->max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Registry::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginObject();
+  w->Key("enabled");
+  w->Bool(Enabled());
+
+  w->Key("counters");
+  w->BeginObject();
+  {
+    std::map<std::string, const Counter*> sorted;
+    for (const auto& [name, c] : counters_) sorted[name] = c.get();
+    for (const auto& [name, c] : sorted) {
+      w->Key(name);
+      w->UInt(c->Value());
+    }
+  }
+  w->EndObject();
+
+  w->Key("gauges");
+  w->BeginObject();
+  {
+    std::map<std::string, const Gauge*> sorted;
+    for (const auto& [name, g] : gauges_) sorted[name] = g.get();
+    for (const auto& [name, g] : sorted) {
+      w->Key(name);
+      w->Int(g->Value());
+    }
+  }
+  w->EndObject();
+
+  w->Key("histograms");
+  w->BeginObject();
+  {
+    std::map<std::string, const Histogram*> sorted;
+    for (const auto& [name, h] : histograms_) sorted[name] = h.get();
+    for (const auto& [name, h] : sorted) {
+      w->Key(name);
+      w->BeginObject();
+      w->Key("count");
+      w->UInt(h->Count());
+      w->Key("sum");
+      w->UInt(h->Sum());
+      w->Key("mean");
+      w->Double(h->Mean());
+      w->Key("min");
+      w->UInt(h->Min());
+      w->Key("max");
+      w->UInt(h->Max());
+      // Sparse bucket list: [inclusive upper bound, count] pairs for
+      // non-empty buckets only.
+      w->Key("buckets");
+      w->BeginArray();
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        uint64_t c = h->BucketCount(i);
+        if (c == 0) continue;
+        w->BeginObject();
+        w->Key("le");
+        w->UInt(Histogram::BucketUpperBound(i));
+        w->Key("count");
+        w->UInt(c);
+        w->EndObject();
+      }
+      w->EndArray();
+      w->EndObject();
+    }
+  }
+  w->EndObject();
+
+  // Spans as a tree rebuilt from '/'-joined paths.
+  w->Key("spans");
+  w->BeginArray();
+  {
+    SpanNode root;
+    std::map<std::string, const SpanStat*> sorted;
+    for (const auto& [path, s] : spans_) sorted[path] = s.get();
+    for (const auto& [path, stat] : sorted) {
+      SpanNode* node = &root;
+      size_t pos = 0;
+      while (pos <= path.size()) {
+        size_t slash = path.find('/', pos);
+        if (slash == std::string::npos) slash = path.size();
+        node = &node->children[path.substr(pos, slash - pos)];
+        pos = slash + 1;
+      }
+      node->stat = stat;
+    }
+    for (const auto& [name, node] : root.children) {
+      WriteSpanNode(w, name, node);
+    }
+  }
+  w->EndArray();
+
+  w->EndObject();
+}
+
+void Registry::WriteReport(std::ostream& out) const {
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("obs");
+  WriteJson(&w);
+  w.EndObject();
+}
+
+bool Registry::DumpToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteReport(out);
+  return true;
+}
+
+Span::Span(const char* name) {
+  if (!Registry::Enabled()) return;
+  std::string& path = ThreadSpanPath();
+  prev_len_ = path.size();
+  path += '/';
+  path += name;
+  active_ = true;
+  start_ns_ = NowNanos();  // Last: excludes the bookkeeping above.
+}
+
+Span::~Span() {
+  if (!active_) return;
+  uint64_t duration = NowNanos() - start_ns_;
+  std::string& path = ThreadSpanPath();
+  Registry::Get().RecordSpan(std::string_view(path).substr(1), duration);
+  path.resize(prev_len_);
+}
+
+namespace {
+
+/// KGQ_OBS_DUMP=path.json: export the registry when the process exits.
+/// Registered from a static initializer of this translation unit, which
+/// is linked in whenever anything touches the registry.
+const bool g_dump_hook_registered = [] {
+  if (std::getenv("KGQ_OBS_DUMP") != nullptr) {
+    std::atexit([] {
+      const char* path = std::getenv("KGQ_OBS_DUMP");
+      if (path != nullptr) Registry::Get().DumpToFile(path);
+    });
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace obs
+}  // namespace kgq

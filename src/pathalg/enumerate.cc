@@ -1,10 +1,14 @@
 #include "pathalg/enumerate.h"
 
+#include "obs/obs.h"
+
 namespace kgq {
 
 PathEnumerator::PathEnumerator(const PathNfa& nfa, size_t length,
                                const PathQueryOptions& opts)
-    : nfa_(nfa), length_(length), opts_(opts), reach_(nfa, length, opts) {}
+    : nfa_(nfa), length_(length), opts_(opts), reach_(nfa, length, opts) {
+  KGQ_COUNTER_INC("pathalg.enumerate.instances");
+}
 
 void PathEnumerator::PushFrame(NodeId node, PathNfa::StateMask mask,
                                EdgeId in_edge) {
@@ -19,6 +23,7 @@ void PathEnumerator::PushFrame(NodeId node, PathNfa::StateMask mask,
       if (!reach_.CanFinish(remaining - 1, s.to, next)) return;
       frame.branches.push_back(Branch{s, next});
     });
+    KGQ_HISTOGRAM_RECORD("pathalg.enumerate.branches", frame.branches.size());
   }
   stack_.push_back(std::move(frame));
 }
@@ -37,6 +42,18 @@ bool PathEnumerator::AdvanceStart() {
 }
 
 bool PathEnumerator::Next(Path* out) {
+  if (!KGQ_OBS_ON()) return NextInternal(out);
+  [[maybe_unused]] uint64_t start = obs::NowNanos();
+  bool produced = NextInternal(out);
+  if (produced) {
+    KGQ_HISTOGRAM_RECORD("pathalg.enumerate.delay_ns",
+                         obs::NowNanos() - start);
+    KGQ_COUNTER_INC("pathalg.enumerate.answers");
+  }
+  return produced;
+}
+
+bool PathEnumerator::NextInternal(Path* out) {
   for (;;) {
     if (stack_.empty() && !AdvanceStart()) return false;
 

@@ -31,7 +31,10 @@ class PathEnumerator {
   PathEnumerator(const PathNfa& nfa, size_t length,
                  const PathQueryOptions& opts = {});
 
-  /// Produces the next path; returns false when exhausted.
+  /// Produces the next path; returns false when exhausted. When obs
+  /// collection is on, each successful call records its duration into
+  /// the `pathalg.enumerate.delay_ns` histogram — the paper's
+  /// per-answer delay, measured at the source.
   bool Next(Path* out);
 
   /// Enumerates everything into a vector (convenience; beware blowup).
@@ -58,6 +61,9 @@ class PathEnumerator {
 
   /// Seeds the stack with the next viable start node; false if none left.
   bool AdvanceStart();
+
+  /// The uninstrumented enumeration step behind Next().
+  bool NextInternal(Path* out);
 
   const PathNfa& nfa_;
   size_t length_;

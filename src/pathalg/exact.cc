@@ -3,6 +3,8 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/obs.h"
+
 namespace kgq {
 
 ExactPathIndex::ExactPathIndex(const PathNfa& nfa, size_t max_len,
@@ -36,11 +38,15 @@ double ExactPathIndex::Suffixes(size_t remaining, const Config& c) {
 
 double ExactPathIndex::Count(size_t length) {
   assert(length <= max_len_);
+  KGQ_SPAN("pathalg.exact.count");
   double total = 0.0;
   for (NodeId n = 0; n < nfa_.num_nodes(); ++n) {
     if (!StartAllowed(n)) continue;
     total += Suffixes(length, Config{n, nfa_.StartMask(n)});
   }
+  // DP table pressure of the memoized suffix recursion: the number of
+  // (node, mask) configurations materialized across all layers so far.
+  KGQ_GAUGE_SET("pathalg.exact.dp_configs", num_configs());
   return total;
 }
 
@@ -151,6 +157,7 @@ std::vector<std::optional<size_t>> ShortestAcceptedLengths(
   frontier.push_back(init);
 
   for (size_t layer = 0; layer <= max_len; ++layer) {
+    KGQ_HISTOGRAM_RECORD("pathalg.bfs.frontier_size", frontier.size());
     for (const Config& c : frontier) {
       if (!dist[c.node].has_value() && nfa.Accepting(c.mask)) {
         dist[c.node] = layer;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace kgq {
 namespace {
 
@@ -37,6 +39,12 @@ FprasPathCounter::FprasPathCounter(const PathNfa& nfa, size_t length,
 }
 
 void FprasPathCounter::Preprocess(Rng* rng) {
+  KGQ_SPAN("fpras.preprocess");
+  KGQ_COUNTER_INC("pathalg.fpras.preprocess_calls");
+  // Karp–Luby sample accounting across the whole layer recurrence:
+  // trials drawn vs samples that survived the 1/c uniformization.
+  uint64_t samples_drawn = 0;
+  uint64_t samples_accepted = 0;
   const size_t n_nodes = nfa_.num_nodes();
 
   // Forward-reachable masks per layer (cheap determinized sweep).
@@ -138,6 +146,7 @@ void FprasPathCounter::Preprocess(Rng* rng) {
         // Karp–Luby trials: estimate |union| = total_weight · E[1/c].
         double sum_inverse = 0.0;
         size_t trials = fopts_.union_trials;
+        samples_drawn += trials;
         for (size_t t = 0; t < trials; ++t) {
           const Component& comp = pick_component();
           const Sketch& pred_sketch = layers_[i - 1].at(comp.pred_key);
@@ -155,6 +164,7 @@ void FprasPathCounter::Preprocess(Rng* rng) {
                                (comp.step.backward ? 1u : 0u));
             word.mask = advanced;
             sketch.samples.push_back(std::move(word));
+            ++samples_accepted;
           }
         }
         sketch.estimate = total_weight * sum_inverse /
@@ -163,6 +173,7 @@ void FprasPathCounter::Preprocess(Rng* rng) {
         // Guarantee at least one sample for downstream layers.
         size_t guard = 64 * nfa_.num_states() + 64;
         while (sketch.samples.empty() && guard-- > 0) {
+          ++samples_drawn;
           const Component& comp = pick_component();
           const Sketch& pred_sketch = layers_[i - 1].at(comp.pred_key);
           const SampleWord& base = DrawStored(pred_sketch, rng);
@@ -174,6 +185,7 @@ void FprasPathCounter::Preprocess(Rng* rng) {
                                (comp.step.backward ? 1u : 0u));
             word.mask = nfa_.Advance(base.mask, comp.step);
             sketch.samples.push_back(std::move(word));
+            ++samples_accepted;
           }
         }
         if (sketch.samples.empty() || sketch.estimate <= 0.0) continue;
@@ -236,6 +248,12 @@ void FprasPathCounter::Preprocess(Rng* rng) {
     for (FinalComponent& c : comps) final_components_.push_back(c);
     total_estimate_ += node_estimate;
   }
+
+  if (KGQ_OBS_ON()) {
+    KGQ_COUNTER_ADD("pathalg.fpras.samples_drawn", samples_drawn);
+    KGQ_COUNTER_ADD("pathalg.fpras.samples_accepted", samples_accepted);
+    KGQ_GAUGE_SET("pathalg.fpras.sketches", num_sketches());
+  }
 }
 
 const FprasPathCounter::SampleWord& FprasPathCounter::DrawStored(
@@ -270,6 +288,7 @@ FprasPathCounter::SampleWord FprasPathCounter::FreshSample(
 }
 
 Result<Path> FprasPathCounter::Sample(Rng* rng) const {
+  KGQ_COUNTER_INC("pathalg.fpras.sample_calls");
   if (final_components_.empty() || total_estimate_ <= 0.0) {
     return Status::NotFound("no conforming path of length " +
                             std::to_string(length_));

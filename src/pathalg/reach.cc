@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace kgq {
@@ -11,6 +12,8 @@ ReachTable::ReachTable(const PathNfa& nfa, size_t max_len,
     : num_nodes_(nfa.num_nodes()),
       max_len_(max_len),
       table_((max_len + 1) * nfa.num_nodes(), 0) {
+  KGQ_SPAN("reach_table.build");
+  KGQ_COUNTER_INC("pathalg.reach.builds");
   // Layer 0: a length-0 suffix is accepted iff the state itself is final
   // (masks held by callers are ε-closed, so no closure is needed here)
   // and the node satisfies the end restriction.

@@ -9,6 +9,8 @@ namespace kgq {
 
 Result<PathNfa> PathNfa::Compile(const GraphView& view, const Regex& regex,
                                  Construction construction) {
+  KGQ_SPAN("rpq.compile");
+  KGQ_COUNTER_INC("rpq.compile.calls");
   QueryAutomaton qa = construction == Construction::kGlushkov
                           ? QueryAutomaton::FromRegexGlushkov(regex)
                           : QueryAutomaton::FromRegex(regex);
@@ -136,6 +138,7 @@ Status PathNfa::AttachSnapshot(const CsrSnapshot* snapshot) {
     atom_csr_label_.clear();
     return Status::OK();
   }
+  KGQ_COUNTER_INC("rpq.snapshot_attaches");
   if (!snapshot->MatchesTopology(view_->topology())) {
     return Status::InvalidArgument(
         "CsrSnapshot topology does not match the compiled graph (" +

@@ -8,6 +8,7 @@
 
 #include "graph/csr_snapshot.h"
 #include "graph/graph_view.h"
+#include "obs/obs.h"
 #include "rpq/path.h"
 #include "rpq/query_automaton.h"
 #include "rpq/regex.h"
@@ -121,6 +122,11 @@ class PathNfa {
   template <typename Fn>
   void ForEachStep(NodeId n, Fn&& fn) const {
     if (csr_ != nullptr) {
+      if (KGQ_OBS_ON()) {
+        KGQ_COUNTER_ADD("rpq.step.edges_scanned",
+                        csr_->Out(n).size() + csr_->In(n).size());
+        KGQ_COUNTER_INC("rpq.step.csr_scans");
+      }
       for (const CsrSnapshot::Entry& a : csr_->Out(n)) {
         bool self = (a.neighbor == n);
         bool usable = edge_fwd_usable_.Test(a.edge) ||
@@ -136,6 +142,11 @@ class PathNfa {
       return;
     }
     const Multigraph& g = view_->topology();
+    if (KGQ_OBS_ON()) {
+      KGQ_COUNTER_ADD("rpq.step.edges_scanned",
+                      g.OutEdges(n).size() + g.InEdges(n).size());
+      KGQ_COUNTER_INC("rpq.step.list_scans");
+    }
     for (EdgeId e : g.OutEdges(n)) {
       NodeId to = g.EdgeTarget(e);
       bool self = (to == n);
@@ -155,6 +166,11 @@ class PathNfa {
   template <typename Fn>
   void ForEachStepInto(NodeId n, Fn&& fn) const {
     if (csr_ != nullptr) {
+      if (KGQ_OBS_ON()) {
+        KGQ_COUNTER_ADD("rpq.step.edges_scanned",
+                        csr_->Out(n).size() + csr_->In(n).size());
+        KGQ_COUNTER_INC("rpq.step.csr_scans");
+      }
       for (const CsrSnapshot::Entry& a : csr_->In(n)) {
         bool self = (a.neighbor == n);
         bool usable = edge_fwd_usable_.Test(a.edge) ||
@@ -170,6 +186,11 @@ class PathNfa {
       return;
     }
     const Multigraph& g = view_->topology();
+    if (KGQ_OBS_ON()) {
+      KGQ_COUNTER_ADD("rpq.step.edges_scanned",
+                      g.OutEdges(n).size() + g.InEdges(n).size());
+      KGQ_COUNTER_INC("rpq.step.list_scans");
+    }
     for (EdgeId e : g.InEdges(n)) {
       NodeId from = g.EdgeSource(e);
       bool self = (from == n);
@@ -204,11 +225,21 @@ class PathNfa {
         LabelId lab = atom_csr_label_[t.atom];
         if (lab == kAtomDead) continue;
         if (lab == kAtomFiltered) {
-          for (const CsrSnapshot::Entry& a : csr_->Out(n)) {
+          CsrSnapshot::Span adj = csr_->Out(n);
+          if (KGQ_OBS_ON()) {
+            KGQ_COUNTER_INC("rpq.successor.bitset_fallback_hits");
+            KGQ_COUNTER_ADD("rpq.successor.edges_scanned", adj.size());
+          }
+          for (const CsrSnapshot::Entry& a : adj) {
             if (edge_match_[t.atom].Test(a.edge)) fn(a.neighbor, t.to);
           }
         } else {
-          for (const CsrSnapshot::Entry& a : csr_->OutForLabel(n, lab)) {
+          CsrSnapshot::Span part = csr_->OutForLabel(n, lab);
+          if (KGQ_OBS_ON()) {
+            KGQ_COUNTER_INC("rpq.successor.label_partition_hits");
+            KGQ_COUNTER_ADD("rpq.successor.edges_scanned", part.size());
+          }
+          for (const CsrSnapshot::Entry& a : part) {
             fn(a.neighbor, t.to);
           }
         }
@@ -219,11 +250,21 @@ class PathNfa {
         LabelId lab = atom_csr_label_[t.atom];
         if (lab == kAtomDead) continue;
         if (lab == kAtomFiltered) {
-          for (const CsrSnapshot::Entry& a : csr_->In(n)) {
+          CsrSnapshot::Span adj = csr_->In(n);
+          if (KGQ_OBS_ON()) {
+            KGQ_COUNTER_INC("rpq.successor.bitset_fallback_hits");
+            KGQ_COUNTER_ADD("rpq.successor.edges_scanned", adj.size());
+          }
+          for (const CsrSnapshot::Entry& a : adj) {
             if (edge_match_[t.atom].Test(a.edge)) fn(a.neighbor, t.to);
           }
         } else {
-          for (const CsrSnapshot::Entry& a : csr_->InForLabel(n, lab)) {
+          CsrSnapshot::Span part = csr_->InForLabel(n, lab);
+          if (KGQ_OBS_ON()) {
+            KGQ_COUNTER_INC("rpq.successor.label_partition_hits");
+            KGQ_COUNTER_ADD("rpq.successor.edges_scanned", part.size());
+          }
+          for (const CsrSnapshot::Entry& a : part) {
             fn(a.neighbor, t.to);
           }
         }

@@ -4,6 +4,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace kgq {
 
 namespace {
@@ -38,11 +40,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  [[maybe_unused]] size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (KGQ_OBS_ON()) {
+    KGQ_COUNTER_INC("threadpool.tasks_submitted");
+    // Backlog at submit time (includes the task just enqueued).
+    KGQ_HISTOGRAM_RECORD("threadpool.queue_depth", depth);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -50,12 +59,28 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && !stopping_ && KGQ_OBS_ON()) {
+        // This wait will block: count it and time the idle period.
+        KGQ_COUNTER_INC("threadpool.idle_waits");
+        [[maybe_unused]] uint64_t idle_start = obs::NowNanos();
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        KGQ_HISTOGRAM_RECORD("threadpool.idle_ns",
+                             obs::NowNanos() - idle_start);
+      } else {
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (KGQ_OBS_ON()) {
+      [[maybe_unused]] uint64_t start = obs::NowNanos();
+      task();
+      KGQ_HISTOGRAM_RECORD("threadpool.task_ns", obs::NowNanos() - start);
+      KGQ_COUNTER_INC("threadpool.tasks_run");
+    } else {
+      task();
+    }
   }
 }
 
@@ -78,12 +103,17 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   if (threads <= 1 || t_in_parallel_region) {
     // Sequential reference path: same chunk boundaries, ascending
     // order, calling thread only. Exceptions propagate directly.
+    if (KGQ_OBS_ON()) {
+      KGQ_COUNTER_INC("parallel_for.sequential_calls");
+      KGQ_COUNTER_ADD("parallel_for.chunks_caller", num_chunks);
+    }
     for (size_t c = 0; c < num_chunks; ++c) {
       size_t from = begin + c * grain;
       body(from, std::min(end, from + grain));
     }
     return;
   }
+  KGQ_COUNTER_INC("parallel_for.parallel_calls");
 
   struct State {
     std::atomic<size_t> next_chunk{0};
@@ -95,7 +125,13 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   };
   auto state = std::make_shared<State>();
 
-  auto run_chunks = [&state, &body, begin, end, grain, num_chunks] {
+  // Returns the number of chunks this thread claimed off the shared
+  // cursor — the work-distribution signal the obs counters record
+  // (caller vs helper claims are the steal-free pool's analog of steal
+  // counts).
+  auto run_chunks = [&state, &body, begin, end, grain,
+                     num_chunks]() -> size_t {
+    size_t executed = 0;
     for (;;) {
       if (state->failed.load(std::memory_order_relaxed)) break;
       size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -103,12 +139,14 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
       size_t from = begin + c * grain;
       try {
         body(from, std::min(end, from + grain));
+        ++executed;
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->mu);
         if (!state->error) state->error = std::current_exception();
         state->failed.store(true, std::memory_order_relaxed);
       }
     }
+    return executed;
   };
 
   size_t helpers = threads - 1;
@@ -121,8 +159,9 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     // run_chunks (and through it `body`) by reference is safe.
     ThreadPool::Shared().Submit([state, &run_chunks] {
       t_in_parallel_region = true;
-      run_chunks();
+      [[maybe_unused]] size_t claimed = run_chunks();
       t_in_parallel_region = false;
+      KGQ_COUNTER_ADD("parallel_for.chunks_helper", claimed);
       {
         std::lock_guard<std::mutex> lock(state->mu);
         --state->helpers_left;
@@ -132,8 +171,9 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   }
 
   t_in_parallel_region = true;
-  run_chunks();
+  [[maybe_unused]] size_t caller_claimed = run_chunks();
   t_in_parallel_region = false;
+  KGQ_COUNTER_ADD("parallel_for.chunks_caller", caller_claimed);
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&state] { return state->helpers_left == 0; });

@@ -1,34 +1,40 @@
 #ifndef KGQ_UTIL_TIMER_H_
 #define KGQ_UTIL_TIMER_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace kgq {
 
 /// Wall-clock stopwatch used by the benchmark harness for the coarse
 /// phase timings that google-benchmark's per-iteration model does not fit
 /// (e.g. preprocessing-vs-enumeration split, per-answer delay).
+///
+/// A thin alias over the obs steady clock (obs/clock.h) — the same time
+/// source trace spans record with, so a bench timing and a span taken
+/// around the same region can never disagree.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ns_(obs::NowNanos()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = obs::NowNanos(); }
 
-  /// Seconds elapsed since construction or the last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  /// Nanoseconds elapsed since construction or the last Reset().
+  uint64_t Nanos() const { return obs::NowNanos() - start_ns_; }
+
+  /// Seconds elapsed.
+  double Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
 
   /// Milliseconds elapsed.
-  double Millis() const { return Seconds() * 1e3; }
+  double Millis() const { return static_cast<double>(Nanos()) * 1e-6; }
 
   /// Microseconds elapsed.
-  double Micros() const { return Seconds() * 1e6; }
+  double Micros() const { return static_cast<double>(Nanos()) * 1e-3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 }  // namespace kgq

@@ -14,6 +14,8 @@
 #include "analytics/pagerank.h"
 #include "graph/generators.h"
 #include "graph/graph_view.h"
+#include "obs/obs.h"
+#include "pathalg/enumerate.h"
 #include "pathalg/pairs.h"
 #include "pathalg/reach.h"
 #include "rpq/parser.h"
@@ -187,6 +189,65 @@ TEST_P(BcrDifferential, SampledRegexBetweennessReproducesFromSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BcrDifferential, ::testing::Range(0, 6));
+
+// Observability must never perturb kernel results: every instrumented
+// kernel run with collection enabled must be bit-identical to the same
+// run with collection disabled at runtime. (The KGQ_OBS=OFF compile
+// mode is covered by the CI job that builds and runs this whole suite
+// with -DKGQ_OBS=OFF — instrumentation is results-invariant there by
+// construction, since the macros expand to nothing.)
+class ObsDifferential : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { obs::Registry::SetEnabled(true); }
+};
+
+TEST_P(ObsDifferential, KernelResultsIdenticalWithObsOnAndOff) {
+  LabeledGraph g = GraphForSeed(GetParam());
+  LabeledGraphView view(g);
+  Result<RegexPtr> regex = ParseRegex(QueryForSeed(GetParam()));
+  ASSERT_TRUE(regex.ok()) << regex.status();
+  Result<PathNfa> nfa = PathNfa::Compile(view, **regex);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+
+  PathQueryOptions popts;
+  popts.parallel.num_threads = 4;
+  PageRankOptions propts;
+  propts.parallel.num_threads = 4;
+
+  // One full pass over the instrumented kernels, per obs mode.
+  struct Outputs {
+    std::vector<double> pagerank;
+    std::vector<double> betweenness;
+    std::vector<Bitset> all_pairs;
+    double pair_count = 0.0;
+    std::vector<std::vector<NodeId>> paths;
+  };
+  auto run_kernels = [&](bool obs_on) {
+    obs::Registry::SetEnabled(obs_on);
+    Outputs out;
+    out.pagerank = PageRank(g.topology(), propts);
+    out.betweenness = BetweennessCentrality(
+        g.topology(), EdgeDirection::kDirected, propts.parallel);
+    out.all_pairs = AllPairs(*nfa, popts);
+    out.pair_count = CountPairs(*nfa, popts);
+    PathEnumerator enumerator(*nfa, 4, popts);
+    Path p;
+    while (out.paths.size() < 64 && enumerator.Next(&p)) {
+      out.paths.push_back(p.nodes);
+    }
+    return out;
+  };
+
+  Outputs on = run_kernels(true);
+  Outputs off = run_kernels(false);
+  EXPECT_EQ(on.pagerank, off.pagerank);
+  EXPECT_EQ(on.betweenness, off.betweenness);
+  EXPECT_EQ(on.all_pairs, off.all_pairs);
+  EXPECT_EQ(on.pair_count, off.pair_count);
+  EXPECT_EQ(on.paths, off.paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObsDifferential, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace kgq
