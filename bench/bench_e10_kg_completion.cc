@@ -3,14 +3,36 @@
 // TransE is trained on a structured synthetic KG with 10% of worksAt
 // triples held out; link-prediction metrics must beat the random-scorer
 // baseline decisively — the "producing new knowledge" loop, measured.
+// A second section sweeps the deterministic mini-batch trainer across
+// thread counts: the learned model must be bit-identical at every
+// thread count, and epochs should scale near-linearly. Results are
+// mirrored to BENCH_e10_kg_completion.json (rows + obs registry).
 
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "embed/transe.h"
+#include "obs/json_writer.h"
+#include "obs/registry.h"
 #include "rdf/triple_store.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "util/rng.h"
+
+namespace {
+
+/// One row of the thread-sweep table / JSON report.
+struct ScaleRow {
+  size_t threads;
+  double secs;
+  double speedup;     // vs single-thread.
+  double efficiency;  // speedup / threads.
+  bool identical;     // model bit-identical to the single-thread run.
+};
+
+}  // namespace
 
 int main() {
   using namespace kgq;
@@ -73,5 +95,117 @@ int main() {
   t.Print(std::cout);
   std::printf("embeddings complete held-out knowledge well above chance "
               "→ %s\n", ok ? "OK" : "FAIL");
-  return ok ? 0 : 1;
+
+  // Thread sweep for the deterministic mini-batch trainer: a larger KG,
+  // d=64, batch_size=256. For a fixed batch size the gradient schedule
+  // is thread-count invariant, so every run must produce the same model
+  // bit-for-bit; only wall-clock may change.
+  std::vector<ScaleRow> scale;
+  size_t sweep_entities = 0, sweep_triples = 0;
+  bool scale_identical = true;
+  {
+    const size_t num_people = 2000, num_offices = 40, num_cities = 25;
+    TripleStore kg;
+    for (size_t i = 0; i < num_people; ++i) {
+      std::string person = "person" + std::to_string(i);
+      kg.Insert(person, "worksAt",
+                "office" + std::to_string(i % num_offices));
+      kg.Insert(person, "friendOf",
+                "person" + std::to_string((i + num_offices) % num_people));
+      kg.Insert(person, "livesIn", "city" + std::to_string(i % num_cities));
+    }
+    sweep_triples = kg.size();
+
+    TransEOptions sopts;
+    sopts.dimension = 64;
+    sopts.epochs = 10;
+    sopts.batch_size = 256;
+    sopts.learning_rate = 0.05;
+
+    Table st("E10 — TransE mini-batch thread scaling "
+             "(6000 triples, d=64, batch=256)",
+             {"threads", "t_train(s)", "speedup", "efficiency",
+              "identical"});
+    TransEModel reference = [&] {
+      TransEOptions o = sopts;
+      o.parallel.num_threads = 1;
+      return *TransEModel::Train(kg, o);
+    }();
+    sweep_entities = reference.num_entities();
+    double base_secs = 0.0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      TransEOptions o = sopts;
+      o.parallel.num_threads = threads;
+      Timer timer;
+      TransEModel model = *TransEModel::Train(kg, o);
+      double secs = timer.Seconds();
+      if (threads == 1) base_secs = secs;
+      bool identical = true;
+      for (size_t i = 0; i < num_people && identical; i += 37) {
+        std::string person = "person" + std::to_string(i);
+        identical = model.EntityVector(person) ==
+                    reference.EntityVector(person);
+      }
+      for (size_t c = 0; c < num_cities && identical; ++c) {
+        std::string city = "city" + std::to_string(c);
+        identical = model.EntityVector(city) == reference.EntityVector(city);
+      }
+      scale_identical = scale_identical && identical;
+      ScaleRow row{threads, secs, base_secs / secs,
+                   base_secs / secs / static_cast<double>(threads),
+                   identical};
+      scale.push_back(row);
+      st.AddRow({std::to_string(threads), FormatDouble(secs, 2),
+                 FormatDouble(row.speedup, 2) + "x",
+                 FormatDouble(row.efficiency, 2),
+                 identical ? "yes" : "NO"});
+    }
+    st.Print(std::cout);
+    std::printf("mini-batch model bit-identical at every thread count "
+                "→ %s\n", scale_identical ? "OK" : "FAIL");
+  }
+
+  // Machine-readable mirror: link-prediction quality is already gated
+  // above; this records the scaling rows and the obs registry (epoch
+  // spans, epoch-loss gauge).
+  {
+    std::ofstream out("BENCH_e10_kg_completion.json");
+    obs::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("benchmark");
+    w.String("e10_kg_completion");
+    w.Key("sweep_kg");
+    w.BeginObject();
+    w.Key("entities");
+    w.UInt(sweep_entities);
+    w.Key("triples");
+    w.UInt(sweep_triples);
+    w.Key("dimension");
+    w.UInt(64);
+    w.Key("batch_size");
+    w.UInt(256);
+    w.EndObject();
+    w.Key("thread_scaling");
+    w.BeginArray();
+    for (const ScaleRow& r : scale) {
+      w.BeginObject();
+      w.Key("threads");
+      w.UInt(r.threads);
+      w.Key("secs");
+      w.Double(r.secs);
+      w.Key("speedup");
+      w.Double(r.speedup);
+      w.Key("efficiency");
+      w.Double(r.efficiency);
+      w.Key("identical");
+      w.Bool(r.identical);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("obs");
+    obs::Registry::Get().WriteJson(&w);
+    w.EndObject();
+  }
+
+  return (ok && scale_identical) ? 0 : 1;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+
+#include "obs/obs.h"
 
 namespace kgq {
 namespace {
@@ -13,6 +16,53 @@ void Normalize(double* vec, size_t dim) {
   if (norm < 1e-12) return;
   for (size_t i = 0; i < dim; ++i) vec[i] /= norm;
 }
+
+struct IdTriple {
+  size_t s, p, o;
+};
+
+/// Mini-batch gradient accumulator: sparse per-entity / per-relation
+/// gradient rows plus the batch's hinge loss. Ordered maps so the apply
+/// phase walks indices in ascending order.
+struct BatchGrad {
+  std::map<size_t, std::vector<double>> ent;
+  std::map<size_t, std::vector<double>> rel;
+  double loss = 0.0;
+};
+
+std::vector<double>& GradRow(std::map<size_t, std::vector<double>>* m,
+                             size_t key, size_t dim) {
+  auto [it, inserted] = m->try_emplace(key);
+  if (inserted) it->second.assign(dim, 0.0);
+  return it->second;
+}
+
+/// a += b, merging the sparse rows (the ParallelReduce combine — called
+/// in a fixed tree order, so the per-element sums are schedule-free).
+BatchGrad CombineGrads(BatchGrad a, BatchGrad b) {
+  for (auto& [key, row] : b.ent) {
+    auto [it, inserted] = a.ent.try_emplace(key, std::move(row));
+    if (!inserted) {
+      for (size_t j = 0; j < it->second.size(); ++j) {
+        it->second[j] += row[j];
+      }
+    }
+  }
+  for (auto& [key, row] : b.rel) {
+    auto [it, inserted] = a.rel.try_emplace(key, std::move(row));
+    if (!inserted) {
+      for (size_t j = 0; j < it->second.size(); ++j) {
+        it->second[j] += row[j];
+      }
+    }
+  }
+  a.loss += b.loss;
+  return a;
+}
+
+/// Samples per ParallelReduce chunk of the batch gradient pass. Fixed —
+/// chunk boundaries must depend only on the batch size.
+constexpr size_t kBatchGrain = 16;
 
 }  // namespace
 
@@ -42,9 +92,6 @@ Result<TransEModel> TransEModel::Train(const TripleStore& store,
     return it->second;
   };
 
-  struct IdTriple {
-    size_t s, p, o;
-  };
   std::vector<IdTriple> data;
   data.reserve(triples.size());
   for (const Triple& t : triples) {
@@ -69,55 +116,140 @@ Result<TransEModel> TransEModel::Train(const TripleStore& store,
     Normalize(&model.relation_vecs_[r * d], d);
   }
 
-  // SGD over margin ranking loss with uniform negative sampling.
+  // Margin ranking loss with uniform negative sampling. Two training
+  // regimes share the shuffle and the negative-sampling rng stream:
+  //
+  //  * batch_size 1 — classic in-place SGD, one triple at a time (the
+  //    reference stream of updates; kept verbatim).
+  //  * batch_size k — deterministic mini-batch: negatives for the whole
+  //    batch are drawn sequentially first (so the rng stream never
+  //    depends on the schedule), gradients are accumulated against the
+  //    batch-start vectors with a fixed-shape ParallelReduce, then
+  //    applied and normalized in ascending index order. Bit-identical
+  //    for every thread count.
+  KGQ_SPAN("transe.train");
   std::vector<size_t> order(data.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const double lr = opts.learning_rate;
   for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    KGQ_SPAN("transe.epoch");
+    double epoch_loss = 0.0;
     for (size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1], order[rng.Below(i)]);
     }
-    for (size_t idx : order) {
-      const IdTriple& pos = data[idx];
-      // Corrupt head or tail.
-      IdTriple neg = pos;
-      if (rng.Bernoulli(0.5)) {
-        neg.s = rng.Below(ne);
-      } else {
-        neg.o = rng.Below(ne);
-      }
+    if (opts.batch_size <= 1) {
+      for (size_t idx : order) {
+        const IdTriple& pos = data[idx];
+        // Corrupt head or tail.
+        IdTriple neg = pos;
+        if (rng.Bernoulli(0.5)) {
+          neg.s = rng.Below(ne);
+        } else {
+          neg.o = rng.Below(ne);
+        }
 
-      double* vs = &model.entity_vecs_[pos.s * d];
-      double* vo = &model.entity_vecs_[pos.o * d];
-      double* vr = &model.relation_vecs_[pos.p * d];
-      double* ns = &model.entity_vecs_[neg.s * d];
-      double* no = &model.entity_vecs_[neg.o * d];
+        double* vs = &model.entity_vecs_[pos.s * d];
+        double* vo = &model.entity_vecs_[pos.o * d];
+        double* vr = &model.relation_vecs_[pos.p * d];
+        double* ns = &model.entity_vecs_[neg.s * d];
+        double* no = &model.entity_vecs_[neg.o * d];
 
-      double pos_dist = 0.0, neg_dist = 0.0;
-      for (size_t j = 0; j < d; ++j) {
-        double dp = vs[j] + vr[j] - vo[j];
-        double dn = ns[j] + vr[j] - no[j];
-        pos_dist += dp * dp;
-        neg_dist += dn * dn;
+        double pos_dist = 0.0, neg_dist = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+          double dp = vs[j] + vr[j] - vo[j];
+          double dn = ns[j] + vr[j] - no[j];
+          pos_dist += dp * dp;
+          neg_dist += dn * dn;
+        }
+        // Hinge on squared L2 (standard practical variant).
+        if (pos_dist + opts.margin <= neg_dist) continue;
+        if (KGQ_OBS_ON()) {
+          epoch_loss += pos_dist + opts.margin - neg_dist;
+        }
+        for (size_t j = 0; j < d; ++j) {
+          double dp = vs[j] + vr[j] - vo[j];
+          double dn = ns[j] + vr[j] - no[j];
+          // ∂/∂θ (pos_dist - neg_dist): positive triple pulled together,
+          // negative pushed apart.
+          vs[j] -= lr * 2.0 * dp;
+          vo[j] += lr * 2.0 * dp;
+          vr[j] -= lr * 2.0 * (dp - dn);
+          ns[j] += lr * 2.0 * dn;
+          no[j] -= lr * 2.0 * dn;
+        }
+        Normalize(vs, d);
+        Normalize(vo, d);
+        Normalize(ns, d);
+        Normalize(no, d);
       }
-      // Hinge on squared L2 (standard practical variant).
-      if (pos_dist + opts.margin <= neg_dist) continue;
-      double lr = opts.learning_rate;
-      for (size_t j = 0; j < d; ++j) {
-        double dp = vs[j] + vr[j] - vo[j];
-        double dn = ns[j] + vr[j] - no[j];
-        // ∂/∂θ (pos_dist - neg_dist): positive triple pulled together,
-        // negative pushed apart.
-        vs[j] -= lr * 2.0 * dp;
-        vo[j] += lr * 2.0 * dp;
-        vr[j] -= lr * 2.0 * (dp - dn);
-        ns[j] += lr * 2.0 * dn;
-        no[j] -= lr * 2.0 * dn;
+    } else {
+      std::vector<IdTriple> negs(opts.batch_size);
+      for (size_t base = 0; base < order.size(); base += opts.batch_size) {
+        size_t batch = std::min(opts.batch_size, order.size() - base);
+        // Negative sampling consumes the main rng stream sequentially,
+        // in sample order — thread-schedule-invariant by construction.
+        for (size_t i = 0; i < batch; ++i) {
+          IdTriple neg = data[order[base + i]];
+          if (rng.Bernoulli(0.5)) {
+            neg.s = rng.Below(ne);
+          } else {
+            neg.o = rng.Below(ne);
+          }
+          negs[i] = neg;
+        }
+        BatchGrad grads = ParallelReduce(
+            0, batch, kBatchGrain, BatchGrad{},
+            [&](size_t lo, size_t hi) {
+              BatchGrad part;
+              for (size_t i = lo; i < hi; ++i) {
+                const IdTriple& pos = data[order[base + i]];
+                const IdTriple& neg = negs[i];
+                const double* vs = &model.entity_vecs_[pos.s * d];
+                const double* vo = &model.entity_vecs_[pos.o * d];
+                const double* vr = &model.relation_vecs_[pos.p * d];
+                const double* nsv = &model.entity_vecs_[neg.s * d];
+                const double* nov = &model.entity_vecs_[neg.o * d];
+                double pos_dist = 0.0, neg_dist = 0.0;
+                for (size_t j = 0; j < d; ++j) {
+                  double dp = vs[j] + vr[j] - vo[j];
+                  double dn = nsv[j] + vr[j] - nov[j];
+                  pos_dist += dp * dp;
+                  neg_dist += dn * dn;
+                }
+                if (pos_dist + opts.margin <= neg_dist) continue;
+                part.loss += pos_dist + opts.margin - neg_dist;
+                std::vector<double>& gs = GradRow(&part.ent, pos.s, d);
+                std::vector<double>& go = GradRow(&part.ent, pos.o, d);
+                std::vector<double>& gr = GradRow(&part.rel, pos.p, d);
+                std::vector<double>& gns = GradRow(&part.ent, neg.s, d);
+                std::vector<double>& gno = GradRow(&part.ent, neg.o, d);
+                for (size_t j = 0; j < d; ++j) {
+                  double dp = vs[j] + vr[j] - vo[j];
+                  double dn = nsv[j] + vr[j] - nov[j];
+                  gs[j] += 2.0 * dp;
+                  go[j] -= 2.0 * dp;
+                  gr[j] += 2.0 * (dp - dn);
+                  gns[j] -= 2.0 * dn;
+                  gno[j] += 2.0 * dn;
+                }
+              }
+              return part;
+            },
+            CombineGrads, opts.parallel);
+        // Apply + renormalize in ascending index order.
+        for (const auto& [p, g] : grads.rel) {
+          double* vr = &model.relation_vecs_[p * d];
+          for (size_t j = 0; j < d; ++j) vr[j] -= lr * g[j];
+        }
+        for (const auto& [e, g] : grads.ent) {
+          double* ve = &model.entity_vecs_[e * d];
+          for (size_t j = 0; j < d; ++j) ve[j] -= lr * g[j];
+          Normalize(ve, d);
+        }
+        if (KGQ_OBS_ON()) epoch_loss += grads.loss;
       }
-      Normalize(vs, d);
-      Normalize(vo, d);
-      Normalize(ns, d);
-      Normalize(no, d);
     }
+    KGQ_GAUGE_SET("embed.transe.epoch_loss_milli", epoch_loss * 1000.0);
   }
   return model;
 }

@@ -9,6 +9,7 @@
 #include "rdf/triple_store.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -21,6 +22,22 @@ struct TransEOptions {
   double learning_rate = 0.02;
   double margin = 1.0;
   uint64_t seed = 0xE5BEDull;
+
+  /// Samples per gradient step. 1 (the default) is classic in-place SGD
+  /// — one triple at a time, the reference stream of updates. Larger
+  /// values switch to deterministic mini-batch descent: each batch's
+  /// gradients are computed against the vectors at batch start
+  /// (accumulated with a fixed-shape ParallelReduce tree), then applied
+  /// and normalized in ascending index order. For a fixed batch_size
+  /// the trained model is bit-identical for every thread count — the
+  /// negative-sampling rng stream is drawn sequentially before the
+  /// parallel phase, so it never depends on the schedule. (batch_size 1
+  /// and batch_size k are *different* algorithms and converge to
+  /// different — similarly good — embeddings.)
+  size_t batch_size = 1;
+
+  /// Threads for the mini-batch gradient pass (unused at batch_size 1).
+  ParallelOptions parallel;
 };
 
 /// Knowledge-graph embeddings à la TransE: each entity e gets a vector

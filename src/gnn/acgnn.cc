@@ -2,27 +2,161 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+
+#include "gnn/spmm.h"
+#include "obs/obs.h"
 
 namespace kgq {
 namespace {
 
-double TruncatedRelu(double x) { return std::min(1.0, std::max(0.0, x)); }
+/// Node tile of the kNodeLoop backend; boundaries depend only on the
+/// node count, and each output row is owned by one chunk.
+constexpr size_t kNodeTile = 32;
 
-/// Σ x_u over the relevant neighbors of v for one relation entry.
-void AggregateNeighbors(const LabeledGraph& g, const Matrix& features,
-                        NodeId v, const std::string& rel, bool incoming,
-                        double* acc /* features.cols() */) {
-  std::optional<ConstId> want =
-      rel.empty() ? std::nullopt : g.dict().Find(rel);
-  if (!rel.empty() && !want.has_value()) return;
+/// A relation name resolved against one adjacency backend, hoisted out
+/// of the node loop. `all` = "" (aggregate every edge); a named label
+/// absent from the graph/snapshot has `all == false && !id` and
+/// aggregates nothing (the weight still contributes its zero dot
+/// product, exactly like the unresolved-label path always has).
+struct ListRel {
+  bool all = false;
+  std::optional<ConstId> id;
+};
+struct CsrRel {
+  bool all = false;
+  std::optional<LabelId> id;
+};
+
+ListRel ResolveList(const LabeledGraph& g, const std::string& rel) {
+  if (rel.empty()) return {true, std::nullopt};
+  return {false, g.dict().Find(rel)};
+}
+
+CsrRel ResolveCsr(const CsrSnapshot& snap, const std::string& rel) {
+  if (rel.empty()) return {true, std::nullopt};
+  return {false, snap.FindLabel(rel)};
+}
+
+/// Σ x_u over the relevant neighbors of v — ascending edge id, the
+/// canonical aggregation order shared with gnn/spmm.h.
+void AggregateList(const LabeledGraph& g, const Matrix& features, NodeId v,
+                   const ListRel& rel, bool incoming, double* acc) {
+  if (!rel.all && !rel.id.has_value()) return;
   const std::vector<EdgeId>& edges =
       incoming ? g.InEdges(v) : g.OutEdges(v);
   for (EdgeId e : edges) {
-    if (want.has_value() && g.EdgeLabel(e) != *want) continue;
+    if (rel.id.has_value() && g.EdgeLabel(e) != *rel.id) continue;
     NodeId u = incoming ? g.EdgeSource(e) : g.EdgeTarget(e);
     const double* row = features.row(u);
     for (size_t c = 0; c < features.cols(); ++c) acc[c] += row[c];
   }
+}
+
+void AggregateCsr(const CsrSnapshot& snap, const Matrix& features, NodeId v,
+                  const CsrRel& rel, bool incoming, double* acc) {
+  if (!rel.all && !rel.id.has_value()) return;
+  CsrSnapshot::Span span =
+      rel.id.has_value()
+          ? (incoming ? snap.InForLabel(v, *rel.id)
+                      : snap.OutForLabel(v, *rel.id))
+          : (incoming ? snap.In(v) : snap.Out(v));
+  for (const CsrSnapshot::Entry& a : span) {
+    const double* row = features.row(a.neighbor);
+    for (size_t c = 0; c < features.cols(); ++c) acc[c] += row[c];
+  }
+}
+
+/// Pre-activation of one layer: bias + W_self·x + Σ_r W_r·agg_r for
+/// every node at once. Both backends produce every element by the same
+/// floating-point operation sequence (one ascending-k register dot per
+/// weight matrix, added in declaration order onto the bias; neighbor
+/// sums in ascending edge id), so the result is bit-identical across
+/// backend × adjacency × thread count.
+Matrix LayerPre(const GnnLayer& layer, const LabeledGraph& graph,
+                const CsrSnapshot* snap, const Matrix& x,
+                const GnnOptions& opts) {
+  const size_t n = x.rows();
+  const size_t in_dim = layer.in_dim();
+  const size_t out_dim = layer.out_dim();
+  assert(in_dim == x.cols());
+  Matrix pre(n, out_dim);
+
+  if (opts.backend == GnnBackend::kGemm) {
+    AddBiasRows(layer.bias, &pre, opts.parallel);
+    GemmTransB(x, layer.self, &pre, opts.parallel);
+    Matrix scratch(n, in_dim);
+    auto relation_term = [&](const std::string& rel, const Matrix& weights,
+                             bool incoming) {
+      scratch.SetZero();
+      if (snap != nullptr) {
+        SpmmAggregateCsr(*snap, x, rel, incoming, &scratch, opts.parallel);
+      } else {
+        SpmmAggregateList(graph, x, rel, incoming, &scratch, opts.parallel);
+      }
+      GemmTransB(scratch, weights, &pre, opts.parallel);
+    };
+    for (const auto& [rel, weights] : layer.in_rel) {
+      relation_term(rel, weights, /*incoming=*/true);
+    }
+    for (const auto& [rel, weights] : layer.out_rel) {
+      relation_term(rel, weights, /*incoming=*/false);
+    }
+    return pre;
+  }
+
+  // kNodeLoop: the per-node reference shape, tiled across threads.
+  std::vector<ListRel> list_in, list_out;
+  std::vector<CsrRel> csr_in, csr_out;
+  if (snap != nullptr) {
+    for (const auto& [rel, w] : layer.in_rel) {
+      csr_in.push_back(ResolveCsr(*snap, rel));
+    }
+    for (const auto& [rel, w] : layer.out_rel) {
+      csr_out.push_back(ResolveCsr(*snap, rel));
+    }
+  } else {
+    for (const auto& [rel, w] : layer.in_rel) {
+      list_in.push_back(ResolveList(graph, rel));
+    }
+    for (const auto& [rel, w] : layer.out_rel) {
+      list_out.push_back(ResolveList(graph, rel));
+    }
+  }
+  ParallelFor(
+      0, n, kNodeTile,
+      [&](size_t lo, size_t hi) {
+        std::vector<double> agg(in_dim);
+        for (NodeId v = lo; v < hi; ++v) {
+          double* out = pre.row(v);
+          std::copy(layer.bias.begin(), layer.bias.end(), out);
+          layer.self.MultiplyAccumulate(x.row(v), out);
+          for (size_t r = 0; r < layer.in_rel.size(); ++r) {
+            agg.assign(in_dim, 0.0);
+            if (snap != nullptr) {
+              AggregateCsr(*snap, x, v, csr_in[r], /*incoming=*/true,
+                           agg.data());
+            } else {
+              AggregateList(graph, x, v, list_in[r], /*incoming=*/true,
+                            agg.data());
+            }
+            layer.in_rel[r].second.MultiplyAccumulate(agg.data(), out);
+          }
+          for (size_t r = 0; r < layer.out_rel.size(); ++r) {
+            agg.assign(in_dim, 0.0);
+            if (snap != nullptr) {
+              AggregateCsr(*snap, x, v, csr_out[r], /*incoming=*/false,
+                           agg.data());
+            } else {
+              AggregateList(graph, x, v, list_out[r], /*incoming=*/false,
+                            agg.data());
+            }
+            layer.out_rel[r].second.MultiplyAccumulate(agg.data(), out);
+          }
+        }
+      },
+      opts.parallel);
+  return pre;
 }
 
 }  // namespace
@@ -41,8 +175,8 @@ void AcGnn::SetReadout(std::vector<double> weights, double bias) {
   readout_bias_ = bias;
 }
 
-Result<Matrix> AcGnn::Run(const LabeledGraph& graph,
-                          const Matrix& features) const {
+Result<Matrix> AcGnn::Run(const LabeledGraph& graph, const Matrix& features,
+                          const GnnOptions& opts) const {
   if (features.rows() != graph.num_nodes() ||
       features.cols() != input_dim_) {
     return Status::InvalidArgument(
@@ -52,45 +186,54 @@ Result<Matrix> AcGnn::Run(const LabeledGraph& graph,
         std::to_string(features.rows()) + "×" +
         std::to_string(features.cols()));
   }
+  KGQ_SPAN("gnn.forward");
+  const CsrSnapshot* snap = EffectiveSnapshot(opts, graph.topology());
   Matrix current = features;
-  std::vector<double> agg;
   for (const GnnLayer& layer : layers_) {
-    size_t in_dim = layer.in_dim();
-    size_t out_dim = layer.out_dim();
-    assert(in_dim == current.cols());
-    Matrix next(current.rows(), out_dim);
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      double* out = next.row(v);
-      for (size_t c = 0; c < out_dim; ++c) out[c] = layer.bias[c];
-      layer.self.MultiplyAccumulate(current.row(v), out);
-      for (const auto& [rel, weights] : layer.in_rel) {
-        agg.assign(in_dim, 0.0);
-        AggregateNeighbors(graph, current, v, rel, /*incoming=*/true,
-                           agg.data());
-        weights.MultiplyAccumulate(agg.data(), out);
-      }
-      for (const auto& [rel, weights] : layer.out_rel) {
-        agg.assign(in_dim, 0.0);
-        AggregateNeighbors(graph, current, v, rel, /*incoming=*/false,
-                           agg.data());
-        weights.MultiplyAccumulate(agg.data(), out);
-      }
-      for (size_t c = 0; c < out_dim; ++c) out[c] = TruncatedRelu(out[c]);
-    }
-    current = std::move(next);
+    Matrix pre = LayerPre(layer, graph, snap, current, opts);
+    TruncatedReluRows(&pre, opts.parallel);
+    current = std::move(pre);
   }
   return current;
 }
 
+Result<ForwardTrace> AcGnn::RunTraced(const LabeledGraph& graph,
+                                      const Matrix& features,
+                                      const GnnOptions& opts) const {
+  if (features.rows() != graph.num_nodes() ||
+      features.cols() != input_dim_) {
+    return Status::InvalidArgument(
+        "feature matrix must be num_nodes × input_dim (" +
+        std::to_string(graph.num_nodes()) + "×" +
+        std::to_string(input_dim_) + "), got " +
+        std::to_string(features.rows()) + "×" +
+        std::to_string(features.cols()));
+  }
+  KGQ_SPAN("gnn.forward");
+  const CsrSnapshot* snap = EffectiveSnapshot(opts, graph.topology());
+  ForwardTrace trace;
+  trace.activations.push_back(features);
+  trace.pre.reserve(layers_.size());
+  for (const GnnLayer& layer : layers_) {
+    Matrix pre = LayerPre(layer, graph, snap, trace.activations.back(), opts);
+    Matrix act = pre;
+    TruncatedReluRows(&act, opts.parallel);
+    trace.pre.push_back(std::move(pre));
+    trace.activations.push_back(std::move(act));
+  }
+  return trace;
+}
+
 Result<Bitset> AcGnn::Classify(const LabeledGraph& graph,
-                               const Matrix& features) const {
+                               const Matrix& features,
+                               const GnnOptions& opts) const {
   if (readout_weights_.size() != output_dim()) {
     return Status::InvalidArgument(
         "readout has " + std::to_string(readout_weights_.size()) +
         " weights but the network outputs " + std::to_string(output_dim()) +
         " features");
   }
-  KGQ_ASSIGN_OR_RETURN(Matrix out, Run(graph, features));
+  KGQ_ASSIGN_OR_RETURN(Matrix out, Run(graph, features, opts));
   Bitset accepted(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     double score = readout_bias_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gnn/matrix.h"
+#include "gnn/options.h"
 #include "graph/labeled_graph.h"
 #include "util/bitset.h"
 #include "util/result.h"
@@ -31,10 +32,24 @@ struct GnnLayer {
   size_t out_dim() const { return self.rows(); }
 };
 
+/// Forward pass with every intermediate kept — the input of backprop
+/// (gnn/train.cc) and of anyone inspecting per-layer features.
+struct ForwardTrace {
+  /// activations[l] is the n×dim_l input of layer l; activations.back()
+  /// is the final output.
+  std::vector<Matrix> activations;
+  /// pre[l] is the n×dim_{l+1} pre-activation of layer l.
+  std::vector<Matrix> pre;
+};
+
 /// An aggregate-combine graph neural network over labeled graphs: the
 /// procedural node classifier of Section 4.3. A GNN *is* a unary query
 /// (Barceló et al.): Classify() returns the set of nodes the network
 /// accepts, comparable 1:1 with EvalModal / EvalFoNaive.
+///
+/// Execution is configurable through GnnOptions (dense backend,
+/// adjacency source, thread count); every configuration returns
+/// bit-identical features — the option can only change speed.
 class AcGnn {
  public:
   /// Creates a network reading `input_dim` features per node.
@@ -56,12 +71,27 @@ class AcGnn {
 
   /// Runs message passing; `features` is n×input_dim; returns the final
   /// n×output_dim feature matrix (the λ' of the paper's definition).
+  Result<Matrix> Run(const LabeledGraph& graph, const Matrix& features,
+                     const GnnOptions& opts) const;
   Result<Matrix> Run(const LabeledGraph& graph,
-                     const Matrix& features) const;
+                     const Matrix& features) const {
+    return Run(graph, features, GnnOptions{});
+  }
 
   /// Runs and applies the readout, returning the accepted node set.
+  Result<Bitset> Classify(const LabeledGraph& graph, const Matrix& features,
+                          const GnnOptions& opts) const;
   Result<Bitset> Classify(const LabeledGraph& graph,
-                          const Matrix& features) const;
+                          const Matrix& features) const {
+    return Classify(graph, features, GnnOptions{});
+  }
+
+  /// Like Run, but keeps every layer's input and pre-activation — the
+  /// forward half of backprop. activations.back() equals Run()'s result
+  /// bit-for-bit under every GnnOptions.
+  Result<ForwardTrace> RunTraced(const LabeledGraph& graph,
+                                 const Matrix& features,
+                                 const GnnOptions& opts = {}) const;
 
   /// Fills every layer (and the readout) with Gaussian weights — used by
   /// the WL-invariance experiments: *any* AC-GNN is WL-invariant.

@@ -68,8 +68,9 @@ Matrix CompiledGnn::Encode(const LabeledGraph& graph) const {
   return out;
 }
 
-Result<Bitset> CompiledGnn::Evaluate(const LabeledGraph& graph) const {
-  return gnn.Classify(graph, Encode(graph));
+Result<Bitset> CompiledGnn::Evaluate(const LabeledGraph& graph,
+                                     const GnnOptions& opts) const {
+  return gnn.Classify(graph, Encode(graph), opts);
 }
 
 Result<CompiledGnn> CompileModalToGnn(const ModalFormula& formula) {

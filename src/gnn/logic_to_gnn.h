@@ -32,8 +32,11 @@ struct CompiledGnn {
   /// columns one-hot, everything else zero.
   Matrix Encode(const LabeledGraph& graph) const;
 
-  /// Runs the network and thresholds the root feature.
-  Result<Bitset> Evaluate(const LabeledGraph& graph) const;
+  /// Runs the network and thresholds the root feature. The options pick
+  /// backend / adjacency / threads (gnn/options.h) — the accepted set is
+  /// identical under every configuration.
+  Result<Bitset> Evaluate(const LabeledGraph& graph,
+                          const GnnOptions& opts = {}) const;
 };
 
 /// Compiles `formula` into an AC-GNN as above.

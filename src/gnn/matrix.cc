@@ -1,6 +1,127 @@
 #include "gnn/matrix.h"
 
+#include <algorithm>
+#include <cassert>
+
+#include "obs/obs.h"
+
 namespace kgq {
+
+namespace {
+
+/// Row-tile size of the parallel kernels. Chunk boundaries depend only
+/// on the matrix shape (the ParallelFor contract), and every output row
+/// is owned by exactly one chunk, so tiling never reorders arithmetic.
+constexpr size_t kRowTile = 64;
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define KGQ_GEMM_AVX2 1
+
+/// The vectorized micro-kernel widens across *output columns* (8 lanes,
+/// two rows of x at a time): every out(i, j) is still one scalar sum
+/// over k in ascending order, living in its own vector lane, so the
+/// result is bit-identical to the scalar kernel — SIMD here multiplies
+/// throughput, never reassociates.
+typedef double V4d __attribute__((vector_size(32)));
+
+/// w (m×k, row-major) repacked k-major in panels of 8 columns:
+/// packed[p*8*k + c*8 + u] = w(p*8 + u, c). The inner loop then reads
+/// one contiguous 64-byte line per k step.
+std::vector<double> PackPanels(const Matrix& w) {
+  const size_t k = w.cols();
+  const size_t panels = w.rows() / 8;
+  std::vector<double> packed(panels * 8 * k);
+  for (size_t p = 0; p < panels; ++p) {
+    double* wp = packed.data() + p * 8 * k;
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t u = 0; u < 8; ++u) wp[c * 8 + u] = w.at(p * 8 + u, c);
+    }
+  }
+  return packed;
+}
+
+/// Rows [lo, hi) of out += x·wᵀ, AVX2 codegen (callers dispatch on
+/// __builtin_cpu_supports — the attribute only affects instruction
+/// selection, not values).
+__attribute__((target("avx2"))) void GemmRowsAvx2(
+    const Matrix& x, const Matrix& w, const double* packed, size_t lo,
+    size_t hi, Matrix* out) {
+  const size_t k = x.cols();
+  const size_t m = w.rows();
+  const size_t panels = m / 8;
+  size_t i = lo;
+  for (; i + 2 <= hi; i += 2) {
+    const double* x0 = x.row(i);
+    const double* x1 = x.row(i + 1);
+    double* o0 = out->row(i);
+    double* o1 = out->row(i + 1);
+    for (size_t p = 0; p < panels; ++p) {
+      const double* wp = packed + p * 8 * k;
+      V4d a00{}, a01{}, a10{}, a11{};
+      for (size_t c = 0; c < k; ++c) {
+        const double* wc = wp + c * 8;
+        V4d wlo = {wc[0], wc[1], wc[2], wc[3]};
+        V4d whi = {wc[4], wc[5], wc[6], wc[7]};
+        V4d xv0 = {x0[c], x0[c], x0[c], x0[c]};
+        V4d xv1 = {x1[c], x1[c], x1[c], x1[c]};
+        a00 += xv0 * wlo;
+        a01 += xv0 * whi;
+        a10 += xv1 * wlo;
+        a11 += xv1 * whi;
+      }
+      for (size_t u = 0; u < 4; ++u) {
+        o0[p * 8 + u] += a00[u];
+        o0[p * 8 + 4 + u] += a01[u];
+        o1[p * 8 + u] += a10[u];
+        o1[p * 8 + 4 + u] += a11[u];
+      }
+    }
+    for (size_t j = panels * 8; j < m; ++j) {
+      const double* wj = w.row(j);
+      double a0 = 0.0, a1 = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        a0 += x0[c] * wj[c];
+        a1 += x1[c] * wj[c];
+      }
+      o0[j] += a0;
+      o1[j] += a1;
+    }
+  }
+  for (; i < hi; ++i) {
+    const double* xi = x.row(i);
+    double* oi = out->row(i);
+    for (size_t p = 0; p < panels; ++p) {
+      const double* wp = packed + p * 8 * k;
+      V4d alo{}, ahi{};
+      for (size_t c = 0; c < k; ++c) {
+        const double* wc = wp + c * 8;
+        V4d wlo = {wc[0], wc[1], wc[2], wc[3]};
+        V4d whi = {wc[4], wc[5], wc[6], wc[7]};
+        V4d xv = {xi[c], xi[c], xi[c], xi[c]};
+        alo += xv * wlo;
+        ahi += xv * whi;
+      }
+      for (size_t u = 0; u < 4; ++u) {
+        oi[p * 8 + u] += alo[u];
+        oi[p * 8 + 4 + u] += ahi[u];
+      }
+    }
+    for (size_t j = panels * 8; j < m; ++j) {
+      const double* wj = w.row(j);
+      double a = 0.0;
+      for (size_t c = 0; c < k; ++c) a += xi[c] * wj[c];
+      oi[j] += a;
+    }
+  }
+}
+
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+#endif  // KGQ_GEMM_AVX2
+
+}  // namespace
 
 void Matrix::MultiplyAccumulate(const double* vec, double* out) const {
   for (size_t r = 0; r < rows_; ++r) {
@@ -13,6 +134,108 @@ void Matrix::MultiplyAccumulate(const double* vec, double* out) const {
 
 void Matrix::FillGaussian(Rng* rng, double scale) {
   for (double& x : data_) x = rng->NextGaussian() * scale;
+}
+
+void Matrix::RandomInit(uint64_t seed, double scale,
+                        const ParallelOptions& par) {
+  ParallelFor(
+      0, rows_, kRowTile,
+      [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+          Rng rng = Rng::Substream(seed, r);
+          double* row_ptr = &data_[r * cols_];
+          for (size_t c = 0; c < cols_; ++c) {
+            row_ptr[c] = rng.NextGaussian() * scale;
+          }
+        }
+      },
+      par);
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void GemmTransB(const Matrix& x, const Matrix& w, Matrix* out,
+                const ParallelOptions& par) {
+  const size_t n = x.rows();
+  const size_t k = x.cols();
+  const size_t m = w.rows();
+  assert(w.cols() == k);
+  assert(out->rows() == n && out->cols() == m);
+  KGQ_COUNTER_ADD("gnn.gemm.flops", 2 * n * m * k);
+#ifdef KGQ_GEMM_AVX2
+  if (HasAvx2() && m >= 8) {
+    const std::vector<double> packed = PackPanels(w);
+    ParallelFor(
+        0, n, kRowTile,
+        [&](size_t lo, size_t hi) {
+          GemmRowsAvx2(x, w, packed.data(), lo, hi, out);
+        },
+        par);
+    return;
+  }
+#endif
+  ParallelFor(
+      0, n, kRowTile,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const double* xi = x.row(i);
+          double* oi = out->row(i);
+          size_t j = 0;
+          for (; j + 4 <= m; j += 4) {
+            const double* w0 = w.row(j);
+            const double* w1 = w.row(j + 1);
+            const double* w2 = w.row(j + 2);
+            const double* w3 = w.row(j + 3);
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            for (size_t c = 0; c < k; ++c) {
+              double xv = xi[c];
+              a0 += xv * w0[c];
+              a1 += xv * w1[c];
+              a2 += xv * w2[c];
+              a3 += xv * w3[c];
+            }
+            oi[j] += a0;
+            oi[j + 1] += a1;
+            oi[j + 2] += a2;
+            oi[j + 3] += a3;
+          }
+          for (; j < m; ++j) {
+            const double* wj = w.row(j);
+            double acc = 0.0;
+            for (size_t c = 0; c < k; ++c) acc += xi[c] * wj[c];
+            oi[j] += acc;
+          }
+        }
+      },
+      par);
+}
+
+void AddBiasRows(const std::vector<double>& bias, Matrix* out,
+                 const ParallelOptions& par) {
+  assert(bias.size() == out->cols());
+  ParallelFor(
+      0, out->rows(), kRowTile,
+      [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+          std::copy(bias.begin(), bias.end(), out->row(r));
+        }
+      },
+      par);
+}
+
+void TruncatedReluRows(Matrix* m, const ParallelOptions& par) {
+  const size_t cols = m->cols();
+  ParallelFor(
+      0, m->rows(), kRowTile,
+      [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+          double* row = m->row(r);
+          for (size_t c = 0; c < cols; ++c) {
+            row[c] = std::min(1.0, std::max(0.0, row[c]));
+          }
+        }
+      },
+      par);
 }
 
 }  // namespace kgq

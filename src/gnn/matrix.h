@@ -2,15 +2,18 @@
 #define KGQ_GNN_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
-/// Minimal dense row-major matrix of doubles — the numeric substrate of
-/// the GNN layers. Deliberately small: the library needs exactly
-/// matrix·vector products per node, elementwise ops, and random init.
+/// Dense row-major matrix of doubles — the numeric substrate of the
+/// GNN layers. The batched kernels below (GemmTransB / AddBiasRows /
+/// TruncatedReluRows) compute a whole AC-GNN layer at once; the per-row
+/// MultiplyAccumulate remains as the node-loop reference path.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -29,11 +32,24 @@ class Matrix {
   const double* row(size_t r) const { return &data_[r * cols_]; }
 
   /// out += this · vec (this is rows×cols, vec has cols entries, out has
-  /// rows entries).
+  /// rows entries). Each out[r] receives one register-accumulated dot
+  /// product — the canonical per-element accumulation order shared with
+  /// GemmTransB.
   void MultiplyAccumulate(const double* vec, double* out) const;
 
-  /// Fills with i.i.d. N(0, scale²) entries.
+  /// Fills with i.i.d. N(0, scale²) entries drawn sequentially from
+  /// `rng` — order-sensitive; use RandomInit for parallel-safe init.
   void FillGaussian(Rng* rng, double scale);
+
+  /// Fills with i.i.d. N(0, scale²) entries, row r drawn from
+  /// Rng::Substream(seed, r). Deterministic for a fixed (seed, shape)
+  /// regardless of thread count or of how many other generators were
+  /// used before the call — the stream-splitting rule of util/rng.h.
+  void RandomInit(uint64_t seed, double scale,
+                  const ParallelOptions& par = {});
+
+  /// Zeroes every entry (shape preserved).
+  void SetZero();
 
   bool operator==(const Matrix&) const = default;
 
@@ -42,6 +58,32 @@ class Matrix {
   size_t cols_;
   std::vector<double> data_;
 };
+
+/// out += x · wᵀ, i.e. out[i][j] += dot(x.row(i), w.row(j)) — the dense
+/// transform of an AC-GNN layer, with the weight matrix stored
+/// out_dim×in_dim exactly as GnnLayer keeps it (so no transpose is ever
+/// materialized; both operands stream row-major).
+///
+/// Blocked for the cache and the pipeline: rows of x are tiled across
+/// threads with ParallelFor (64-row tiles), and within a row the output
+/// columns are register-blocked four at a time, so four independent
+/// accumulator chains hide the FP-add latency that serializes the naive
+/// single-accumulator dot product. The k loop is never split: each
+/// out[i][j] is one ascending-k register accumulation added once —
+/// bit-identical to MultiplyAccumulate and to every thread count.
+///
+/// Shapes: x is n×k, w is m×k, out is n×m.
+void GemmTransB(const Matrix& x, const Matrix& w, Matrix* out,
+                const ParallelOptions& par = {});
+
+/// out.row(i) = bias for every row — the layer-bias initialization of a
+/// pre-activation matrix. `bias.size()` must equal out->cols().
+void AddBiasRows(const std::vector<double>& bias, Matrix* out,
+                 const ParallelOptions& par = {});
+
+/// In-place truncated ReLU min(1, max(0, ·)) — the activation of the
+/// Barceló et al. construction — applied row-parallel.
+void TruncatedReluRows(Matrix* m, const ParallelOptions& par = {});
 
 }  // namespace kgq
 

@@ -1,0 +1,66 @@
+#ifndef KGQ_GNN_OPTIONS_H_
+#define KGQ_GNN_OPTIONS_H_
+
+#include "graph/csr_snapshot.h"
+#include "util/thread_pool.h"
+
+namespace kgq {
+
+/// How the dense half of a neural kernel computes. The two backends are
+/// arithmetically identical — every output element is produced by the
+/// same sequence of floating-point operations — so the choice can only
+/// change speed, never a bit of the result (tests/test_gnn_differential
+/// enforces this).
+enum class GnnBackend {
+  /// The reference: one node at a time, per-row matrix·vector products —
+  /// the shape of the textbook AC-GNN definition.
+  kNodeLoop,
+  /// Batched: all node features at once through the blocked GEMM of
+  /// gnn/matrix.h plus a whole-matrix SpMM aggregation (gnn/spmm.h).
+  kGemm,
+};
+
+/// Execution knobs shared by the neural kernels (AC-GNN forward,
+/// logic→GNN evaluation, WL refinement, GNN training forward passes) —
+/// the Traversal-style opt-in of the neural substrate:
+///
+///   CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+///   GnnOptions opts;
+///   opts.snapshot = &snap;              // aggregation over CSR arrays
+///   opts.parallel.num_threads = 4;      // 1 = sequential reference
+///   Matrix out = *gnn.Run(g, x, opts);  // bit-identical either way
+///
+/// Backend and snapshot are orthogonal axes: `backend` picks the dense
+/// arithmetic (node loop vs blocked GEMM), `snapshot` picks the
+/// adjacency source of the neighbor aggregation (the mutable model's
+/// edge lists vs the immutable CSR arrays). All four combinations are
+/// bit-identical; the benches sweep node-loop / GEMM+list / GEMM+CSR.
+struct GnnOptions {
+  GnnBackend backend = GnnBackend::kGemm;
+
+  /// Thread count for the row-parallel phases; the usual contract
+  /// (0 = hardware, 1 = calling thread only, any value bit-identical).
+  ParallelOptions parallel;
+
+  /// Optional CSR adjacency for the aggregation phase. A snapshot of a
+  /// different topology is ignored (silent fallback to the edge lists,
+  /// like Traversal); must outlive the call.
+  const CsrSnapshot* snapshot = nullptr;
+};
+
+/// The snapshot a kernel should actually use: opts.snapshot when it
+/// describes exactly `topology`, nullptr otherwise (the Traversal
+/// idiom — a stale snapshot silently falls back to the edge lists
+/// instead of corrupting results).
+inline const CsrSnapshot* EffectiveSnapshot(const GnnOptions& opts,
+                                            const Multigraph& topology) {
+  if (opts.snapshot != nullptr &&
+      opts.snapshot->MatchesTopology(topology)) {
+    return opts.snapshot;
+  }
+  return nullptr;
+}
+
+}  // namespace kgq
+
+#endif  // KGQ_GNN_OPTIONS_H_

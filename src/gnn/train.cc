@@ -3,99 +3,60 @@
 #include <cassert>
 #include <cmath>
 
+#include "gnn/spmm.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
-/// Forward pass that keeps pre-activations for backprop.
-struct ForwardCache {
-  // activations[l] is the n×dim_l input of layer l; activations.back()
-  // is the final output.
-  std::vector<Matrix> activations;
-  // pre[l] is the n×dim_{l+1} pre-activation of layer l.
-  std::vector<Matrix> pre;
-};
+/// Row tile of the parallel backward phases (row-owned writes only).
+constexpr size_t kRowTile = 64;
 
-/// Neighbor sums of `features` for one relation at every node.
-Matrix Aggregate(const LabeledGraph& g, const Matrix& features,
-                 const std::string& rel, bool incoming) {
+/// Neighbor sums of `features` for one relation at every node —
+/// SpMM over whichever adjacency backend the options selected.
+Matrix Aggregate(const LabeledGraph& g, const CsrSnapshot* snap,
+                 const Matrix& features, const std::string& rel,
+                 bool incoming, const ParallelOptions& par) {
   Matrix out(features.rows(), features.cols());
-  std::optional<ConstId> want =
-      rel.empty() ? std::nullopt : g.dict().Find(rel);
-  if (!rel.empty() && !want.has_value()) return out;
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (want.has_value() && g.EdgeLabel(e) != *want) continue;
-    NodeId receiver = incoming ? g.EdgeTarget(e) : g.EdgeSource(e);
-    NodeId sender = incoming ? g.EdgeSource(e) : g.EdgeTarget(e);
-    const double* src = features.row(sender);
-    double* dst = out.row(receiver);
-    for (size_t c = 0; c < features.cols(); ++c) dst[c] += src[c];
+  if (snap != nullptr) {
+    SpmmAggregateCsr(*snap, features, rel, incoming, &out, par);
+  } else {
+    SpmmAggregateList(g, features, rel, incoming, &out, par);
   }
   return out;
 }
 
-/// Scatter of gradients back to senders: the transpose of Aggregate.
-void ScatterGrad(const LabeledGraph& g, const Matrix& grad,
-                 const std::string& rel, bool incoming, Matrix* out) {
-  std::optional<ConstId> want =
-      rel.empty() ? std::nullopt : g.dict().Find(rel);
-  if (!rel.empty() && !want.has_value()) return;
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (want.has_value() && g.EdgeLabel(e) != *want) continue;
-    NodeId receiver = incoming ? g.EdgeTarget(e) : g.EdgeSource(e);
-    NodeId sender = incoming ? g.EdgeSource(e) : g.EdgeTarget(e);
-    const double* src = grad.row(receiver);
-    double* dst = out->row(sender);
-    for (size_t c = 0; c < grad.cols(); ++c) dst[c] += src[c];
+/// Scatter of gradients back to senders: the transpose of Aggregate,
+/// which over a fixed edge set is exactly the aggregation in the
+/// opposite direction (sender rows collect grad rows of their
+/// receivers in ascending edge id — the same per-row order the
+/// sequential edge scan produced).
+void ScatterGrad(const LabeledGraph& g, const CsrSnapshot* snap,
+                 const Matrix& grad, const std::string& rel, bool incoming,
+                 Matrix* out, const ParallelOptions& par) {
+  if (snap != nullptr) {
+    SpmmAggregateCsr(*snap, grad, rel, !incoming, out, par);
+  } else {
+    SpmmAggregateList(g, grad, rel, !incoming, out, par);
   }
-}
-
-ForwardCache Forward(const AcGnn& gnn, const LabeledGraph& g,
-                     const Matrix& input) {
-  ForwardCache cache;
-  cache.activations.push_back(input);
-  for (size_t l = 0; l < gnn.num_layers(); ++l) {
-    const GnnLayer& layer = gnn.layer(l);
-    const Matrix& x = cache.activations.back();
-    Matrix pre(x.rows(), layer.out_dim());
-    for (NodeId v = 0; v < x.rows(); ++v) {
-      double* row = pre.row(v);
-      for (size_t c = 0; c < layer.out_dim(); ++c) row[c] = layer.bias[c];
-      layer.self.MultiplyAccumulate(x.row(v), row);
-    }
-    for (const auto& [rel, weights] : layer.in_rel) {
-      Matrix agg = Aggregate(g, x, rel, /*incoming=*/true);
-      for (NodeId v = 0; v < x.rows(); ++v) {
-        weights.MultiplyAccumulate(agg.row(v), pre.row(v));
-      }
-    }
-    for (const auto& [rel, weights] : layer.out_rel) {
-      Matrix agg = Aggregate(g, x, rel, /*incoming=*/false);
-      for (NodeId v = 0; v < x.rows(); ++v) {
-        weights.MultiplyAccumulate(agg.row(v), pre.row(v));
-      }
-    }
-    Matrix act(pre.rows(), pre.cols());
-    for (NodeId v = 0; v < pre.rows(); ++v) {
-      for (size_t c = 0; c < pre.cols(); ++c) {
-        act.at(v, c) = std::min(1.0, std::max(0.0, pre.at(v, c)));
-      }
-    }
-    cache.pre.push_back(std::move(pre));
-    cache.activations.push_back(std::move(act));
-  }
-  return cache;
 }
 
 /// One gradient-descent step over one example; returns the BCE loss.
 /// `readout_w`/`readout_b` are trained alongside the layers.
+///
+/// Parallel phases (forward, dpre, dagg, aggregation, scatter) write
+/// thread-owned rows; every weight/bias update runs sequentially in
+/// ascending node order — the step is bit-identical for every
+/// GnnOptions configuration.
 double Step(AcGnn* gnn, std::vector<double>* readout_w, double* readout_b,
-            const LabeledGraph& g, const Matrix& input,
-            const Bitset& targets, double lr) {
-  ForwardCache cache = Forward(*gnn, g, input);
+            const LabeledGraph& g, const CsrSnapshot* snap,
+            const Matrix& input, const Bitset& targets, double lr,
+            const GnnOptions& fwd) {
+  ForwardTrace cache = std::move(gnn->RunTraced(g, input, fwd)).value();
+  const ParallelOptions& par = fwd.parallel;
   const Matrix& out = cache.activations.back();
   size_t n = out.rows();
   size_t d = out.cols();
@@ -115,7 +76,8 @@ double Step(AcGnn* gnn, std::vector<double>* readout_w, double* readout_b,
   }
   loss /= static_cast<double>(n);
 
-  // Gradient of the readout and of the final activations.
+  // Gradient of the readout and of the final activations (db/dw are
+  // node-order-sensitive sums: sequential).
   Matrix dact(n, d);
   std::vector<double> dw(d, 0.0);
   double db = 0.0;
@@ -140,16 +102,23 @@ double Step(AcGnn* gnn, std::vector<double>* readout_w, double* readout_b,
 
     // dpre = dact ⊙ σ'(pre), with σ the truncated ReLU.
     Matrix dpre(pre.rows(), pre.cols());
-    for (NodeId v = 0; v < pre.rows(); ++v) {
-      for (size_t c = 0; c < out_dim; ++c) {
-        double p = pre.at(v, c);
-        dpre.at(v, c) = (p > 0.0 && p < 1.0) ? dact.at(v, c) : 0.0;
-      }
-    }
+    ParallelFor(
+        0, pre.rows(), kRowTile,
+        [&](size_t lo, size_t hi) {
+          for (NodeId v = lo; v < hi; ++v) {
+            for (size_t c = 0; c < out_dim; ++c) {
+              double p = pre.at(v, c);
+              dpre.at(v, c) = (p > 0.0 && p < 1.0) ? dact.at(v, c) : 0.0;
+            }
+          }
+        },
+        par);
 
     Matrix dx(x.rows(), in_dim);
 
-    // Bias and self weights.
+    // Bias and self weights: updates fold over nodes in ascending
+    // order, and dx reads the *evolving* self weights — sequential by
+    // definition of the reference step.
     for (NodeId v = 0; v < pre.rows(); ++v) {
       const double* dp = dpre.row(v);
       const double* xv = x.row(v);
@@ -173,19 +142,25 @@ double Step(AcGnn* gnn, std::vector<double>* readout_w, double* readout_b,
                                      rels,
                                  bool incoming) {
       for (auto& [rel, weights] : rels) {
-        Matrix agg = Aggregate(g, x, rel, incoming);
-        // dagg = W^T dpre (per node), scattered to senders.
+        Matrix agg = Aggregate(g, snap, x, rel, incoming, par);
+        // dagg = W^T dpre (per node), scattered to senders. Weights are
+        // constant throughout this loop, so rows parallelize.
         Matrix dagg(x.rows(), in_dim);
-        for (NodeId v = 0; v < x.rows(); ++v) {
-          const double* dp = dpre.row(v);
-          for (size_t c = 0; c < out_dim; ++c) {
-            if (dp[c] == 0.0) continue;
-            for (size_t i = 0; i < in_dim; ++i) {
-              dagg.at(v, i) += weights.at(c, i) * dp[c];
-            }
-          }
-        }
-        ScatterGrad(g, dagg, rel, incoming, &dx);
+        ParallelFor(
+            0, x.rows(), kRowTile,
+            [&](size_t lo, size_t hi) {
+              for (NodeId v = lo; v < hi; ++v) {
+                const double* dp = dpre.row(v);
+                for (size_t c = 0; c < out_dim; ++c) {
+                  if (dp[c] == 0.0) continue;
+                  for (size_t i = 0; i < in_dim; ++i) {
+                    dagg.at(v, i) += weights.at(c, i) * dp[c];
+                  }
+                }
+              }
+            },
+            par);
+        ScatterGrad(g, snap, dagg, rel, incoming, &dx, par);
         for (NodeId v = 0; v < x.rows(); ++v) {
           const double* dp = dpre.row(v);
           const double* av = agg.row(v);
@@ -245,15 +220,18 @@ Result<AcGnn> TrainGnnClassifier(const std::vector<GnnExample>& examples,
   double readout_b = 0.0;
 
   std::vector<Matrix> inputs;
+  std::vector<const CsrSnapshot*> snaps;
   inputs.reserve(examples.size());
+  snaps.reserve(examples.size());
   for (const GnnExample& ex : examples) {
     inputs.push_back(AcGnn::OneHotLabels(*ex.graph, label_universe));
+    snaps.push_back(EffectiveSnapshot(opts.forward, ex.graph->topology()));
   }
 
   for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
     for (size_t i = 0; i < examples.size(); ++i) {
-      Step(&gnn, &readout_w, &readout_b, *examples[i].graph, inputs[i],
-           examples[i].targets, opts.learning_rate);
+      Step(&gnn, &readout_w, &readout_b, *examples[i].graph, snaps[i],
+           inputs[i], examples[i].targets, opts.learning_rate, opts.forward);
     }
   }
 
@@ -266,9 +244,11 @@ Result<AcGnn> TrainGnnClassifier(const std::vector<GnnExample>& examples,
 
 Result<double> ClassifierAccuracy(const AcGnn& gnn,
                                   const std::vector<std::string>& universe,
-                                  const GnnExample& example) {
+                                  const GnnExample& example,
+                                  const GnnOptions& opts) {
   Matrix input = AcGnn::OneHotLabels(*example.graph, universe);
-  KGQ_ASSIGN_OR_RETURN(Bitset predicted, gnn.Classify(*example.graph, input));
+  KGQ_ASSIGN_OR_RETURN(Bitset predicted,
+                       gnn.Classify(*example.graph, input, opts));
   size_t n = example.graph->num_nodes();
   size_t correct = 0;
   for (NodeId v = 0; v < n; ++v) {

@@ -18,6 +18,13 @@ struct GnnTrainOptions {
   size_t epochs = 400;
   double learning_rate = 0.1;
   uint64_t seed = 0x9E77ull;
+
+  /// Execution of every forward pass and of the parallelizable backward
+  /// phases (backend, adjacency source, threads). The trained weights
+  /// are bit-identical under every configuration: weight updates stay
+  /// sequential in the canonical node order, and all parallel phases
+  /// write thread-owned rows only.
+  GnnOptions forward;
 };
 
 /// A training example: one graph plus the target set of accepted nodes.
@@ -44,7 +51,8 @@ Result<AcGnn> TrainGnnClassifier(const std::vector<GnnExample>& examples,
 /// Fraction of nodes of `example` the classifier gets right.
 Result<double> ClassifierAccuracy(const AcGnn& gnn,
                                   const std::vector<std::string>& universe,
-                                  const GnnExample& example);
+                                  const GnnExample& example,
+                                  const GnnOptions& opts = {});
 
 }  // namespace kgq
 

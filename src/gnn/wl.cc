@@ -3,11 +3,26 @@
 #include <algorithm>
 #include <map>
 #include <tuple>
+#include <utility>
+
+#include "obs/obs.h"
 
 namespace kgq {
 
-WlResult WlColorRefinement(const LabeledGraph& graph) {
+namespace {
+
+/// Node tile of the parallel signature build.
+constexpr size_t kNodeTile = 64;
+
+}  // namespace
+
+WlResult WlColorRefinement(const LabeledGraph& graph, const WlOptions& opts) {
+  KGQ_SPAN("gnn.wl");
   size_t n = graph.num_nodes();
+  const CsrSnapshot* snap = opts.snapshot;
+  if (snap != nullptr && !snap->MatchesTopology(graph.topology())) {
+    snap = nullptr;
+  }
   WlResult out;
   out.colors.assign(n, 0);
 
@@ -23,26 +38,54 @@ WlResult WlColorRefinement(const LabeledGraph& graph) {
   }
 
   // Signature: (own color, sorted multiset of (edge label, dir, color)).
-  using Neighbor = std::tuple<ConstId, int, uint32_t>;
+  // The label key is the graph's ConstId on the list path and the
+  // snapshot's dense LabelId on the CSR path; both are injective
+  // relabelings of the same labels, so the multiset *partition* — hence
+  // every color id, which is first-appearance order over ascending v —
+  // is identical either way.
+  using Neighbor = std::tuple<uint64_t, int, uint32_t>;
   using Signature = std::pair<uint32_t, std::vector<Neighbor>>;
 
+  std::vector<Signature> sigs(n);
   for (;;) {
+    // Signature build: embarrassingly parallel (reads colors, writes
+    // only the node's own slot).
+    ParallelFor(
+        0, n, kNodeTile,
+        [&](size_t lo, size_t hi) {
+          for (NodeId v = lo; v < hi; ++v) {
+            Signature& sig = sigs[v];
+            sig.first = out.colors[v];
+            sig.second.clear();
+            if (snap != nullptr) {
+              for (const CsrSnapshot::Entry& a : snap->Out(v)) {
+                sig.second.emplace_back(a.label, 0, out.colors[a.neighbor]);
+              }
+              for (const CsrSnapshot::Entry& a : snap->In(v)) {
+                sig.second.emplace_back(a.label, 1, out.colors[a.neighbor]);
+              }
+            } else {
+              for (EdgeId e : graph.OutEdges(v)) {
+                sig.second.emplace_back(graph.EdgeLabel(e), 0,
+                                        out.colors[graph.EdgeTarget(e)]);
+              }
+              for (EdgeId e : graph.InEdges(v)) {
+                sig.second.emplace_back(graph.EdgeLabel(e), 1,
+                                        out.colors[graph.EdgeSource(e)]);
+              }
+            }
+            std::sort(sig.second.begin(), sig.second.end());
+          }
+        },
+        opts.parallel);
+
+    // Interning stays sequential: color ids are first-appearance order
+    // over ascending v (the canonical numbering every backend shares).
     std::map<Signature, uint32_t> remap;
     std::vector<uint32_t> next(n);
     for (NodeId v = 0; v < n; ++v) {
-      Signature sig;
-      sig.first = out.colors[v];
-      for (EdgeId e : graph.OutEdges(v)) {
-        sig.second.emplace_back(graph.EdgeLabel(e), 0,
-                                out.colors[graph.EdgeTarget(e)]);
-      }
-      for (EdgeId e : graph.InEdges(v)) {
-        sig.second.emplace_back(graph.EdgeLabel(e), 1,
-                                out.colors[graph.EdgeSource(e)]);
-      }
-      std::sort(sig.second.begin(), sig.second.end());
-      auto [it, inserted] =
-          remap.emplace(std::move(sig), static_cast<uint32_t>(remap.size()));
+      auto [it, inserted] = remap.emplace(std::move(sigs[v]),
+                                          static_cast<uint32_t>(remap.size()));
       next[v] = it->second;
     }
     ++out.rounds;
@@ -54,6 +97,7 @@ WlResult WlColorRefinement(const LabeledGraph& graph) {
     }
     out.num_colors = new_count;
   }
+  KGQ_HISTOGRAM_RECORD("gnn.wl.rounds", out.rounds);
   return out;
 }
 

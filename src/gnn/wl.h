@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/labeled_graph.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
 
@@ -17,6 +19,19 @@ struct WlResult {
   size_t rounds = 0;
 };
 
+/// Execution knobs for WL refinement (same contract as GnnOptions: any
+/// configuration returns identical colors, color ids and round count).
+struct WlOptions {
+  /// Thread count for the per-round signature build (the interning pass
+  /// stays sequential — color ids are first-appearance order).
+  ParallelOptions parallel;
+
+  /// Optional CSR adjacency; neighbor signatures then read the packed
+  /// entry arrays instead of chasing edge-id lists. A snapshot of a
+  /// different topology is ignored; must outlive the call.
+  const CsrSnapshot* snapshot = nullptr;
+};
+
 /// 1-WL color refinement on a labeled graph (Section 4.3): the initial
 /// color is the node label; each round recolors a node by its current
 /// color plus the multiset of (edge label, direction, neighbor color)
@@ -27,7 +42,10 @@ struct WlResult {
 /// AC-GNN (Morris et al. / Xu et al., combined with Barceló et al. this
 /// also bounds the logic the networks capture) — an invariant the test
 /// suite checks against random networks.
-WlResult WlColorRefinement(const LabeledGraph& graph);
+WlResult WlColorRefinement(const LabeledGraph& graph, const WlOptions& opts);
+inline WlResult WlColorRefinement(const LabeledGraph& graph) {
+  return WlColorRefinement(graph, WlOptions{});
+}
 
 /// Canonical fingerprint of the stable color histogram. Non-isomorphic
 /// graphs usually differ; 1-WL-equivalent graphs (e.g. two triangles vs

@@ -26,8 +26,12 @@ CsrSnapshot CsrSnapshot::Build(const Multigraph& g,
     ConstId c = edge_label_const[e];
     auto [it, inserted] =
         label_index.emplace(c, static_cast<LabelId>(label_index.size()));
-    if (inserted) snap.label_names_.push_back(spell(c));
+    if (inserted) {
+      snap.label_names_.push_back(spell(c));
+      snap.label_counts_.push_back(0);
+    }
     snap.edge_labels_[e] = it->second;
+    ++snap.label_counts_[it->second];
   }
 
   // Counting sort of the edges by source (out view) and by target (in

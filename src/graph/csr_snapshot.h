@@ -108,6 +108,10 @@ class CsrSnapshot {
   /// Spelling of a dense label id.
   const std::string& LabelName(LabelId l) const { return label_names_[l]; }
 
+  /// Number of edges carrying label l (tallied at build time) — the nnz
+  /// of one label's SpMM aggregation, used by the benches to size work.
+  size_t CountForLabel(LabelId l) const { return label_counts_[l]; }
+
   /// Dense id of a label spelling, or nullopt if no edge carries it.
   std::optional<LabelId> FindLabel(std::string_view name) const;
 
@@ -186,6 +190,7 @@ class CsrSnapshot {
   std::vector<NodeId> targets_;
   std::vector<LabelId> edge_labels_;
   std::vector<std::string> label_names_;
+  std::vector<size_t> label_counts_;  // edges per label, by LabelId.
 
   // The two views share their offset arrays between the edge-id-ordered
   // and the label-partitioned copies (same per-node sizes).

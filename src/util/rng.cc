@@ -89,4 +89,10 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::Substream(uint64_t seed, uint64_t index) {
+  uint64_t s = seed;
+  uint64_t mixed = SplitMix64(&s) ^ ((index + 1) * 0x9E3779B97F4A7C15ull);
+  return Rng(SplitMix64(&mixed));
+}
+
 }  // namespace kgq

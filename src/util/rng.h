@@ -51,6 +51,29 @@ class Rng {
   /// Forks an independent generator (seeded from this stream).
   Rng Fork();
 
+  /// Derives the `index`-th substream of `seed` without consuming any
+  /// state — the stream-splitting rule for deterministic parallel
+  /// initialization.
+  ///
+  /// The rule: the master seed is diffused through SplitMix64, XORed
+  /// with the golden-ratio multiple of (index + 1), and diffused again;
+  /// the result seeds an ordinary Rng. Consequences the callers rely
+  /// on:
+  ///
+  ///  * Substream(seed, i) depends only on (seed, i) — never on the
+  ///    thread that asks, the order of asks, or any generator state —
+  ///    so a parallel fill that assigns one substream per fixed work
+  ///    item (e.g. Matrix::RandomInit: substream r fills row r) is
+  ///    bit-identical at every thread count and call order.
+  ///  * Distinct indices give independent-looking streams, and none of
+  ///    them collides with Rng(seed) itself (index 0 is already mixed
+  ///    away from the master).
+  ///
+  /// Contrast with Fork(), which *does* consume state and therefore
+  /// depends on how much of the parent stream was used — Fork is for
+  /// sequential handoff, Substream for parallel splitting.
+  static Rng Substream(uint64_t seed, uint64_t index);
+
  private:
   uint64_t s_[4];
 };

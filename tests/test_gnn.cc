@@ -6,7 +6,9 @@
 #include "gnn/acgnn.h"
 #include "gnn/logic_to_gnn.h"
 #include "gnn/matrix.h"
+#include "gnn/spmm.h"
 #include "gnn/wl.h"
+#include "graph/csr_snapshot.h"
 #include "graph/generators.h"
 #include "logic/modal.h"
 
@@ -257,6 +259,215 @@ TEST(WlTest, WlEquivalentNodesGetEqualGnnFeatures) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------- dense kernels
+
+TEST(MatrixTest, GemmTransBHandComputed) {
+  // Dyadic values only — every product and sum is exact, so the check
+  // is EXPECT_EQ, not NEAR. out += x·wᵀ with x 2×2, w 3×2.
+  Matrix x(2, 2);
+  x.at(0, 0) = 1.0;
+  x.at(0, 1) = 2.0;
+  x.at(1, 0) = -0.5;
+  x.at(1, 1) = 4.0;
+  Matrix w(3, 2);
+  w.at(0, 0) = 1.0;
+  w.at(0, 1) = 0.25;
+  w.at(1, 0) = -2.0;
+  w.at(1, 1) = 0.5;
+  w.at(2, 0) = 8.0;
+  w.at(2, 1) = 1.0;
+  Matrix out(2, 3);
+  out.at(0, 0) = 10.0;  // Accumulates, does not overwrite.
+  GemmTransB(x, w, &out);
+  EXPECT_EQ(out.at(0, 0), 10.0 + 1.0 * 1.0 + 2.0 * 0.25);
+  EXPECT_EQ(out.at(0, 1), -2.0 + 1.0);
+  EXPECT_EQ(out.at(0, 2), 8.0 + 2.0);
+  EXPECT_EQ(out.at(1, 0), -0.5 + 1.0);
+  EXPECT_EQ(out.at(1, 1), 1.0 + 2.0);
+  EXPECT_EQ(out.at(1, 2), -4.0 + 4.0);
+}
+
+TEST(MatrixTest, GemmTransBMatchesMultiplyAccumulate) {
+  // The blocked GEMM must reproduce the per-row reference bit-for-bit
+  // (same per-element accumulation order), at every thread count and at
+  // shapes exercising both the 4-wide blocks and the remainder columns.
+  Rng rng(808);
+  for (auto [n, m, k] : {std::tuple<size_t, size_t, size_t>{5, 7, 3},
+                         {70, 9, 16},
+                         {130, 4, 8},
+                         {64, 6, 1}}) {
+    Matrix x(n, k), w(m, k);
+    x.FillGaussian(&rng, 1.0);
+    w.FillGaussian(&rng, 1.0);
+    Matrix ref(n, m);
+    for (size_t i = 0; i < n; ++i) w.MultiplyAccumulate(x.row(i), ref.row(i));
+    for (size_t t : {size_t{1}, size_t{4}}) {
+      Matrix out(n, m);
+      GemmTransB(x, w, &out, ParallelOptions{t});
+      EXPECT_EQ(ref, out) << n << "x" << k << "·" << m << " threads=" << t;
+    }
+  }
+}
+
+TEST(MatrixTest, RandomInitThreadCountInvariant) {
+  // Row r is drawn from Rng::Substream(seed, r): the fill depends only
+  // on (seed, shape), never the thread count.
+  Matrix a(100, 7), b(100, 7);
+  a.RandomInit(0xFEED, 0.5, ParallelOptions{1});
+  b.RandomInit(0xFEED, 0.5, ParallelOptions{8});
+  EXPECT_EQ(a, b);
+  // Different seeds diverge.
+  Matrix c(100, 7);
+  c.RandomInit(0xFEEE, 0.5, ParallelOptions{1});
+  EXPECT_FALSE(a == c);
+  // Row streams are independent of the row count: a taller matrix
+  // shares its prefix rows with a shorter one.
+  Matrix d(40, 7);
+  d.RandomInit(0xFEED, 0.5);
+  for (size_t r = 0; r < 40; ++r) {
+    for (size_t cidx = 0; cidx < 7; ++cidx) {
+      ASSERT_EQ(a.at(r, cidx), d.at(r, cidx));
+    }
+  }
+}
+
+TEST(SpmmTest, AggregationMatchesHandComputedSums) {
+  // person0 --a--> person1, person0 --a--> person2, person1 --b-->
+  // person2; dyadic features, exact expectations.
+  LabeledGraph g;
+  g.AddNode("p");
+  g.AddNode("p");
+  g.AddNode("p");
+  g.AddEdge(0, 1, "a").value();
+  g.AddEdge(0, 2, "a").value();
+  g.AddEdge(1, 2, "b").value();
+  Matrix f(3, 2);
+  for (NodeId v = 0; v < 3; ++v) {
+    f.at(v, 0) = 1.0 + v;
+    f.at(v, 1) = 0.25 * (v + 1);
+  }
+  const CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+  for (bool use_csr : {false, true}) {
+    auto agg = [&](const std::string& rel, bool incoming) {
+      Matrix out(3, 2);
+      if (use_csr) {
+        SpmmAggregateCsr(snap, f, rel, incoming, &out);
+      } else {
+        SpmmAggregateList(g, f, rel, incoming, &out);
+      }
+      return out;
+    };
+    Matrix in_a = agg("a", true);
+    EXPECT_EQ(in_a.at(0, 0), 0.0);
+    EXPECT_EQ(in_a.at(1, 0), 1.0);  // From node 0.
+    EXPECT_EQ(in_a.at(2, 0), 1.0);
+    Matrix out_any = agg("", false);
+    EXPECT_EQ(out_any.at(0, 0), 2.0 + 3.0);  // Nodes 1 and 2.
+    EXPECT_EQ(out_any.at(0, 1), 0.5 + 0.75);
+    EXPECT_EQ(out_any.at(1, 0), 3.0);
+    EXPECT_EQ(out_any.at(2, 0), 0.0);
+    // Unknown label aggregates nothing.
+    Matrix ghost = agg("ghost", true);
+    for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(ghost.at(v, 0), 0.0);
+  }
+}
+
+// ------------------------------------------------------- pinned regressions
+
+// Golden values captured from the original per-node implementation; the
+// batched substrate must reproduce them exactly (EXPECT_DOUBLE_EQ = a
+// few ULP of libm headroom on transcendental-dependent values; integral
+// outputs are EXPECT_EQ).
+
+TEST(AcGnnTest, PinnedForwardGolden) {
+  Rng gen(4242);
+  LabeledGraph g = ErdosRenyi(12, 30, {"p", "q"}, {"a", "b"}, &gen);
+  AcGnn gnn(2);
+  for (int l = 0; l < 2; ++l) {
+    size_t in = l == 0 ? 2 : 3;
+    GnnLayer& layer = gnn.AddLayer(3);
+    layer.self = Matrix(3, in);
+    layer.in_rel.emplace_back("a", Matrix(3, in));
+    layer.in_rel.emplace_back("", Matrix(3, in));
+    layer.out_rel.emplace_back("b", Matrix(3, in));
+    layer.bias.assign(3, 0.0);
+  }
+  Rng wr(777);
+  gnn.Randomize(&wr, 0.6);
+  Matrix x = AcGnn::OneHotLabels(g, {"p", "q"});
+  Matrix out = *gnn.Run(g, x);
+  EXPECT_EQ(out.at(0, 0), 0.0);
+  EXPECT_EQ(out.at(0, 1), 1.0);
+  EXPECT_EQ(out.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(out.at(3, 1), 0.92938104190699822);
+  EXPECT_DOUBLE_EQ(out.at(7, 1), 0.10603262486215814);
+  EXPECT_EQ(out.at(11, 0), 0.0);
+  EXPECT_EQ(out.at(11, 1), 0.0);
+  EXPECT_EQ(out.at(11, 2), 1.0);
+}
+
+TEST(WlTest, PinnedColorGoldens) {
+  // LayeredDag(3, 4): the refinement discovers the layers one round at
+  // a time — 4 colors, one per layer, in first-appearance order.
+  LabeledGraph dag = LayeredDag(3, 4, "p", "a");
+  WlResult wl = WlColorRefinement(dag);
+  EXPECT_EQ(wl.num_colors, 4u);
+  EXPECT_EQ(wl.rounds, 3u);
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    EXPECT_EQ(wl.colors[v], v / 4) << "node " << v;
+  }
+  // Cycle(8): perfectly symmetric — one color, one (stabilizing) round.
+  WlResult cyc = WlColorRefinement(Cycle(8, "p", "a"));
+  EXPECT_EQ(cyc.num_colors, 1u);
+  EXPECT_EQ(cyc.rounds, 1u);
+}
+
+// ----------------------------------------------------- backend equivalence
+
+TEST(AcGnnTest, BackendsAndSnapshotsBitIdentical) {
+  Rng rng(606);
+  LabeledGraph g = ErdosRenyi(18, 50, {"p", "q"}, {"a", "b"}, &rng);
+  const CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+  AcGnn gnn(2);
+  for (int l = 0; l < 2; ++l) {
+    size_t in = l == 0 ? 2 : 4;
+    GnnLayer& layer = gnn.AddLayer(4);
+    layer.self = Matrix(4, in);
+    layer.in_rel.emplace_back("a", Matrix(4, in));
+    layer.out_rel.emplace_back("", Matrix(4, in));
+    layer.bias.assign(4, 0.0);
+  }
+  gnn.Randomize(&rng);
+  Matrix x = AcGnn::OneHotLabels(g, {"p", "q"});
+
+  GnnOptions ref_opts;
+  ref_opts.backend = GnnBackend::kNodeLoop;
+  ref_opts.parallel.num_threads = 1;
+  Matrix ref = *gnn.Run(g, x, ref_opts);
+
+  for (GnnBackend backend : {GnnBackend::kNodeLoop, GnnBackend::kGemm}) {
+    for (const CsrSnapshot* s : {static_cast<const CsrSnapshot*>(nullptr),
+                                 &snap}) {
+      for (size_t t : {size_t{1}, size_t{4}}) {
+        GnnOptions opts;
+        opts.backend = backend;
+        opts.snapshot = s;
+        opts.parallel.num_threads = t;
+        EXPECT_EQ(ref, *gnn.Run(g, x, opts))
+            << "backend=" << static_cast<int>(backend)
+            << " csr=" << (s != nullptr) << " threads=" << t;
+      }
+    }
+  }
+
+  // A stale snapshot (different topology) silently falls back.
+  LabeledGraph other = Cycle(5, "p", "a");
+  CsrSnapshot stale = CsrSnapshot::FromGraph(other);
+  GnnOptions with_stale;
+  with_stale.snapshot = &stale;
+  EXPECT_EQ(ref, *gnn.Run(g, x, with_stale));
 }
 
 TEST(WlTest, CompiledGnnIsWlInvariantToo) {

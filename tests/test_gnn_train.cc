@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/csr_snapshot.h"
 #include "graph/generators.h"
 #include "gnn/wl.h"
 #include "logic/modal.h"
@@ -76,6 +77,71 @@ TEST(GnnTrainTest, LearnsOneHopStructuralQuery) {
     total += *acc;
   }
   EXPECT_GT(total / 4.0, 0.9);
+}
+
+TEST(GnnTrainTest, PinnedTrainedWeightsGolden) {
+  // Weights captured from the original sequential trainer; the batched
+  // forward/backward substrate must land on exactly the same model.
+  Rng gen(99);
+  LabeledGraph g = ErdosRenyi(14, 30, {"p", "q"}, {"a"}, &gen);
+  ModalPtr f = ModalFormula::Diamond("a", 1, ModalFormula::Label("q"));
+  GnnExample ex{&g, EvalModal(g, *f)};
+  GnnTrainOptions opts;
+  opts.epochs = 40;
+  opts.hidden_dim = 4;
+  opts.num_layers = 1;
+  AcGnn gnn = *TrainGnnClassifier({ex}, {"p", "q"}, {"a"}, opts);
+  const GnnLayer& l0 = gnn.layer(0);
+  EXPECT_DOUBLE_EQ(l0.self.at(0, 0), -0.43050902235594218);
+  EXPECT_DOUBLE_EQ(l0.self.at(3, 1), -0.23066236970607545);
+  EXPECT_DOUBLE_EQ(l0.in_rel[0].second.at(1, 0), -0.18075738766622326);
+  EXPECT_DOUBLE_EQ(l0.out_rel[0].second.at(2, 1), 0.059664876850490045);
+  EXPECT_DOUBLE_EQ(l0.bias[0], 0.25146976091158524);
+  EXPECT_DOUBLE_EQ(l0.bias[3], 0.24067842519788477);
+  Matrix in = AcGnn::OneHotLabels(g, {"p", "q"});
+  EXPECT_EQ(gnn.Classify(g, in)->Count(), 14u);
+}
+
+TEST(GnnTrainTest, TrainingBitIdenticalAcrossOptions) {
+  // The whole trainer — init, forward, backward, update — must produce
+  // the same weights under every execution configuration.
+  Rng gen(99);
+  LabeledGraph g = ErdosRenyi(14, 30, {"p", "q"}, {"a"}, &gen);
+  const CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+  ModalPtr f = ModalFormula::Diamond("a", 1, ModalFormula::Label("q"));
+  GnnExample ex{&g, EvalModal(g, *f)};
+  GnnTrainOptions base;
+  base.epochs = 25;
+  base.hidden_dim = 4;
+  base.num_layers = 2;
+  base.forward.backend = GnnBackend::kNodeLoop;
+  base.forward.parallel.num_threads = 1;
+  AcGnn ref = *TrainGnnClassifier({ex}, {"p", "q"}, {"a"}, base);
+
+  for (GnnBackend backend : {GnnBackend::kNodeLoop, GnnBackend::kGemm}) {
+    for (const CsrSnapshot* s : {static_cast<const CsrSnapshot*>(nullptr),
+                                 &snap}) {
+      for (size_t t : {size_t{1}, size_t{4}}) {
+        GnnTrainOptions opts = base;
+        opts.forward.backend = backend;
+        opts.forward.snapshot = s;
+        opts.forward.parallel.num_threads = t;
+        AcGnn got = *TrainGnnClassifier({ex}, {"p", "q"}, {"a"}, opts);
+        for (size_t l = 0; l < ref.num_layers(); ++l) {
+          EXPECT_EQ(ref.layer(l).self, got.layer(l).self)
+              << "layer " << l << " backend=" << static_cast<int>(backend)
+              << " csr=" << (s != nullptr) << " threads=" << t;
+          EXPECT_EQ(ref.layer(l).bias, got.layer(l).bias);
+          for (size_t r = 0; r < ref.layer(l).in_rel.size(); ++r) {
+            EXPECT_EQ(ref.layer(l).in_rel[r].second,
+                      got.layer(l).in_rel[r].second);
+            EXPECT_EQ(ref.layer(l).out_rel[r].second,
+                      got.layer(l).out_rel[r].second);
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(GnnTrainTest, CannotSeparateWlEquivalentNodes) {

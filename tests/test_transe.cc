@@ -106,6 +106,75 @@ TEST(TransETest, AssertedBeatsCorruptedOnAverage) {
   EXPECT_GT(wins * 10, total * 8);  // ≥80% of asserted beat corrupted.
 }
 
+TEST(TransETest, PinnedScoreGolden) {
+  // Scores captured from the original training loop — the refactored
+  // trainer (obs instrumentation, shared epoch scaffolding) must keep
+  // the batch_size=1 stream of updates byte-exact.
+  TripleStore store;
+  for (size_t i = 0; i < 14; ++i) {
+    store.Insert("person" + std::to_string(i), "worksAt",
+                 "office" + std::to_string(i % 3));
+    store.Insert("person" + std::to_string(i), "friendOf",
+                 "person" + std::to_string((i + 1) % 14));
+  }
+  TransEOptions opts;
+  opts.epochs = 25;
+  opts.dimension = 8;
+  TransEModel model = *TransEModel::Train(store, opts);
+  EXPECT_DOUBLE_EQ(model.Score("person0", "worksAt", "office0"),
+                   -0.92292212201065826);
+  EXPECT_DOUBLE_EQ(model.Score("person3", "friendOf", "person4"),
+                   -0.84500550414468334);
+}
+
+TEST(TransETest, MiniBatchThreadCountInvariant) {
+  // batch_size > 1 switches to the deterministic mini-batch trainer:
+  // for a fixed batch size, every entity vector is bit-identical at any
+  // thread count.
+  TripleStore store = StructuredKg(20);
+  TransEOptions opts;
+  opts.epochs = 15;
+  opts.dimension = 8;
+  opts.batch_size = 8;
+  opts.parallel.num_threads = 1;
+  TransEModel ref = *TransEModel::Train(store, opts);
+  for (size_t t : {size_t{2}, size_t{4}}) {
+    opts.parallel.num_threads = t;
+    TransEModel got = *TransEModel::Train(store, opts);
+    for (size_t i = 0; i < 20; ++i) {
+      std::string person = "person" + std::to_string(i);
+      ASSERT_EQ(ref.EntityVector(person), got.EntityVector(person))
+          << person << " threads=" << t;
+    }
+    for (size_t o = 0; o < 4; ++o) {
+      std::string office = "office" + std::to_string(o);
+      ASSERT_EQ(ref.EntityVector(office), got.EntityVector(office));
+    }
+    EXPECT_EQ(ref.Score("person0", "worksAt", "office0"),
+              got.Score("person0", "worksAt", "office0"));
+  }
+}
+
+TEST(TransETest, MiniBatchStillLearns) {
+  // The mini-batch regime is a different optimizer, not a broken one.
+  TripleStore store = StructuredKg(20);
+  TransEOptions opts;
+  opts.epochs = 200;
+  opts.dimension = 16;
+  opts.batch_size = 8;
+  TransEModel model = *TransEModel::Train(store, opts);
+  size_t wins = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    std::string person = "person" + std::to_string(i);
+    if (model.Score(person, "worksAt", "office" + std::to_string(i % 4)) >
+        model.Score(person, "worksAt",
+                    "office" + std::to_string((i + 1) % 4))) {
+      ++wins;
+    }
+  }
+  EXPECT_GE(wins, 15u);  // ≥75% asserted beats corrupted.
+}
+
 TEST(TransETest, DeterministicFromSeed) {
   TripleStore store = StructuredKg(10);
   TransEOptions opts;
