@@ -162,4 +162,60 @@ KeywordCounts RunFigure1Pipeline(const DblpOptions& opts, Rng* rng) {
   return out;
 }
 
+LabeledGraph BuildDblpGraph(const DblpGraphOptions& opts, Rng* rng) {
+  LabeledGraph g;
+
+  std::vector<NodeId> authors(opts.num_authors);
+  for (NodeId& a : authors) a = g.AddNode("author");
+  std::vector<NodeId> venues(opts.num_venues);
+  for (NodeId& v : venues) v = g.AddNode("venue");
+
+  // One node per tracked keyword, labeled by the slugged phrase.
+  std::vector<NodeId> keywords;
+  std::vector<double> keyword_weight;
+  for (const std::string& kw : Figure1Keywords()) {
+    std::string slug = kw;
+    for (char& c : slug) {
+      if (c == ' ') c = '_';
+    }
+    keywords.push_back(g.AddNode(slug));
+    // Skewed popularity in the spirit of the Figure 1 trends: KG papers
+    // dominate, property-graph papers are rare. The ~20× selectivity
+    // spread between keyword anchors is what the planner's cardinality
+    // estimator gets to exploit.
+    if (kw == "knowledge graph") {
+      keyword_weight.push_back(10.0);
+    } else if (kw == "property graph") {
+      keyword_weight.push_back(0.5);
+    } else {
+      keyword_weight.push_back(2.0);
+    }
+  }
+
+  auto add_edge = [&](NodeId from, NodeId to, const char* label) {
+    auto added = g.AddEdge(from, to, label);
+    (void)added;  // Endpoints exist by construction.
+  };
+
+  std::vector<NodeId> papers;
+  papers.reserve(opts.num_papers);
+  for (size_t i = 0; i < opts.num_papers; ++i) {
+    NodeId p = g.AddNode("paper");
+    size_t n_auth = 1 + rng->Below(opts.max_coauthors);
+    for (size_t k = 0; k < n_auth; ++k) {
+      add_edge(authors[rng->Below(authors.size())], p, "writes");
+    }
+    add_edge(p, venues[rng->Below(venues.size())], "in");
+    add_edge(p, keywords[rng->WeightedIndex(keyword_weight)], "about");
+    if (!papers.empty()) {
+      size_t n_cites = rng->Below(opts.max_citations + 1);
+      for (size_t k = 0; k < n_cites; ++k) {
+        add_edge(p, papers[rng->Below(papers.size())], "cites");
+      }
+    }
+    papers.push_back(p);
+  }
+  return g;
+}
+
 }  // namespace kgq

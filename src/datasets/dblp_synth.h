@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/labeled_graph.h"
 #include "util/rng.h"
 
 namespace kgq {
@@ -60,6 +61,35 @@ struct KeywordCounts {
 /// Generates the corpus and runs the counting analysis in one streaming
 /// pass (no corpus materialization).
 KeywordCounts RunFigure1Pipeline(const DblpOptions& opts, Rng* rng);
+
+/// Shape of the synthetic bibliographic *graph* (the same corpus, as a
+/// labeled graph instead of a title stream) — the query-planning
+/// workload of bench_e11_crpq_plans.
+struct DblpGraphOptions {
+  size_t num_papers = 3000;
+  size_t num_authors = 800;
+  size_t num_venues = 40;
+  /// Authors per paper are 1 + Below(max_coauthors).
+  size_t max_coauthors = 3;
+  /// Citations per paper are Below(max_citations + 1), to earlier papers
+  /// only (the citation subgraph is a DAG).
+  size_t max_citations = 8;
+  uint64_t seed = 20210101;
+};
+
+/// Builds the graph. Node labels: `paper`, `author`, `venue`, and one
+/// keyword node per Figure1Keywords() phrase (label = the phrase with
+/// spaces replaced by '_', e.g. `knowledge_graph`). Edge labels:
+///
+///   author -[writes]-> paper        (1 + Below(max_coauthors) per paper)
+///   paper  -[in]->     venue        (exactly one)
+///   paper  -[about]->  keyword      (skewed: `knowledge_graph` is ~20×
+///                                    more common than `property_graph`,
+///                                    so keyword anchors differ wildly in
+///                                    selectivity — the spread the
+///                                    planner's estimator exploits)
+///   paper  -[cites]->  paper        (earlier papers only)
+LabeledGraph BuildDblpGraph(const DblpGraphOptions& opts, Rng* rng);
 
 }  // namespace kgq
 

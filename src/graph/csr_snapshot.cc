@@ -102,6 +102,22 @@ CsrSnapshot CsrSnapshot::FromTopology(const Multigraph& g) {
   return Build(g, labels, [](ConstId) { return std::string(); });
 }
 
+CsrSnapshot CsrSnapshot::FromLabeledEdges(
+    const Multigraph& g,
+    const std::function<std::string(EdgeId)>& label_of) {
+  Interner dict;
+  std::vector<ConstId> labels(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    labels[e] = dict.Intern(label_of(e));
+  }
+  return Build(g, labels, [&](ConstId c) { return dict.Lookup(c); });
+}
+
+size_t CsrSnapshot::LabelFrequency(std::string_view name) const {
+  std::optional<LabelId> l = FindLabel(name);
+  return l.has_value() ? label_counts_[*l] : 0;
+}
+
 std::optional<LabelId> CsrSnapshot::FindLabel(std::string_view name) const {
   for (LabelId l = 0; l < label_names_.size(); ++l) {
     if (label_names_[l] == name) return l;

@@ -1,6 +1,7 @@
 #ifndef KGQ_GRAPH_CSR_SNAPSHOT_H_
 #define KGQ_GRAPH_CSR_SNAPSHOT_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -92,6 +93,14 @@ class CsrSnapshot {
   /// scans).
   static CsrSnapshot FromTopology(const Multigraph& g);
 
+  /// Snapshot of a topology with caller-supplied edge label spellings —
+  /// the factory for graph views that are not backed by one of the
+  /// concrete models (e.g. RdfGraphView, whose edges are labeled by
+  /// predicate). `label_of(e)` must be valid for every edge of `g`.
+  static CsrSnapshot FromLabeledEdges(
+      const Multigraph& g,
+      const std::function<std::string(EdgeId)>& label_of);
+
   size_t num_nodes() const { return num_nodes_; }
   size_t num_edges() const { return sources_.size(); }
   size_t num_labels() const { return label_names_.size(); }
@@ -111,6 +120,16 @@ class CsrSnapshot {
   /// Number of edges carrying label l (tallied at build time) — the nnz
   /// of one label's SpMM aggregation, used by the benches to size work.
   size_t CountForLabel(LabelId l) const { return label_counts_[l]; }
+
+  /// Number of edges carrying label l — the planner's per-label
+  /// cardinality statistic (alias of CountForLabel under the name the
+  /// estimator speaks).
+  size_t LabelFrequency(LabelId l) const { return label_counts_[l]; }
+
+  /// Number of edges whose label spells `name` (0 when no edge carries
+  /// it) — the string-level entry the cardinality estimator uses, so
+  /// planner code never pokes at raw id arrays.
+  size_t LabelFrequency(std::string_view name) const;
 
   /// Dense id of a label spelling, or nullopt if no edge carries it.
   std::optional<LabelId> FindLabel(std::string_view name) const;

@@ -1,0 +1,45 @@
+#ifndef KGQ_PLAN_OPTIMIZER_H_
+#define KGQ_PLAN_OPTIMIZER_H_
+
+#include "plan/ir.h"
+#include "plan/stats.h"
+#include "util/result.h"
+
+namespace kgq {
+
+/// Which rewrite rules the planner applies. The all-off configuration is
+/// the *naive* plan — atoms joined left-to-right in textual order, every
+/// restriction evaluated as a Filter above the joins — retained as the
+/// baseline bench_e11 compares against.
+struct PlannerOptions {
+  /// Fold node tests and constant bindings into the leaves they
+  /// restrict (PathAtom leaves absorb endpoint tests into the regex;
+  /// EdgeScan/NodeScan leaves keep them as adjacent Filters / leaf
+  /// bindings).
+  bool push_filters = true;
+  /// Greedy join reordering by cardinality estimate: start from the
+  /// smallest leaf, repeatedly join the connected leaf minimizing the
+  /// estimated join output.
+  bool reorder_joins = true;
+  /// Compile a PathAtom whose regex is one plain ℓ / ℓ⁻ atom into an
+  /// EdgeScan(label) — executed over the snapshot's contiguous label
+  /// partitions instead of a product-automaton run.
+  bool edge_scan_fastpath = true;
+};
+
+/// Lowers a ConjunctiveQuery to an optimized LogicalOp tree. `stats`
+/// drives the cardinality annotations (every op's est_rows is filled
+/// in). Fails with InvalidArgument on malformed queries: empty
+/// projection, projected or tested variables that appear nowhere, or no
+/// atoms and no node tests at all.
+///
+/// obs: counters plan.optimizer.filters_pushed,
+/// plan.optimizer.edge_scan_fastpath and plan.optimizer.join_reorders
+/// tally rule applications; span plan.optimize covers the call.
+Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
+                               const GraphStats& stats,
+                               const PlannerOptions& options = {});
+
+}  // namespace kgq
+
+#endif  // KGQ_PLAN_OPTIMIZER_H_

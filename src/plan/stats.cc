@@ -1,0 +1,82 @@
+#include "plan/stats.h"
+
+#include <algorithm>
+
+#include "rpq/test_eval.h"
+
+namespace kgq {
+
+GraphStats GraphStats::From(const GraphView* view,
+                            const CsrSnapshot* snapshot) {
+  GraphStats stats;
+  stats.view_ = view;
+  stats.snapshot_ = snapshot;
+  if (snapshot != nullptr) {
+    stats.num_nodes_ = static_cast<double>(snapshot->num_nodes());
+    stats.num_edges_ = static_cast<double>(snapshot->num_edges());
+  } else if (view != nullptr) {
+    stats.num_nodes_ = static_cast<double>(view->num_nodes());
+    stats.num_edges_ = static_cast<double>(view->num_edges());
+  }
+  return stats;
+}
+
+double GraphStats::AvgDegree() const {
+  if (num_nodes_ <= 0.0) return 1.0;
+  return std::max(1.0, num_edges_ / num_nodes_);
+}
+
+double GraphStats::LabelFrequency(std::string_view label) const {
+  if (snapshot_ == nullptr) return num_edges_;
+  return static_cast<double>(snapshot_->LabelFrequency(label));
+}
+
+double GraphStats::NodeTestSelectivity(const TestExpr& test) const {
+  if (test.kind() == TestExpr::Kind::kTrue) return 1.0;
+  if (view_ == nullptr || num_nodes_ <= 0.0) return 0.5;
+  return static_cast<double>(MatchNodes(*view_, test).Count()) / num_nodes_;
+}
+
+double GraphStats::EdgeTestFrequency(const TestExpr& test) const {
+  if (test.kind() == TestExpr::Kind::kLabel) {
+    return LabelFrequency(test.label());
+  }
+  if (test.kind() == TestExpr::Kind::kTrue) return num_edges_;
+  // Compound / property / feature edge tests: assume half the edges.
+  return 0.5 * num_edges_;
+}
+
+double GraphStats::Clamp(double pairs) const {
+  double cap = num_nodes_ * num_nodes_;
+  return std::min(std::max(pairs, 0.0), cap);
+}
+
+double GraphStats::EstimatePathPairs(const Regex& r) const {
+  double n = std::max(num_nodes_, 1.0);
+  switch (r.kind()) {
+    case Regex::Kind::kNodeTest:
+      // Length-0 relation: the diagonal restricted by the test.
+      return Clamp(NodeTestSelectivity(*r.test()) * n);
+    case Regex::Kind::kEdgeFwd:
+    case Regex::Kind::kEdgeBwd:
+      return Clamp(EdgeTestFrequency(*r.test()));
+    case Regex::Kind::kUnion:
+      return Clamp(EstimatePathPairs(*r.lhs()) +
+                   EstimatePathPairs(*r.rhs()));
+    case Regex::Kind::kConcat:
+      // Join through the shared midpoint, assuming uniform spread.
+      return Clamp(EstimatePathPairs(*r.lhs()) *
+                   EstimatePathPairs(*r.rhs()) / n);
+    case Regex::Kind::kStar: {
+      // r* contains the diagonal (n pairs) and saturates with the base
+      // relation's fan-out: each extra application multiplies reach by
+      // ~|r|/n until the n² cap bites.
+      double base = EstimatePathPairs(*r.lhs());
+      double fanout = std::max(1.0, base / n);
+      return Clamp(n * fanout * fanout * fanout);
+    }
+  }
+  return Clamp(num_edges_);
+}
+
+}  // namespace kgq

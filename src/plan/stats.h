@@ -1,0 +1,70 @@
+#ifndef KGQ_PLAN_STATS_H_
+#define KGQ_PLAN_STATS_H_
+
+#include <string_view>
+
+#include "graph/csr_snapshot.h"
+#include "graph/graph_view.h"
+#include "rpq/regex.h"
+
+namespace kgq {
+
+/// Graph statistics feeding the optimizer's cardinality estimates.
+///
+/// Edge-label frequencies and degree sums are read from a CsrSnapshot
+/// (its build-time per-label tallies — CountForLabel / LabelFrequency —
+/// and offset-array degrees); node-test selectivities are evaluated
+/// exactly against the GraphView (one O(n) MatchNodes pass per distinct
+/// test, done once at planning time). Both sources are optional: without
+/// a snapshot every label falls back to the global edge count, without a
+/// view every node test to a fixed default selectivity. Estimates are
+/// heuristics — they only need to *rank* plans, not predict runtimes.
+class GraphStats {
+ public:
+  GraphStats() = default;
+
+  /// Stats over `view`, optionally backed by `snapshot` for per-label
+  /// frequencies. Both pointers may be null (size-only estimates) but
+  /// when given must outlive the GraphStats.
+  static GraphStats From(const GraphView* view, const CsrSnapshot* snapshot);
+
+  double num_nodes() const { return num_nodes_; }
+  double num_edges() const { return num_edges_; }
+
+  /// Mean out-degree (1 when the graph is empty, to keep ratios sane).
+  double AvgDegree() const;
+
+  /// Number of edges whose label is `label` — exact with a snapshot,
+  /// the global edge count otherwise.
+  double LabelFrequency(std::string_view label) const;
+
+  /// Fraction of nodes satisfying `test`, in [0, 1] — exact with a
+  /// view, 0.5 otherwise.
+  double NodeTestSelectivity(const TestExpr& test) const;
+
+  /// Estimated number of (a, b) pairs in the existential pair relation
+  /// of `r` — the cardinality of a PathAtom leaf. Structural recursion:
+  /// label atoms read the snapshot's label frequency, node tests scale
+  /// the diagonal by their selectivity, union adds, concatenation joins
+  /// through the shared midpoint (|L|·|R| / n), and Kleene star
+  /// saturates towards n² with the base relation's fan-out. Clamped to
+  /// [0, n²].
+  double EstimatePathPairs(const Regex& r) const;
+
+  /// Estimated number of edges matched by an arbitrary edge test:
+  /// exact label frequency for plain ℓ atoms, a fixed fraction of the
+  /// edge count otherwise.
+  double EdgeTestFrequency(const TestExpr& test) const;
+
+ private:
+  double Clamp(double pairs) const;
+
+  const GraphView* view_ = nullptr;
+  const CsrSnapshot* snapshot_ = nullptr;
+  double num_nodes_ = 0.0;
+  double num_edges_ = 0.0;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_PLAN_STATS_H_

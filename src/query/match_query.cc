@@ -9,173 +9,13 @@
 #include "rpq/parser.h"
 #include "rpq/path_nfa.h"
 #include "rpq/test_eval.h"
+#include "util/text_scanner.h"
 
 namespace kgq {
 namespace {
 
-/// Case-insensitive keyword scanner over raw text.
-class Scanner {
- public:
-  explicit Scanner(std::string_view text) : text_(text) {}
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool AtEnd() {
-    SkipSpace();
-    return pos_ >= text_.size();
-  }
-
-  /// Consumes `keyword` case-insensitively (word boundary after).
-  bool AcceptKeyword(std::string_view keyword) {
-    SkipSpace();
-    if (pos_ + keyword.size() > text_.size()) return false;
-    for (size_t i = 0; i < keyword.size(); ++i) {
-      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
-          std::toupper(static_cast<unsigned char>(keyword[i]))) {
-        return false;
-      }
-    }
-    size_t after = pos_ + keyword.size();
-    if (after < text_.size() &&
-        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
-         text_[after] == '_')) {
-      return false;
-    }
-    pos_ = after;
-    return true;
-  }
-
-  bool AcceptChar(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  /// Consumes a literal sequence like "-[" or "]->".
-  bool AcceptSeq(std::string_view seq) {
-    SkipSpace();
-    if (text_.substr(pos_, seq.size()) == seq) {
-      pos_ += seq.size();
-      return true;
-    }
-    return false;
-  }
-
-  Result<std::string> TakeIdentifier() {
-    SkipSpace();
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '_')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return Status::ParseError("expected identifier at position " +
-                                std::to_string(start));
-    }
-    return std::string(text_.substr(start, pos_ - start));
-  }
-
-  /// Identifier or "quoted string".
-  Result<std::string> TakeValue() {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '"') {
-      ++pos_;
-      std::string out;
-      while (pos_ < text_.size()) {
-        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
-          out.push_back(text_[pos_ + 1]);
-          pos_ += 2;
-        } else if (text_[pos_] == '"') {
-          ++pos_;
-          return out;
-        } else {
-          out.push_back(text_[pos_++]);
-        }
-      }
-      return Status::ParseError("unterminated string");
-    }
-    return TakeIdentifier();
-  }
-
-  /// Raw substring until the first ')' at paren/bracket depth 0 (quotes
-  /// respected); consumes the ')'.
-  Result<std::string> TakeUntilNodeClose() {
-    size_t start = pos_;
-    size_t depth = 0;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-          if (text_[pos_] == '\\') ++pos_;
-          ++pos_;
-        }
-        ++pos_;
-        continue;
-      }
-      if (c == '(' || c == '[') ++depth;
-      if (c == ']') --depth;
-      if (c == ')') {
-        if (depth == 0) {
-          std::string inner(text_.substr(start, pos_ - start));
-          ++pos_;
-          return inner;
-        }
-        --depth;
-      }
-      ++pos_;
-    }
-    return Status::ParseError("unterminated node pattern");
-  }
-
-  /// Raw substring until the matching "]->", honoring nested brackets.
-  Result<std::string> TakeUntilPathClose() {
-    size_t depth = 1;  // We are inside "-[".
-    size_t start = pos_;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '[') {
-        ++depth;
-      } else if (c == ']') {
-        --depth;
-        if (depth == 0) {
-          std::string inner(text_.substr(start, pos_ - start));
-          ++pos_;  // Consume ']'.
-          if (!AcceptSeq("->")) {
-            return Status::ParseError("expected '->' after ']'");
-          }
-          return inner;
-        }
-      } else if (c == '"') {
-        ++pos_;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-          if (text_[pos_] == '\\') ++pos_;
-          ++pos_;
-        }
-      }
-      ++pos_;
-    }
-    return Status::ParseError("unterminated -[ path ]->");
-  }
-
-  size_t pos() const { return pos_; }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
 /// Parses `(var)` or `(var: test)`.
-Result<std::pair<std::string, TestPtr>> ParseNodePattern(Scanner* scan) {
+Result<std::pair<std::string, TestPtr>> ParseNodePattern(TextScanner* scan) {
   if (!scan->AcceptChar('(')) {
     return Status::ParseError("expected '(' at position " +
                               std::to_string(scan->pos()));
@@ -211,7 +51,7 @@ std::string MatchQuery::ToString() const {
 }
 
 Result<MatchQuery> ParseMatchQuery(std::string_view text) {
-  Scanner scan(text);
+  TextScanner scan(text);
   if (!scan.AcceptKeyword("MATCH")) {
     return Status::ParseError("query must start with MATCH");
   }
@@ -365,9 +205,47 @@ Result<QueryResult> ExecuteMatch(const GraphView& view,
   return result;
 }
 
+Result<ConjunctiveQuery> CompileMatch(const MatchQuery& query) {
+  if (query.paths.empty() || query.nodes.size() != query.paths.size() + 1) {
+    return Status::InvalidArgument("malformed MATCH chain");
+  }
+  ConjunctiveQuery cq;
+  for (size_t i = 0; i < query.paths.size(); ++i) {
+    cq.atoms.push_back(
+        {query.nodes[i].var, query.nodes[i + 1].var, query.paths[i]});
+  }
+  for (const NodePattern& np : query.nodes) {
+    if (np.test) cq.node_tests[np.var] = np.test;
+  }
+  cq.projection = query.returns;
+  cq.limit = query.limit;
+  return cq;
+}
+
+Result<QueryResult> ExecuteMatchPlanned(const GraphView& view,
+                                        const MatchQuery& query,
+                                        const MatchPlanOptions& options) {
+  KGQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq, CompileMatch(query));
+  const CsrSnapshot* snap = options.snapshot;
+  if (snap != nullptr && !snap->MatchesTopology(view.topology())) {
+    snap = nullptr;
+  }
+  GraphStats stats = GraphStats::From(&view, snap);
+  KGQ_ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                       PlanQuery(cq, stats, options.planner));
+  ExecOptions eopts;
+  eopts.parallel = options.parallel;
+  eopts.snapshot = snap;
+  KGQ_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(view, *plan, eopts));
+  QueryResult result;
+  result.columns = std::move(rows.schema);
+  result.rows = std::move(rows.rows);
+  return result;
+}
+
 Result<QueryResult> RunMatch(const GraphView& view, std::string_view text) {
   KGQ_ASSIGN_OR_RETURN(MatchQuery query, ParseMatchQuery(text));
-  return ExecuteMatch(view, query);
+  return ExecuteMatchPlanned(view, query);
 }
 
 }  // namespace kgq

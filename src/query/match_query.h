@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "graph/graph_view.h"
+#include "plan/exec.h"
+#include "plan/optimizer.h"
 #include "rpq/regex.h"
 #include "util/result.h"
 
@@ -52,12 +54,38 @@ struct QueryResult {
 /// Parses the MATCH grammar above. Keywords are case-insensitive.
 Result<MatchQuery> ParseMatchQuery(std::string_view text);
 
-/// Executes against any graph model. Beware: the full solution set is
-/// materialized before projection; chains with huge joins cost memory.
+/// Reference evaluator: joins the chain hop by hop in textual order with
+/// per-hop AllPairs relations. Retained as the oracle the planner is
+/// differentially tested against (tests/test_plan_differential.cc);
+/// production execution goes through ExecuteMatchPlanned. Beware: the
+/// full solution set is materialized before projection; chains with huge
+/// joins cost memory.
 Result<QueryResult> ExecuteMatch(const GraphView& view,
                                  const MatchQuery& query);
 
-/// Parse + execute convenience.
+/// Lowers the MATCH chain to the shared logical IR (plan/ir.h): one
+/// PatternAtom per hop, one node-test entry per restricted variable, the
+/// RETURN list as projection. Fails on malformed chains
+/// (nodes.size() != paths.size() + 1 or no hops).
+Result<ConjunctiveQuery> CompileMatch(const MatchQuery& query);
+
+/// Knobs for planned MATCH execution.
+struct MatchPlanOptions {
+  ParallelOptions parallel;
+  /// Optional CSR snapshot of view's topology (stats + fast scans); may
+  /// be null. Ignored if it doesn't match the view.
+  const CsrSnapshot* snapshot = nullptr;
+  PlannerOptions planner;
+};
+
+/// Compile → optimize → execute through the unified physical operators.
+/// Produces exactly ExecuteMatch's rows (sorted, deduplicated, limited)
+/// for every PlannerOptions configuration and thread count.
+Result<QueryResult> ExecuteMatchPlanned(const GraphView& view,
+                                        const MatchQuery& query,
+                                        const MatchPlanOptions& options = {});
+
+/// Parse + planned execution convenience.
 Result<QueryResult> RunMatch(const GraphView& view, std::string_view text);
 
 }  // namespace kgq

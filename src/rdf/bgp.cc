@@ -6,6 +6,8 @@
 #include <tuple>
 
 #include "pathalg/pairs.h"
+#include "plan/exec.h"
+#include "plan/stats.h"
 #include "rdf/rdf_view.h"
 #include "rpq/parser.h"
 #include "rpq/path_nfa.h"
@@ -174,6 +176,91 @@ Result<std::vector<Binding>> EvalBgp(
   std::vector<Binding> out;
   std::vector<char> used(patterns.size(), 0);
   Extend(store, view.get(), relations, patterns, &used, {}, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<ConjunctiveQuery> CompileBgp(const std::vector<TriplePattern>& patterns,
+                                    const RdfGraphView& view) {
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  std::set<std::string> user_vars;
+  for (const TriplePattern& p : patterns) {
+    if (p.s.is_var) user_vars.insert(p.s.text);
+    if (p.o.is_var) user_vars.insert(p.o.text);
+  }
+
+  ConjunctiveQuery cq;
+  size_t next_const = 0;
+  auto var_of = [&](const Term& t) -> std::string {
+    if (t.is_var) return t.text;
+    std::string name = "$c" + std::to_string(next_const++);
+    while (user_vars.count(name) > 0) name += "_";
+    cq.bound[name] = view.NodeOf(t.text);  // kNoNode → empty result.
+    return name;
+  };
+  for (const TriplePattern& p : patterns) {
+    RegexPtr path = p.path;
+    if (path == nullptr) {
+      if (p.p.is_var) {
+        return Status::Unsupported(
+            "variable predicates need the store-index evaluator");
+      }
+      path = Regex::EdgeLabel(p.p.text);
+    }
+    cq.atoms.push_back({var_of(p.s), var_of(p.o), std::move(path)});
+  }
+  cq.projection.assign(user_vars.begin(), user_vars.end());
+  return cq;
+}
+
+Result<std::vector<Binding>> EvalBgpPlanned(
+    const TripleStore& store, const std::vector<TriplePattern>& patterns,
+    const BgpPlanOptions& options) {
+  RdfGraphView view(store);
+  Result<ConjunctiveQuery> cq = CompileBgp(patterns, view);
+  if (!cq.ok()) {
+    if (cq.status().code() == StatusCode::kUnsupported) {
+      return EvalBgp(store, patterns);  // Documented fallback.
+    }
+    return cq.status();
+  }
+
+  // All-constant pattern sets have no user variable to project; project
+  // one synthetic binding and collapse the answer to "holds or not".
+  bool ask_query = cq->projection.empty();
+  if (ask_query) cq->projection.push_back(cq->bound.begin()->first);
+
+  CsrSnapshot snapshot;
+  const CsrSnapshot* snap = nullptr;
+  if (options.use_snapshot) {
+    snapshot = view.Snapshot();
+    snap = &snapshot;
+  }
+  GraphStats stats = GraphStats::From(&view, snap);
+  KGQ_ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                       PlanQuery(*cq, stats, options.planner));
+  ExecOptions eopts;
+  eopts.parallel = options.parallel;
+  eopts.snapshot = snap;
+  KGQ_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(view, *plan, eopts));
+
+  std::vector<Binding> out;
+  if (ask_query) {
+    if (!rows.rows.empty()) out.push_back({});
+    return out;
+  }
+  out.reserve(rows.rows.size());
+  for (const std::vector<NodeId>& row : rows.rows) {
+    Binding b;
+    for (size_t i = 0; i < rows.schema.size(); ++i) {
+      b[rows.schema[i]] = *store.dict().Find(view.TermOf(row[i]));
+    }
+    out.push_back(std::move(b));
+  }
+  // Rows are sorted by node id; bindings sort by constant id. Re-sort.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;

@@ -5,11 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "plan/ir.h"
+#include "plan/optimizer.h"
 #include "rdf/triple_store.h"
 #include "rpq/regex.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace kgq {
+
+class RdfGraphView;
 
 /// A term of a triple pattern: a constant or a variable ("?x" style —
 /// the leading '?' is stripped at construction).
@@ -45,6 +50,36 @@ using Binding = std::map<std::string, ConstId>;
 /// variables in the pattern.
 Result<std::vector<Binding>> EvalBgp(
     const TripleStore& store, const std::vector<TriplePattern>& patterns);
+
+/// Lowers a BGP to the shared logical IR (plan/ir.h) over `view`'s node
+/// space: every plain pattern becomes a PathAtom with the single-label
+/// regex ℓ (which the optimizer compiles to an EdgeScan), every property
+/// path keeps its regex; constants become fresh `$cN` variables bound to
+/// their node ids (a constant absent from the graph binds to kNoNode —
+/// the uniform "no match" encoding). The projection is the sorted set of
+/// user variables. Returns Unsupported for variable predicates (the
+/// store-index join of EvalBgp has no IR counterpart) and InvalidArgument
+/// for an empty pattern list.
+Result<ConjunctiveQuery> CompileBgp(const std::vector<TriplePattern>& patterns,
+                                    const RdfGraphView& view);
+
+/// Knobs for planned BGP evaluation.
+struct BgpPlanOptions {
+  ParallelOptions parallel;
+  /// Build a predicate-labeled CSR snapshot of the view and hand it to
+  /// planner + executor (RdfGraphView::Snapshot).
+  bool use_snapshot = true;
+  PlannerOptions planner;
+};
+
+/// Plans and executes the BGP through the unified operators, then maps
+/// rows back to solution Bindings (sorted, distinct — exactly EvalBgp's
+/// output). Patterns with variable predicates fall back to EvalBgp.
+/// An all-constant pattern set yields EvalBgp's convention: one empty
+/// binding if the pattern holds, none otherwise.
+Result<std::vector<Binding>> EvalBgpPlanned(
+    const TripleStore& store, const std::vector<TriplePattern>& patterns,
+    const BgpPlanOptions& options = {});
 
 /// Parses "?x rides ?y . ?y label bus" into patterns. Terms are
 /// whitespace-separated; '?'-prefixed terms are variables; patterns are

@@ -52,6 +52,12 @@ bool RdfGraphView::EdgeLabelIs(EdgeId e, std::string_view label) const {
   return label_id.has_value() && edge_preds_[e] == *label_id;
 }
 
+CsrSnapshot RdfGraphView::Snapshot() const {
+  return CsrSnapshot::FromLabeledEdges(graph_, [this](EdgeId e) {
+    return store_.dict().Lookup(edge_preds_[e]);
+  });
+}
+
 NodeId RdfGraphView::NodeOf(std::string_view term) const {
   std::optional<ConstId> id = store_.dict().Find(term);
   if (!id.has_value()) return kNoNode;

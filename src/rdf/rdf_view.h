@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/graph_view.h"
 #include "rdf/rdfs.h"
 #include "rdf/triple_store.h"
@@ -41,6 +42,11 @@ class RdfGraphView final : public GraphView {
   }
 
   const TripleStore& store() const { return store_; }
+
+  /// CSR snapshot of this view's topology with predicate-labeled edge
+  /// partitions — feeds the query planner's cardinality estimator and
+  /// the EdgeScan label-partition fast path.
+  CsrSnapshot Snapshot() const;
 
  private:
   const TripleStore& store_;

@@ -1,0 +1,186 @@
+#ifndef KGQ_UTIL_TEXT_SCANNER_H_
+#define KGQ_UTIL_TEXT_SCANNER_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace kgq {
+
+/// Case-insensitive keyword scanner over raw text — the shared tokenizer
+/// of the MATCH and CRPQ front-end parsers (query/match_query.cc,
+/// rpq/crpq.cc). Understands identifiers, quoted strings, and the
+/// bracket-aware "take raw substring until the pattern closes" moves the
+/// `(var: test)` / `-[ regex ]->` surface syntax needs; the captured
+/// substrings are handed to ParseTest / ParseRegex.
+class TextScanner {
+ public:
+  explicit TextScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `keyword` case-insensitively (word boundary after).
+  bool AcceptKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    size_t after = pos_ + keyword.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  bool AcceptChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Peeks (whitespace skipped) without consuming; '\0' at end.
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// Consumes a literal sequence like "-[" or "]->".
+  bool AcceptSeq(std::string_view seq) {
+    SkipSpace();
+    if (text_.substr(pos_, seq.size()) == seq) {
+      pos_ += seq.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> TakeIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected identifier at position " +
+                                std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Identifier or "quoted string".
+  Result<std::string> TakeValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size()) {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+          out.push_back(text_[pos_ + 1]);
+          pos_ += 2;
+        } else if (text_[pos_] == '"') {
+          ++pos_;
+          return out;
+        } else {
+          out.push_back(text_[pos_++]);
+        }
+      }
+      return Status::ParseError("unterminated string");
+    }
+    return TakeIdentifier();
+  }
+
+  /// Raw substring until the first ')' at paren/bracket depth 0 (quotes
+  /// respected); consumes the ')'.
+  Result<std::string> TakeUntilNodeClose() {
+    size_t start = pos_;
+    size_t depth = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\') ++pos_;
+          ++pos_;
+        }
+        ++pos_;
+        continue;
+      }
+      if (c == '(' || c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == ')') {
+        if (depth == 0) {
+          std::string inner(text_.substr(start, pos_ - start));
+          ++pos_;
+          return inner;
+        }
+        --depth;
+      }
+      ++pos_;
+    }
+    return Status::ParseError("unterminated node pattern");
+  }
+
+  /// Raw substring until the matching "]->", honoring nested brackets.
+  Result<std::string> TakeUntilPathClose() {
+    size_t depth = 1;  // We are inside "-[".
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        --depth;
+        if (depth == 0) {
+          std::string inner(text_.substr(start, pos_ - start));
+          ++pos_;  // Consume ']'.
+          if (!AcceptSeq("->")) {
+            return Status::ParseError("expected '->' after ']'");
+          }
+          return inner;
+        }
+      } else if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\') ++pos_;
+          ++pos_;
+        }
+      }
+      ++pos_;
+    }
+    return Status::ParseError("unterminated -[ path ]->");
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kgq
+
+#endif  // KGQ_UTIL_TEXT_SCANNER_H_

@@ -293,5 +293,61 @@ TEST(CsrSnapshot, RandomGraphsRoundTrip) {
   }
 }
 
+// The accessors the query planner's cardinality estimator reads:
+// LabelFrequency by dense id and by spelling.
+TEST(CsrSnapshot, LabelFrequencyCountsEdgesPerLabel) {
+  LabeledGraph g = DiamondWithExtras();
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+
+  // DiamondWithExtras has 4 "a" edges (e0, e3, e4, e5) and 2 "b" edges.
+  ASSERT_TRUE(snap.FindLabel("a").has_value());
+  ASSERT_TRUE(snap.FindLabel("b").has_value());
+  EXPECT_EQ(snap.LabelFrequency(*snap.FindLabel("a")), 4u);
+  EXPECT_EQ(snap.LabelFrequency(*snap.FindLabel("b")), 2u);
+  EXPECT_EQ(snap.LabelFrequency("a"), 4u);
+  EXPECT_EQ(snap.LabelFrequency("b"), 2u);
+  // Unknown spellings are "no edges", not an error.
+  EXPECT_EQ(snap.LabelFrequency("zzz"), 0u);
+
+  // The by-name accessor agrees with CountForLabel and sums to m.
+  size_t total = 0;
+  for (LabelId l = 0; l < snap.num_labels(); ++l) {
+    EXPECT_EQ(snap.LabelFrequency(l), snap.CountForLabel(l));
+    total += snap.LabelFrequency(l);
+  }
+  EXPECT_EQ(total, snap.num_edges());
+}
+
+TEST(CsrSnapshot, LabelFrequencyMatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    LabeledGraph g =
+        ErdosRenyi(40, 160, {"p", "q"}, {"a", "b", "c"}, &rng);
+    CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+    std::map<std::string, size_t> expected;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      expected[g.EdgeLabelString(e)]++;
+    }
+    for (const auto& [name, count] : expected) {
+      EXPECT_EQ(snap.LabelFrequency(name), count) << "seed " << seed;
+    }
+  }
+}
+
+// FromLabeledEdges — the factory RdfGraphView::Snapshot uses — must
+// behave exactly like FromGraph when fed the same labeling.
+TEST(CsrSnapshot, FromLabeledEdgesMatchesFromGraph) {
+  LabeledGraph g = DiamondWithExtras();
+  CsrSnapshot direct = CsrSnapshot::FromGraph(g);
+  CsrSnapshot indirect = CsrSnapshot::FromLabeledEdges(
+      g.topology(), [&](EdgeId e) { return g.EdgeLabelString(e); });
+
+  ASSERT_TRUE(indirect.MatchesTopology(g.topology()));
+  EXPECT_EQ(indirect.num_labels(), direct.num_labels());
+  EXPECT_EQ(indirect.ToEdgeList(), direct.ToEdgeList());
+  EXPECT_EQ(indirect.LabelFrequency("a"), direct.LabelFrequency("a"));
+  EXPECT_EQ(indirect.LabelFrequency("b"), direct.LabelFrequency("b"));
+}
+
 }  // namespace
 }  // namespace kgq
