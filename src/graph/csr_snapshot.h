@@ -119,12 +119,17 @@ class CsrSnapshot {
 
   /// Number of edges carrying label l (tallied at build time) — the nnz
   /// of one label's SpMM aggregation, used by the benches to size work.
-  size_t CountForLabel(LabelId l) const { return label_counts_[l]; }
+  /// Ids outside the snapshot's label space (including the kAtomDead /
+  /// kAtomFiltered sentinels and kNoLabel) count 0, so cost rules can
+  /// probe any id without first checking num_labels.
+  size_t CountForLabel(LabelId l) const {
+    return l < label_counts_.size() ? label_counts_[l] : 0;
+  }
 
   /// Number of edges carrying label l — the planner's per-label
   /// cardinality statistic (alias of CountForLabel under the name the
-  /// estimator speaks).
-  size_t LabelFrequency(LabelId l) const { return label_counts_[l]; }
+  /// estimator speaks). Out-of-range ids count 0.
+  size_t LabelFrequency(LabelId l) const { return CountForLabel(l); }
 
   /// Number of edges whose label spells `name` (0 when no edge carries
   /// it) — the string-level entry the cardinality estimator uses, so

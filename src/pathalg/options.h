@@ -6,6 +6,19 @@
 
 namespace kgq {
 
+/// Which physical engine evaluates saturating (existential) queries —
+/// ReachableFrom / AllPairs and the ReachTable layers.
+enum class PathEngine {
+  /// Product-configuration BFS per source over the PathNfa (the
+  /// reference engine; always available).
+  kNfa,
+  /// Boolean-semiring matrix fixpoint (pathalg/matrix_rpq): one masked
+  /// SpGEMM per iteration covers every source at once, 64 sources per
+  /// machine word. Requires an attached CsrSnapshot — silently falls
+  /// back to kNfa without one, so requesting it is never wrong.
+  kMatrix,
+};
+
 /// Restrictions shared by all path algorithms. The unrestricted problem
 /// of Section 4.1 uses the defaults; the bc_r computation of Section 4.2
 /// uses all three fields (paths from a to b, optionally avoiding x —
@@ -21,6 +34,10 @@ struct PathQueryOptions {
   /// multi-source pair evaluation). Results are identical for every
   /// thread count; see ParallelOptions.
   ParallelOptions parallel;
+  /// Physical engine for the saturating entry points. Both engines are
+  /// bit-identical (tests/test_regex_fuzz.cc five-way); kMatrix is the
+  /// raw-speed play for bulk multi-source workloads.
+  PathEngine engine = PathEngine::kNfa;
 };
 
 }  // namespace kgq

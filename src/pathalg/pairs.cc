@@ -4,12 +4,19 @@
 #include <utility>
 #include <vector>
 
+#include "pathalg/matrix_rpq.h"
 #include "util/thread_pool.h"
 
 namespace kgq {
 
 Bitset ReachableFrom(const PathNfa& nfa, NodeId start,
                      const PathQueryOptions& opts) {
+  // Engine dispatch: the matrix fixpoint needs the snapshot's per-label
+  // partitions; without one the request silently degrades to the BFS.
+  if (opts.engine == PathEngine::kMatrix && nfa.snapshot() != nullptr) {
+    Result<Bitset> r = MatrixReachableFrom(nfa, start, opts);
+    if (r.ok()) return *std::move(r);
+  }
   Bitset out(nfa.num_nodes());
   if (opts.avoid != kNoNode && start == opts.avoid) return out;
   if (opts.start != kNoNode && start != opts.start) return out;
@@ -59,6 +66,14 @@ Bitset ReachableFrom(const PathNfa& nfa, NodeId start,
 std::vector<Bitset> AllPairs(const PathNfa& nfa,
                              const PathQueryOptions& opts) {
   size_t n = nfa.num_nodes();
+  // Engine dispatch: all-pairs is the workload the matrix engine exists
+  // for — every node is a source, so 64 searches share each word-OR of
+  // the fixpoint instead of running 64 separate BFS traversals.
+  if (opts.engine == PathEngine::kMatrix && nfa.snapshot() != nullptr &&
+      opts.start == kNoNode) {
+    Result<std::vector<Bitset>> r = MatrixAllPairs(nfa, opts);
+    if (r.ok()) return *std::move(r);
+  }
   std::vector<Bitset> out(n);
   // Chunked multi-source evaluation: each source BFS is independent and
   // writes only its own row, so source chunks run in parallel. Rows are

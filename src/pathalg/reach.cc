@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "pathalg/matrix_rpq.h"
 #include "util/thread_pool.h"
 
 namespace kgq {
@@ -14,6 +15,12 @@ ReachTable::ReachTable(const PathNfa& nfa, size_t max_len,
       table_((max_len + 1) * nfa.num_nodes(), 0) {
   KGQ_SPAN("reach_table.build");
   KGQ_COUNTER_INC("pathalg.reach.builds");
+  // Engine dispatch: the matrix construction fills all layers (including
+  // layer 0) with masks bit-identical to the scalar loops below.
+  if (opts.engine == PathEngine::kMatrix && nfa.snapshot() != nullptr) {
+    MatrixReachTableLayers(nfa, max_len, opts, &table_);
+    return;
+  }
   // Layer 0: a length-0 suffix is accepted iff the state itself is final
   // (masks held by callers are ε-closed, so no closure is needed here)
   // and the node satisfies the end restriction.

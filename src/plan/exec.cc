@@ -195,6 +195,11 @@ class Executor {
     }
     PathQueryOptions popts;
     popts.parallel = options_.parallel;
+    // Planner-selected physical engine. The matrix fixpoint needs the
+    // snapshot's label partitions; without a usable attach the request
+    // degrades to the BFS engine (results are bit-identical either way).
+    const bool matrix = op.use_matrix_rpq && nfa.snapshot() != nullptr;
+    if (matrix) popts.engine = PathEngine::kMatrix;
     auto emit = [&](NodeId a, NodeId b) {
       if (dst_bound && b != dst_at) return;
       if (diagonal) {
@@ -203,18 +208,26 @@ class Executor {
         rs.rows.push_back({a, b});
       }
     };
-    if (src_bound) {
-      // Single-source fast path: one saturating configuration BFS
-      // instead of n of them.
-      ReachableFrom(nfa, src_at, popts).ForEach([&](size_t b) {
-        emit(src_at, static_cast<NodeId>(b));
-      });
-    } else {
-      std::vector<Bitset> pairs = AllPairs(nfa, popts);
-      for (NodeId a = 0; a < pairs.size(); ++a) {
-        pairs[a].ForEach(
-            [&](size_t b) { emit(a, static_cast<NodeId>(b)); });
+    auto evaluate = [&] {
+      if (src_bound) {
+        // Single-source fast path: one saturating configuration BFS
+        // instead of n of them.
+        ReachableFrom(nfa, src_at, popts).ForEach([&](size_t b) {
+          emit(src_at, static_cast<NodeId>(b));
+        });
+      } else {
+        std::vector<Bitset> pairs = AllPairs(nfa, popts);
+        for (NodeId a = 0; a < pairs.size(); ++a) {
+          pairs[a].ForEach(
+              [&](size_t b) { emit(a, static_cast<NodeId>(b)); });
+        }
       }
+    };
+    if (matrix) {
+      KGQ_SPAN("plan.op.matrix_rpq");
+      evaluate();
+    } else {
+      evaluate();
     }
     KGQ_COUNTER_ADD("plan.rows.path_atom", rs.rows.size());
     return rs;
@@ -281,7 +294,8 @@ class Executor {
       KGQ_HISTOGRAM_RECORD("plan.join.build_rows", build.rows.size());
       for (const auto& row : probe.rows) {
         auto it = table.find(probe_key(row));
-        size_t hits = it == table.end() ? 0 : it->second.size();
+        [[maybe_unused]] size_t hits =
+            it == table.end() ? 0 : it->second.size();
         KGQ_HISTOGRAM_RECORD("plan.join.probe_hits", hits);
         if (it == table.end()) continue;
         for (size_t i : it->second) {

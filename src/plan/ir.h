@@ -84,6 +84,12 @@ class LogicalOp {
   /// direction (the ℓ⁻ atom).
   std::string label;
   bool backward = false;
+  /// kPathAtom: evaluate on the boolean-matrix RPQ engine
+  /// (pathalg/matrix_rpq) instead of per-source configuration BFS. Set
+  /// by the planner's matrix_rpq rule; the executor honors it only when
+  /// a usable snapshot is attached (both engines are bit-identical, so
+  /// the flag is pure physics — never semantics).
+  bool use_matrix_rpq = false;
   /// kNodeScan / kFilter: the test (null = none).
   TestPtr test;
   /// Constant restriction on src_var / dst_var (kNoNode = none) — set

@@ -95,6 +95,29 @@ bool SharesVar(const LogicalOp& a, const LogicalOp& b) {
   return false;
 }
 
+/// The matrix_rpq rule: should this PathAtom leaf run on the boolean-
+/// matrix engine? kAuto picks it only for bulk evaluations — no bound
+/// endpoint (a bound source is one BFS, which the fixpoint's dense
+/// N-column frontier would dwarf), a graph big enough for word-level
+/// batching to pay (≥ 64 nodes, one frontier word), and an estimated
+/// pair count of at least one per node (a dense-enough relation that
+/// per-source BFS would re-traverse shared structure n times over).
+bool ChooseMatrixRpq(const LogicalOp& leaf, const GraphStats& stats,
+                     MatrixRpqMode mode, const Regex& path) {
+  switch (mode) {
+    case MatrixRpqMode::kOff:
+      return false;
+    case MatrixRpqMode::kAlways:
+      return true;
+    case MatrixRpqMode::kAuto:
+      break;
+  }
+  if (leaf.has_bound_src || leaf.has_bound_dst) return false;
+  double n = stats.num_nodes();
+  if (n < 64.0) return false;
+  return stats.EstimatePathPairs(path) >= n;
+}
+
 }  // namespace
 
 Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
@@ -249,6 +272,11 @@ Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
       if (a.src == a.dst) leaf->est_rows /= n;
       if (leaf->has_bound_src) leaf->est_rows /= n;
       if (leaf->has_bound_dst) leaf->est_rows /= n;
+      leaf->use_matrix_rpq =
+          ChooseMatrixRpq(*leaf, stats, options.matrix_rpq, *full);
+      if (leaf->use_matrix_rpq) {
+        KGQ_COUNTER_INC("plan.optimizer.matrix_rpq");
+      }
     }
     entries.push_back(std::move(leaf));
   }

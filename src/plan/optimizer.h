@@ -7,6 +7,19 @@
 
 namespace kgq {
 
+/// Physical-engine choice for PathAtom leaves (the matrix_rpq rule).
+enum class MatrixRpqMode {
+  /// Never annotate: every PathAtom runs on the configuration-BFS
+  /// engine (part of the all-off naive baseline).
+  kOff,
+  /// Cost-based: pick the matrix engine for bulk (unbound) atoms whose
+  /// estimated pair count is large enough that the one-SpGEMM-per-
+  /// generation fixpoint beats n independent BFS runs; see PlanQuery.
+  kAuto,
+  /// Annotate every PathAtom (the force-matrix knob benches use).
+  kAlways,
+};
+
 /// Which rewrite rules the planner applies. The all-off configuration is
 /// the *naive* plan — atoms joined left-to-right in textual order, every
 /// restriction evaluated as a Filter above the joins — retained as the
@@ -25,6 +38,13 @@ struct PlannerOptions {
   /// EdgeScan(label) — executed over the snapshot's contiguous label
   /// partitions instead of a product-automaton run.
   bool edge_scan_fastpath = true;
+  /// Annotate PathAtom leaves with the boolean-matrix RPQ engine
+  /// (pathalg/matrix_rpq). Purely physical: both engines return
+  /// bit-identical rows, the rule only moves the work onto one masked
+  /// SpGEMM per frontier generation (64 sources per word) when the atom
+  /// is a bulk all-pairs evaluation. The executor falls back to the BFS
+  /// engine when no usable snapshot is attached.
+  MatrixRpqMode matrix_rpq = MatrixRpqMode::kAuto;
 };
 
 /// Lowers a ConjunctiveQuery to an optimized LogicalOp tree. `stats`
@@ -34,8 +54,9 @@ struct PlannerOptions {
 /// atoms and no node tests at all.
 ///
 /// obs: counters plan.optimizer.filters_pushed,
-/// plan.optimizer.edge_scan_fastpath and plan.optimizer.join_reorders
-/// tally rule applications; span plan.optimize covers the call.
+/// plan.optimizer.edge_scan_fastpath, plan.optimizer.join_reorders and
+/// plan.optimizer.matrix_rpq tally rule applications; span plan.optimize
+/// covers the call.
 Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
                                const GraphStats& stats,
                                const PlannerOptions& options = {});

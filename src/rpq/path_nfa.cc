@@ -171,6 +171,33 @@ Status PathNfa::AttachSnapshot(const CsrSnapshot* snapshot) {
   return Status::OK();
 }
 
+std::vector<PathNfa::TransitionView> PathNfa::Transitions() const {
+  std::vector<TransitionView> out;
+  for (uint32_t q = 0; q < num_q_; ++q) {
+    for (const EdgeTrans& t : fwd_trans_[q]) {
+      out.push_back({q, t.to, t.atom, false});
+    }
+    for (const EdgeTrans& t : bwd_trans_[q]) {
+      out.push_back({q, t.to, t.atom, true});
+    }
+  }
+  return out;
+}
+
+PathNfa::AtomClass PathNfa::ClassifyAtom(uint32_t atom) const {
+  // Without an attached snapshot there are no resolved labels; an atom
+  // is dead iff its match bitset is empty, filtered otherwise.
+  if (atom_csr_label_.empty()) {
+    return edge_match_[atom].None() ? AtomClass::kDead : AtomClass::kFiltered;
+  }
+  LabelId l = atom_csr_label_[atom];
+  if (l == kAtomDead) return AtomClass::kDead;
+  if (l == kAtomFiltered) {
+    return edge_match_[atom].None() ? AtomClass::kDead : AtomClass::kFiltered;
+  }
+  return AtomClass::kLabel;
+}
+
 PathNfa::StateMask PathNfa::CloseAt(NodeId n, StateMask m) const {
   const StateMask* row = ClosureRow(n);
   StateMask out = 0;

@@ -286,6 +286,63 @@ class PathNfa {
     });
   }
 
+  // ---- Product introspection (the matrix engine's view) ----
+  //
+  // pathalg/matrix_rpq evaluates this product as boolean matrix
+  // products instead of configuration BFS; it needs the raw transition
+  // structure rather than the step callbacks above. These accessors are
+  // read-only views of the compiled automaton; they expose nothing a
+  // ForEachSuccessor caller could not observe, just in bulk.
+
+  /// One edge transition of the automaton: state `from` advances to
+  /// `to` (before ε-closure at the target node) across any edge matched
+  /// by atom `atom`, traversed against the edge's direction iff
+  /// `backward`.
+  struct TransitionView {
+    uint32_t from;
+    uint32_t to;
+    uint32_t atom;
+    bool backward;
+  };
+
+  /// All edge transitions, grouped by source state with forward atoms
+  /// before backward — the compile order, stable across calls.
+  std::vector<TransitionView> Transitions() const;
+
+  /// Number of edge atoms (the index space of TransitionView::atom).
+  size_t num_atoms() const { return edge_match_.size(); }
+
+  /// How an atom resolves against the attached snapshot.
+  enum class AtomClass {
+    kDead,      ///< Matches no edge: the transition never fires.
+    kLabel,     ///< Pure label ℓ resolved to a snapshot partition.
+    kFiltered,  ///< Arbitrary test: scan adjacency, filter per edge.
+  };
+  AtomClass ClassifyAtom(uint32_t atom) const;
+
+  /// Snapshot label of a kLabel atom (meaningful only then).
+  LabelId AtomSnapshotLabel(uint32_t atom) const {
+    return atom_csr_label_[atom];
+  }
+
+  /// True iff the atom's match bitset contains edge e — the per-edge
+  /// filter of kFiltered atoms.
+  bool AtomMatchesEdge(uint32_t atom, EdgeId e) const {
+    return edge_match_[atom].Test(e);
+  }
+
+  /// ε-closure sharing: nodes with the same node-test signature share
+  /// one closure row. SignatureClosure(sig, q) is the ε-closed mask of
+  /// {q} at every node whose ClosureSignatureOf is `sig`; rows are
+  /// transitively closed, so one application saturates.
+  uint32_t ClosureSignatureOf(NodeId n) const { return closure_index_[n]; }
+  size_t NumClosureSignatures() const {
+    return num_q_ == 0 ? 0 : closure_rows_.size() / num_q_;
+  }
+  StateMask SignatureClosure(uint32_t sig, uint32_t q) const {
+    return closure_rows_[static_cast<size_t>(sig) * num_q_ + q];
+  }
+
   /// Runs the automaton over a whole path; returns the final closed mask
   /// (0 if the run dies or the path is malformed for this graph).
   StateMask Simulate(const Path& p) const;

@@ -318,6 +318,32 @@ TEST(CsrSnapshot, LabelFrequencyCountsEdgesPerLabel) {
   EXPECT_EQ(total, snap.num_edges());
 }
 
+TEST(CsrSnapshot, AbsentLabelsCountZeroEverywhere) {
+  // Labels the snapshot has never seen — by spelling, by out-of-range
+  // id, and by sentinel id — must read as "no edges" from every
+  // accessor a cost rule might probe, never index out of range.
+  LabeledGraph g = DiamondWithExtras();
+  CsrSnapshot snap = CsrSnapshot::FromGraph(g);
+
+  EXPECT_FALSE(snap.FindLabel("zzz").has_value());
+  EXPECT_EQ(snap.LabelFrequency("zzz"), 0u);
+
+  const LabelId past_end = static_cast<LabelId>(snap.num_labels());
+  EXPECT_EQ(snap.CountForLabel(past_end), 0u);
+  EXPECT_EQ(snap.LabelFrequency(past_end), 0u);
+  EXPECT_EQ(snap.CountForLabel(past_end + 7), 0u);
+  // The all-ones sentinel ids (kNoLabel and the PathNfa atom sentinels
+  // live up there) are far past any real label space.
+  EXPECT_EQ(snap.CountForLabel(static_cast<LabelId>(~0u)), 0u);
+  EXPECT_EQ(snap.LabelFrequency(static_cast<LabelId>(~0u)), 0u);
+
+  // Partition lookups for bogus labels are empty spans, not UB.
+  for (NodeId n = 0; n < snap.num_nodes(); ++n) {
+    EXPECT_EQ(snap.OutForLabel(n, past_end).size(), 0u);
+    EXPECT_EQ(snap.InForLabel(n, past_end).size(), 0u);
+  }
+}
+
 TEST(CsrSnapshot, LabelFrequencyMatchesBruteForceOnRandomGraphs) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     Rng rng(seed);

@@ -1,10 +1,11 @@
 // Randomized differential testing of the query planner: random
 // conjunctive queries with regular path atoms over ER and BA graphs,
 // planned execution (optimized and naive, with and without a CSR
-// snapshot, at 1 and 4 threads) against the retained reference
-// evaluators of all three front-ends. The planner may pick any join
-// order and any physical operator — the canonical output discipline
-// (sorted, deduplicated, limited) makes the comparison bit-exact.
+// snapshot, matrix RPQ engine forced and off, at 1 and 4 threads)
+// against the retained reference evaluators of all three front-ends.
+// The planner may pick any join order and any physical operator — the
+// canonical output discipline (sorted, deduplicated, limited) makes the
+// comparison bit-exact.
 
 #include <gtest/gtest.h>
 
@@ -112,6 +113,7 @@ TEST_P(PlanDifferential, PlannedCrpqMatchesReference) {
   naive.push_filters = false;
   naive.reorder_joins = false;
   naive.edge_scan_fastpath = false;
+  naive.matrix_rpq = MatrixRpqMode::kOff;
 
   for (int round = 0; round < 5; ++round) {
     Crpq q = RandomCrpq(&rng);
@@ -122,16 +124,24 @@ TEST_P(PlanDifferential, PlannedCrpqMatchesReference) {
     for (size_t threads : {size_t{1}, size_t{4}}) {
       for (bool with_snapshot : {false, true}) {
         for (bool optimized : {true, false}) {
-          CrpqOptions opts;
-          opts.parallel.num_threads = threads;
-          opts.snapshot = with_snapshot ? &snap : nullptr;
-          if (!optimized) opts.planner = naive;
-          Result<RowSet> got = EvalCrpq(view, q, opts);
-          ASSERT_TRUE(got.ok()) << got.status();
-          ASSERT_EQ(got->schema, ref->schema);
-          ASSERT_EQ(got->rows, ref->rows)
-              << "threads=" << threads << " snapshot=" << with_snapshot
-              << " optimized=" << optimized;
+          // The matrix engine is a pure physical choice: forcing it on
+          // (or off) must never change a row, on optimized and naive
+          // plans alike, with and without the snapshot it needs.
+          for (MatrixRpqMode matrix :
+               {MatrixRpqMode::kAlways, MatrixRpqMode::kOff}) {
+            CrpqOptions opts;
+            opts.parallel.num_threads = threads;
+            opts.snapshot = with_snapshot ? &snap : nullptr;
+            if (!optimized) opts.planner = naive;
+            opts.planner.matrix_rpq = matrix;
+            Result<RowSet> got = EvalCrpq(view, q, opts);
+            ASSERT_TRUE(got.ok()) << got.status();
+            ASSERT_EQ(got->schema, ref->schema);
+            ASSERT_EQ(got->rows, ref->rows)
+                << "threads=" << threads << " snapshot=" << with_snapshot
+                << " optimized=" << optimized
+                << " matrix=" << (matrix == MatrixRpqMode::kAlways);
+          }
         }
       }
     }
@@ -167,14 +177,19 @@ TEST_P(PlanDifferential, PlannedMatchQueryMatchesReference) {
     ASSERT_TRUE(ref.ok()) << ref.status();
     for (size_t threads : {size_t{1}, size_t{4}}) {
       for (bool with_snapshot : {false, true}) {
-        MatchPlanOptions opts;
-        opts.parallel.num_threads = threads;
-        opts.snapshot = with_snapshot ? &snap : nullptr;
-        Result<QueryResult> got = ExecuteMatchPlanned(view, mq, opts);
-        ASSERT_TRUE(got.ok()) << got.status();
-        ASSERT_EQ(got->columns, ref->columns);
-        ASSERT_EQ(got->rows, ref->rows)
-            << "threads=" << threads << " snapshot=" << with_snapshot;
+        for (MatrixRpqMode matrix :
+             {MatrixRpqMode::kAlways, MatrixRpqMode::kOff}) {
+          MatchPlanOptions opts;
+          opts.parallel.num_threads = threads;
+          opts.snapshot = with_snapshot ? &snap : nullptr;
+          opts.planner.matrix_rpq = matrix;
+          Result<QueryResult> got = ExecuteMatchPlanned(view, mq, opts);
+          ASSERT_TRUE(got.ok()) << got.status();
+          ASSERT_EQ(got->columns, ref->columns);
+          ASSERT_EQ(got->rows, ref->rows)
+              << "threads=" << threads << " snapshot=" << with_snapshot
+              << " matrix=" << (matrix == MatrixRpqMode::kAlways);
+        }
       }
     }
   }
@@ -218,14 +233,19 @@ TEST_P(PlanDifferential, PlannedBgpMatchesReference) {
     ASSERT_TRUE(ref.ok()) << ref.status();
     for (size_t threads : {size_t{1}, size_t{4}}) {
       for (bool with_snapshot : {false, true}) {
-        BgpPlanOptions opts;
-        opts.parallel.num_threads = threads;
-        opts.use_snapshot = with_snapshot;
-        Result<std::vector<Binding>> got =
-            EvalBgpPlanned(store, *patterns, opts);
-        ASSERT_TRUE(got.ok()) << got.status();
-        ASSERT_EQ(*got, *ref)
-            << "threads=" << threads << " snapshot=" << with_snapshot;
+        for (MatrixRpqMode matrix :
+             {MatrixRpqMode::kAlways, MatrixRpqMode::kOff}) {
+          BgpPlanOptions opts;
+          opts.parallel.num_threads = threads;
+          opts.use_snapshot = with_snapshot;
+          opts.planner.matrix_rpq = matrix;
+          Result<std::vector<Binding>> got =
+              EvalBgpPlanned(store, *patterns, opts);
+          ASSERT_TRUE(got.ok()) << got.status();
+          ASSERT_EQ(*got, *ref)
+              << "threads=" << threads << " snapshot=" << with_snapshot
+              << " matrix=" << (matrix == MatrixRpqMode::kAlways);
+        }
       }
     }
   }

@@ -1,8 +1,11 @@
 // Randomized differential testing: generate random regexes and random
-// graphs, then require that the paper-literal reference evaluator, the
-// Glushkov product, the Thompson product, and the CSR-snapshot-backed
-// evaluator agree path-for-path, and that the exact counter and
-// enumerator agree with all of them.
+// graphs (Erdős–Rényi and Barabási–Albert), then require that five
+// engines agree — the paper-literal reference evaluator, the Glushkov
+// product, the Thompson product, the CSR-snapshot-backed evaluator, and
+// the boolean-matrix fixpoint (pathalg/matrix_rpq) — path-for-path for
+// the bounded engines and row-for-row for the pair evaluators, at 1 and
+// 4 threads, and that the exact counter and enumerator agree with all
+// of them.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,7 @@
 #include "graph/graph_view.h"
 #include "pathalg/enumerate.h"
 #include "pathalg/exact.h"
+#include "pathalg/matrix_rpq.h"
 #include "pathalg/pairs.h"
 #include "rpq/parser.h"
 #include "rpq/path_nfa.h"
@@ -57,7 +61,10 @@ class RegexFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(RegexFuzz, AllEnginesAgree) {
   Rng rng(1000 + GetParam());
-  LabeledGraph g = ErdosRenyi(8, 18, {"p", "q"}, {"a", "b"}, &rng);
+  // Alternate topologies across seeds: uniform ER and heavy-tailed BA.
+  LabeledGraph g = GetParam() % 2 == 0
+                       ? ErdosRenyi(8, 18, {"p", "q"}, {"a", "b"}, &rng)
+                       : BarabasiAlbert(9, 2, {"p", "q"}, {"a", "b"}, &rng);
   LabeledGraphView view(g);
   CsrSnapshot snap = CsrSnapshot::FromGraph(g);
   const size_t max_len = 4;
@@ -129,6 +136,21 @@ TEST_P(RegexFuzz, AllEnginesAgree) {
         << "CSR vs list disagree under the sequential evaluator";
     ASSERT_EQ(csr_par, glushkov_par)
         << "CSR vs list disagree under the parallel evaluator";
+    // Fifth engine: the boolean-matrix fixpoint, both through the
+    // engine knob (AllPairs dispatch) and the direct entry point, at
+    // both thread counts — bit-identical rows to the BFS engines.
+    PathQueryOptions mat_seq = seq_opts;
+    mat_seq.engine = PathEngine::kMatrix;
+    PathQueryOptions mat_par = par_opts;
+    mat_par.engine = PathEngine::kMatrix;
+    ASSERT_EQ(AllPairs(*csr, mat_seq), glushkov_seq)
+        << "matrix vs BFS disagree under the sequential evaluator";
+    ASSERT_EQ(AllPairs(*csr, mat_par), glushkov_par)
+        << "matrix vs BFS disagree under the parallel evaluator";
+    Result<std::vector<Bitset>> mat_direct = MatrixAllPairs(*csr, mat_par);
+    ASSERT_TRUE(mat_direct.ok()) << mat_direct.status();
+    ASSERT_EQ(*mat_direct, glushkov_par)
+        << "MatrixAllPairs disagrees with the BFS engines";
     // Every reference path witnesses its (start, end) pair in the
     // unbounded pair relation.
     for (const Path& p : reference) {
@@ -138,7 +160,7 @@ TEST_P(RegexFuzz, AllEnginesAgree) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RegexFuzz, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexFuzz, ::testing::Range(0, 32));
 
 }  // namespace
 }  // namespace kgq
