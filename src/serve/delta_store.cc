@@ -1,0 +1,117 @@
+#include "serve/delta_store.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace kgq {
+namespace serve {
+
+DeltaStore::DeltaStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = MaterializeLocked(0);
+}
+
+NodeId DeltaStore::AddNode(std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node_labels_.emplace_back(label);
+  ++pending_ops_;
+  KGQ_COUNTER_INC("serve.writes.applied");
+  return static_cast<NodeId>(node_labels_.size() - 1);
+}
+
+Result<bool> DeltaStore::InsertEdge(NodeId from, NodeId to,
+                                    std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= node_labels_.size() || to >= node_labels_.size()) {
+    return Status::InvalidArgument("insert_edge: no such node");
+  }
+  bool applied =
+      edges_.insert(EdgeKey{from, to, std::string(label)}).second;
+  if (applied) {
+    ++pending_ops_;
+    KGQ_COUNTER_INC("serve.writes.applied");
+  } else {
+    KGQ_COUNTER_INC("serve.writes.noop");
+  }
+  return applied;
+}
+
+Result<bool> DeltaStore::DeleteEdge(NodeId from, NodeId to,
+                                    std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= node_labels_.size() || to >= node_labels_.size()) {
+    return Status::InvalidArgument("delete_edge: no such node");
+  }
+  bool applied = edges_.erase(EdgeKey{from, to, std::string(label)}) > 0;
+  if (applied) {
+    ++pending_ops_;
+    KGQ_COUNTER_INC("serve.writes.applied");
+  } else {
+    KGQ_COUNTER_INC("serve.writes.noop");
+  }
+  return applied;
+}
+
+EpochPtr DeltaStore::MaterializeLocked(uint64_t epoch) const {
+  KGQ_SPAN("serve.publish");
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->epoch = epoch;
+  for (const std::string& label : node_labels_) {
+    snap->graph.AddNode(label);
+  }
+  // std::set iterates in canonical (from, to, label) order, so edge ids
+  // — and with them the CSR label interning — depend only on the
+  // logical edge set, never on the insert/delete history.
+  for (const EdgeKey& e : edges_) {
+    snap->graph.AddEdge(e.from, e.to, e.label).value();
+  }
+  const LabeledGraph& g = snap->graph;
+  snap->csr = CsrSnapshot::FromLabeledEdges(
+      g.topology(), [&g](EdgeId e) { return g.EdgeLabelString(e); });
+  return snap;
+}
+
+EpochPtr DeltaStore::Publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EpochPtr next = MaterializeLocked(epoch_ + 1);
+  epoch_ = next->epoch;
+  pending_ops_ = 0;
+  current_ = next;
+  KGQ_GAUGE_SET("serve.epoch", epoch_);
+  KGQ_HISTOGRAM_RECORD("serve.publish.edges", edges_.size());
+  return next;
+}
+
+EpochPtr DeltaStore::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t DeltaStore::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t DeltaStore::NumNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_labels_.size();
+}
+
+size_t DeltaStore::NumLiveEdges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return edges_.size();
+}
+
+size_t DeltaStore::PendingOps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_ops_;
+}
+
+std::vector<EdgeKey> DeltaStore::LogicalEdges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<EdgeKey>(edges_.begin(), edges_.end());
+}
+
+}  // namespace serve
+}  // namespace kgq

@@ -1,0 +1,136 @@
+#ifndef KGQ_SERVE_DELTA_STORE_H_
+#define KGQ_SERVE_DELTA_STORE_H_
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_snapshot.h"
+#include "graph/labeled_graph.h"
+#include "util/result.h"
+
+namespace kgq {
+namespace serve {
+
+/// One labeled edge of the store's *logical* edge set. The serving data
+/// model is a set — not a multiset — of (from, to, label) triples:
+/// inserting an edge that is already live is a no-op, and so is deleting
+/// one that is not. That is what makes insert/delete logs from different
+/// clients commute into one well-defined graph.
+struct EdgeKey {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string label;
+
+  auto operator<=>(const EdgeKey&) const = default;
+};
+
+/// One published version of the graph: an immutable materialization of
+/// the logical edge set at publish time, shared by every reader that
+/// acquired it. The CSR snapshot is built with
+/// CsrSnapshot::FromLabeledEdges over the materialized graph, so the
+/// whole query stack (planner stats, label-partition scans, matrix RPQ)
+/// runs on it unchanged.
+///
+/// Readers keep the EpochSnapshot alive through a shared_ptr
+/// (DeltaStore::Acquire); it is never mutated after construction, so a
+/// query pinned to an epoch can never observe a torn graph no matter how
+/// many writers race ahead of it.
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  LabeledGraph graph;
+  CsrSnapshot csr;
+};
+
+using EpochPtr = std::shared_ptr<const EpochSnapshot>;
+
+/// The write path of the serving layer: a mutable node table plus an
+/// edge delta log (insert/delete) with epoch-based publication.
+///
+/// Writes mutate only the store's private state; queries never see them.
+/// Publish() materializes the current logical edge set into a fresh
+/// EpochSnapshot and swaps it in atomically — readers acquire the
+/// current epoch with one shared_ptr copy and keep it for the whole
+/// query, so they never block on writers and writers never wait for
+/// readers (old epochs die when their last reader drops them).
+///
+/// Materialization is *canonical*: nodes in id order, edges sorted by
+/// (from, to, label). Two histories with the same logical edge set
+/// therefore publish bit-identical snapshots — the property the
+/// differential suite (tests/test_delta_store.cc) pins against
+/// from-scratch FromLabeledEdges builds.
+///
+/// All public methods are thread-safe; writes are serialized by one
+/// mutex (publication included), reads of the current epoch are a
+/// pointer copy under the same short lock.
+///
+/// obs: gauge serve.epoch tracks the latest published epoch; counters
+/// serve.writes.applied / serve.writes.noop tally mutations that did /
+/// did not change the logical state; span serve.publish covers
+/// materialization and histogram serve.publish.edges records the edge
+/// count of each published epoch.
+class DeltaStore {
+ public:
+  /// Starts at epoch 0: the empty graph, already published (queries
+  /// before the first Publish() see an empty epoch, not an error).
+  DeltaStore();
+
+  /// Adds a node labeled `label`; returns its id. Nodes are append-only
+  /// (ids are dense and never reused) and become queryable at the next
+  /// Publish().
+  NodeId AddNode(std::string_view label);
+
+  /// Logs the insertion of edge (from, to, label). Returns true when
+  /// the edge was absent (the logical set changed), false for a
+  /// duplicate insert (no-op). Fails if an endpoint does not exist.
+  Result<bool> InsertEdge(NodeId from, NodeId to, std::string_view label);
+
+  /// Logs the deletion of edge (from, to, label). Returns true when the
+  /// edge was live (the logical set changed), false when it was absent
+  /// (no-op). Fails if an endpoint does not exist.
+  Result<bool> DeleteEdge(NodeId from, NodeId to, std::string_view label);
+
+  /// Materializes the current logical state as epoch N+1 and publishes
+  /// it. Returns the new epoch's snapshot.
+  EpochPtr Publish();
+
+  /// The current published epoch — one shared_ptr copy; never blocks on
+  /// writers beyond the pointer swap itself.
+  EpochPtr Acquire() const;
+
+  /// Epoch number of the latest published snapshot.
+  uint64_t CurrentEpoch() const;
+
+  /// Unpublished state introspection (nodes include pending ones).
+  size_t NumNodes() const;
+  size_t NumLiveEdges() const;
+  /// Applied delta operations (node adds + effective inserts/deletes)
+  /// since the last Publish().
+  size_t PendingOps() const;
+
+  /// The logical edge set in canonical (from, to, label) order — what
+  /// the next Publish() will materialize. Test/debug surface.
+  std::vector<EdgeKey> LogicalEdges() const;
+
+ private:
+  /// Builds the canonical materialization of the current state. Caller
+  /// holds mu_.
+  EpochPtr MaterializeLocked(uint64_t epoch) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> node_labels_;
+  std::set<EdgeKey> edges_;
+  size_t pending_ops_ = 0;
+  uint64_t epoch_ = 0;
+  EpochPtr current_;
+};
+
+}  // namespace serve
+}  // namespace kgq
+
+#endif  // KGQ_SERVE_DELTA_STORE_H_

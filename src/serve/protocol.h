@@ -1,0 +1,123 @@
+#ifndef KGQ_SERVE_PROTOCOL_H_
+#define KGQ_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "util/result.h"
+
+namespace kgq {
+namespace serve {
+
+/// Hard cap on one request line. Longer lines are rejected with
+/// OutOfRange before any parsing happens — the "oversized" arm of the
+/// protocol fuzz suite.
+inline constexpr size_t kMaxRequestBytes = 1 << 16;  // 64 KiB
+
+/// Maximum nesting depth ParseJson accepts (objects/arrays). Requests
+/// are flat; the limit only bounds adversarial input.
+inline constexpr size_t kMaxJsonDepth = 16;
+
+/// A parsed JSON value — the minimal DOM behind the jsonl request
+/// protocol. Numbers are kept as double plus an exact-integer flag
+/// (node ids and epoch numbers must arrive as integers).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  bool number_is_int = false;  ///< No '.', 'e' and within int64 range.
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  /// First member with this key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (leading and
+/// trailing whitespace allowed, trailing garbage is an error). Errors
+/// are ParseError (syntax) or OutOfRange (too deep / too long).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// The request operations of the jsonl protocol. Writes mutate the
+/// delta store and take effect at the next publish; queries and
+/// explains run against the latest published epoch.
+enum class RequestOp {
+  kAddNode,     ///< {"op":"add_node","label":L} → node id
+  kInsertEdge,  ///< {"op":"insert_edge","from":N,"to":N,"label":L}
+  kDeleteEdge,  ///< {"op":"delete_edge","from":N,"to":N,"label":L}
+  kPublish,     ///< {"op":"publish"} → new epoch
+  kQuery,       ///< {"op":"query","lang":...,"text":...[,"threads":T]}
+  kExplain,     ///< {"op":"explain","lang":...,"text":...} → plan text
+  kStats,       ///< {"op":"stats"} → epoch/nodes/edges/pending
+};
+
+/// The three query front-ends the server compiles through src/plan.
+enum class QueryLang { kMatch, kCrpq, kBgp };
+
+const char* RequestOpName(RequestOp op);
+const char* QueryLangName(QueryLang lang);
+
+/// One validated request. `id` is an optional client-chosen correlation
+/// number echoed in the response.
+struct Request {
+  RequestOp op = RequestOp::kStats;
+  bool has_id = false;
+  uint64_t id = 0;
+  std::string label;      // add_node / insert_edge / delete_edge
+  NodeId from = kNoNode;  // insert_edge / delete_edge
+  NodeId to = kNoNode;
+  QueryLang lang = QueryLang::kMatch;  // query / explain
+  std::string text;                    // query / explain
+  size_t threads = 0;  // query: per-query thread budget (0 = server default)
+};
+
+/// Parses and validates one request line. On failure returns a non-OK
+/// status and leaves in `*out` whatever could still be recovered — in
+/// particular a well-formed "id" member, so the error response can be
+/// correlated. Never throws, never reads past the line.
+Status ParseRequestLine(std::string_view line, Request* out);
+
+/// A query's answer: the epoch it was pinned to, whether it was served
+/// from the plan/result cache, and the canonical (sorted, deduplicated,
+/// limited) rows.
+struct QueryAnswer {
+  uint64_t epoch = 0;
+  bool cached = false;
+  std::vector<std::string> columns;
+  std::vector<std::vector<NodeId>> rows;
+
+  bool operator==(const QueryAnswer& other) const {
+    return epoch == other.epoch && columns == other.columns &&
+           rows == other.rows;
+  }
+};
+
+/// Response renderers. One line each (no trailing newline), fixed field
+/// order so responses are byte-stable for golden diffs: "id" first when
+/// the request carried one, then "ok", then the payload.
+std::string RenderError(const Request& req, const Status& status);
+std::string RenderNode(const Request& req, NodeId node);
+std::string RenderApplied(const Request& req, bool applied);
+std::string RenderPublish(const Request& req, uint64_t epoch, size_t nodes,
+                          size_t edges);
+std::string RenderStats(const Request& req, uint64_t epoch, size_t nodes,
+                        size_t edges, size_t pending);
+std::string RenderAnswer(const Request& req, const QueryAnswer& answer);
+std::string RenderExplain(const Request& req, uint64_t epoch,
+                          const std::string& plan);
+
+/// Appends `s` JSON-escaped (quotes included) to `out` — the escaping
+/// rules shared by every renderer.
+void AppendJsonString(std::string* out, std::string_view s);
+
+}  // namespace serve
+}  // namespace kgq
+
+#endif  // KGQ_SERVE_PROTOCOL_H_

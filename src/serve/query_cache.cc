@@ -1,0 +1,50 @@
+#include "serve/query_cache.h"
+
+#include "obs/obs.h"
+
+namespace kgq {
+namespace serve {
+
+QueryCache::Slot QueryCache::Lookup(const std::string& key, uint64_t epoch) {
+  // The epoch is folded into the stored key, so an entry can only ever
+  // be hit by a query pinned to the same graph version.
+  std::string full = std::to_string(epoch);
+  full.push_back('\n');
+  full += key;
+
+  Slot slot;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ > 0) {
+    auto it = entries_.find(full);
+    if (it != entries_.end()) {
+      KGQ_COUNTER_INC("serve.cache.hit");
+      slot.hit = true;
+      slot.future = it->second;
+      return slot;
+    }
+  }
+  KGQ_COUNTER_INC("serve.cache.miss");
+  slot.fill = std::make_shared<std::promise<CachedAnswerPtr>>();
+  slot.future = slot.fill->get_future().share();
+  if (capacity_ > 0) {
+    if (entries_.size() >= capacity_) entries_.clear();
+    entries_.emplace(std::move(full), slot.future);
+    KGQ_GAUGE_SET("serve.cache.size", entries_.size());
+  }
+  return slot;
+}
+
+void QueryCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  KGQ_COUNTER_INC("serve.cache.invalidate");
+  KGQ_GAUGE_SET("serve.cache.size", 0);
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace kgq

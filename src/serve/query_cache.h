@@ -1,0 +1,87 @@
+#ifndef KGQ_SERVE_QUERY_CACHE_H_
+#define KGQ_SERVE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace kgq {
+namespace serve {
+
+/// One cached outcome: either the canonical rows of a query or the
+/// (deterministic) compile/plan error it produced. Failures are cached
+/// too — a repeated bad query costs one compilation, not one per
+/// request, and the hit/miss sequence stays deterministic.
+struct CachedAnswer {
+  Status status;       ///< Non-OK: the cached failure.
+  QueryAnswer answer;  ///< Valid when status.ok(); `cached` flag unset.
+};
+
+using CachedAnswerPtr = std::shared_ptr<const CachedAnswer>;
+
+/// The plan/result cache of the serving layer, keyed on canonical query
+/// text + snapshot epoch.
+///
+/// Keys are the *canonical* rendering of the parsed query (front-end
+/// name + parser round-trip), so textual variants of one query — extra
+/// whitespace, case-folded keywords — share an entry. The epoch is part
+/// of the key: an entry can never serve rows from a different graph
+/// version. Publish() calls Invalidate(), which drops every entry — old
+/// epochs are unreachable through the server anyway, this just frees
+/// the memory — and bumps serve.cache.invalidate exactly once per epoch.
+///
+/// Lookup() implements request coalescing: the first miss installs an
+/// in-flight slot (a shared_future) that the caller must fill exactly
+/// once via Slot::fill; concurrent identical queries get the same
+/// future and block on the single computation instead of repeating it.
+/// Because the server admits requests in input order, the hit/miss
+/// sequence — and with it the `cached` response flag — is deterministic
+/// for any worker count.
+///
+/// A capacity of 0 disables caching: every Lookup is a miss and nothing
+/// is stored (the returned slot still works, it is just private to the
+/// caller). When the map reaches capacity it is cleared wholesale —
+/// epoch-generational workloads rebuild it in one round of misses, and
+/// wholesale clearing keeps eviction deterministic.
+///
+/// obs: counters serve.cache.hit / serve.cache.miss (per Lookup),
+/// serve.cache.invalidate (per Invalidate); gauge serve.cache.size.
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  struct Slot {
+    bool hit = false;
+    std::shared_future<CachedAnswerPtr> future;
+    /// Non-null exactly on a miss: the caller computes the answer and
+    /// must set_value exactly once (on every path, including errors).
+    std::shared_ptr<std::promise<CachedAnswerPtr>> fill;
+  };
+
+  /// Finds or installs the slot for (key, epoch).
+  Slot Lookup(const std::string& key, uint64_t epoch);
+
+  /// Drops every entry (the epoch just became stale). Called once per
+  /// Publish().
+  void Invalidate();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::unordered_map<std::string, std::shared_future<CachedAnswerPtr>>
+      entries_;
+};
+
+}  // namespace serve
+}  // namespace kgq
+
+#endif  // KGQ_SERVE_QUERY_CACHE_H_

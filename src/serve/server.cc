@@ -1,0 +1,581 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/obs.h"
+#include "plan/exec.h"
+#include "plan/stats.h"
+#include "query/match_query.h"
+#include "rdf/bgp.h"
+#include "rdf/convert.h"
+#include "rpq/crpq.h"
+
+namespace kgq {
+namespace serve {
+
+/// A query request after parsing and canonicalization: the parsed
+/// front-end form (one member is live per `lang`), the cache key and
+/// the resolved thread budget. Graph-independent — preparing touches no
+/// snapshot, so the dispatcher can do it before pinning an epoch.
+struct Server::PreparedQuery {
+  QueryLang lang = QueryLang::kMatch;
+  std::string key;
+  MatchQuery match;
+  Crpq crpq;
+  std::vector<TriplePattern> bgp;
+  ParallelOptions parallel;
+};
+
+namespace {
+
+/// Canonical rendering of a BGP pattern list — the cache key for the
+/// bgp front-end. Injective (constants are JSON-quoted), not meant to
+/// be re-parsed.
+std::string RenderBgpCanonical(const std::vector<TriplePattern>& patterns) {
+  std::string out;
+  auto term = [&out](const Term& t) {
+    if (t.is_var) {
+      out.push_back('?');
+      out += t.text;
+    } else {
+      AppendJsonString(&out, t.text);
+    }
+  };
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (i > 0) out += " . ";
+    const TriplePattern& p = patterns[i];
+    term(p.s);
+    out.push_back(' ');
+    if (p.path != nullptr) {
+      out.push_back('(');
+      out += p.path->ToString();
+      out.push_back(')');
+    } else {
+      term(p.p);
+    }
+    out.push_back(' ');
+    term(p.o);
+  }
+  return out;
+}
+
+/// Resolves a BGP constant against the served graph's node space. The
+/// serving layer names nodes "n<i>" — the same convention as the RDF
+/// encoding of a labeled graph (rdf/convert.h) — so clients address
+/// nodes by the ids the write path handed out. Anything else (including
+/// out-of-range ids) resolves to kNoNode, the uniform "no match"
+/// binding CompileBgp also uses.
+NodeId ResolveBgpConstant(const std::string& term, const LabeledGraph& g) {
+  if (term.size() < 2 || term[0] != 'n') return kNoNode;
+  uint64_t v = 0;
+  for (size_t i = 1; i < term.size(); ++i) {
+    char c = term[i];
+    if (c < '0' || c > '9') return kNoNode;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > 0xFFFFFFFFull) return kNoNode;
+  }
+  if (v >= g.num_nodes()) return kNoNode;
+  return static_cast<NodeId>(v);
+}
+
+/// Lowers a BGP to the shared IR over the served labeled graph — the
+/// serving-layer sibling of CompileBgp (rdf/bgp.cc), with two
+/// differences: constants are "n<i>" node names instead of RDF terms,
+/// and a plain pattern whose predicate is kgq:label with a constant
+/// object becomes a node-label test on the subject (mirroring the
+/// LabeledToRdf encoding, where node labels live on kgq:label triples).
+Result<ConjunctiveQuery> CompileBgpOverLabeled(
+    const std::vector<TriplePattern>& patterns, const LabeledGraph& graph) {
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  std::set<std::string> user_vars;
+  for (const TriplePattern& p : patterns) {
+    if (p.s.is_var) user_vars.insert(p.s.text);
+    if (p.o.is_var) user_vars.insert(p.o.text);
+  }
+
+  ConjunctiveQuery cq;
+  size_t next_const = 0;
+  auto var_of = [&](const Term& t) -> std::string {
+    if (t.is_var) return t.text;
+    std::string name = "$c" + std::to_string(next_const++);
+    while (user_vars.count(name) > 0) name += "_";
+    cq.bound[name] = ResolveBgpConstant(t.text, graph);
+    return name;
+  };
+  for (const TriplePattern& p : patterns) {
+    if (p.path == nullptr && !p.p.is_var &&
+        p.p.text == kNodeLabelPredicate) {
+      if (p.o.is_var) {
+        return Status::Unsupported(
+            "kgq:label with a variable object (label enumeration) is not "
+            "supported");
+      }
+      std::string v = var_of(p.s);
+      TestPtr test = TestExpr::Label(p.o.text);
+      auto it = cq.node_tests.find(v);
+      cq.node_tests[v] =
+          it == cq.node_tests.end() ? test : TestExpr::And(it->second, test);
+      continue;
+    }
+    RegexPtr path = p.path;
+    if (path == nullptr) {
+      if (p.p.is_var) {
+        return Status::Unsupported(
+            "variable predicates are not supported by the serving "
+            "front-end");
+      }
+      path = Regex::EdgeLabel(p.p.text);
+    }
+    cq.atoms.push_back({var_of(p.s), var_of(p.o), std::move(path)});
+  }
+  cq.projection.assign(user_vars.begin(), user_vars.end());
+  return cq;
+}
+
+/// Compiles a prepared query to the shared IR over one epoch. Sets
+/// `*ask` for BGPs with no user variable (the "does this pattern hold"
+/// form), whose answer collapses to zero or one empty row.
+Result<ConjunctiveQuery> CompilePrepared(const Server::PreparedQuery& prep,
+                                         const EpochSnapshot& snap,
+                                         bool* ask) {
+  *ask = false;
+  ConjunctiveQuery cq;
+  switch (prep.lang) {
+    case QueryLang::kMatch: {
+      KGQ_ASSIGN_OR_RETURN(cq, CompileMatch(prep.match));
+      break;
+    }
+    case QueryLang::kCrpq: {
+      KGQ_ASSIGN_OR_RETURN(cq, CompileCrpq(prep.crpq));
+      break;
+    }
+    case QueryLang::kBgp: {
+      KGQ_ASSIGN_OR_RETURN(cq, CompileBgpOverLabeled(prep.bgp, snap.graph));
+      if (cq.projection.empty()) {
+        *ask = true;
+        cq.projection.push_back(cq.bound.begin()->first);
+      }
+      break;
+    }
+  }
+  return cq;
+}
+
+/// Compile → plan → execute one prepared query against one epoch. The
+/// uncached compute path shared by the server and the replay oracle.
+Result<QueryAnswer> ComputePrepared(const Server::PreparedQuery& prep,
+                                    const EpochSnapshot& snap,
+                                    const PlannerOptions& planner) {
+  KGQ_SPAN("serve.query");
+  bool ask = false;
+  KGQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
+                       CompilePrepared(prep, snap, &ask));
+  LabeledGraphView view(snap.graph);
+  GraphStats stats = GraphStats::From(&view, &snap.csr);
+  KGQ_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanQuery(cq, stats, planner));
+  ExecOptions eopts;
+  eopts.parallel = prep.parallel;
+  eopts.snapshot = &snap.csr;
+  KGQ_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(view, *plan, eopts));
+
+  QueryAnswer answer;
+  answer.epoch = snap.epoch;
+  if (ask) {
+    if (!rows.rows.empty()) answer.rows.push_back({});
+  } else {
+    answer.columns = std::move(rows.schema);
+    answer.rows = std::move(rows.rows);
+  }
+  return answer;
+}
+
+/// Compile → plan → EXPLAIN (uncached; a debugging surface).
+Result<std::string> ExplainPrepared(const Server::PreparedQuery& prep,
+                                    const EpochSnapshot& snap,
+                                    const PlannerOptions& planner) {
+  bool ask = false;
+  KGQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
+                       CompilePrepared(prep, snap, &ask));
+  LabeledGraphView view(snap.graph);
+  GraphStats stats = GraphStats::From(&view, &snap.csr);
+  KGQ_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanQuery(cq, stats, planner));
+  return ExplainPlan(*plan);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options), cache_(options.cache_capacity) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.default_query_threads == 0) options_.default_query_threads = 1;
+  if (options_.max_query_threads == 0) options_.max_query_threads = 1;
+}
+
+EpochPtr Server::Publish() {
+  EpochPtr snap = store_.Publish();
+  cache_.Invalidate();
+  return snap;
+}
+
+Result<Server::PreparedQuery> Server::Prepare(const Request& req) const {
+  PreparedQuery prep;
+  prep.lang = req.lang;
+  switch (req.lang) {
+    case QueryLang::kMatch: {
+      KGQ_ASSIGN_OR_RETURN(prep.match, ParseMatchQuery(req.text));
+      prep.key = "match\n" + prep.match.ToString();
+      break;
+    }
+    case QueryLang::kCrpq: {
+      KGQ_ASSIGN_OR_RETURN(prep.crpq, ParseCrpq(req.text));
+      prep.key = "crpq\n" + prep.crpq.ToString();
+      break;
+    }
+    case QueryLang::kBgp: {
+      KGQ_ASSIGN_OR_RETURN(prep.bgp, ParseBgp(req.text));
+      prep.key = "bgp\n" + RenderBgpCanonical(prep.bgp);
+      break;
+    }
+  }
+  size_t threads = req.threads == 0 ? options_.default_query_threads
+                                    : req.threads;
+  prep.parallel.num_threads =
+      std::min(threads, options_.max_query_threads);
+  return prep;
+}
+
+Result<QueryAnswer> Server::RunPrepared(const PreparedQuery& prep,
+                                        const EpochPtr& snap) {
+  QueryCache::Slot slot = cache_.Lookup(prep.key, snap->epoch);
+  return FinishSlot(prep, snap, &slot);
+}
+
+Result<QueryAnswer> Server::FinishSlot(const PreparedQuery& prep,
+                                       const EpochPtr& snap,
+                                       QueryCache::Slot* slot) {
+  if (slot->hit) {
+    CachedAnswerPtr cached = slot->future.get();
+    if (!cached->status.ok()) return cached->status;
+    QueryAnswer answer = cached->answer;
+    answer.cached = true;
+    return answer;
+  }
+  auto cached = std::make_shared<CachedAnswer>();
+  Result<QueryAnswer> computed =
+      ComputePrepared(prep, *snap, options_.planner);
+  if (computed.ok()) {
+    cached->answer = std::move(computed).value();
+  } else {
+    cached->status = computed.status();
+  }
+  // Fill on every path — a forever-pending slot would hang coalesced
+  // requests waiting on this computation.
+  slot->fill->set_value(cached);
+  if (!cached->status.ok()) return cached->status;
+  QueryAnswer answer = cached->answer;
+  answer.cached = false;
+  return answer;
+}
+
+Result<QueryAnswer> Server::ExecuteQuery(const Request& req) {
+  return ExecuteQueryAt(req, store_.Acquire());
+}
+
+Result<QueryAnswer> Server::ExecuteQueryAt(const Request& req,
+                                           const EpochPtr& snap) {
+  KGQ_COUNTER_INC("serve.requests");
+  uint64_t start = obs::NowNanos();
+  if (req.op != RequestOp::kQuery) {
+    KGQ_COUNTER_INC("serve.errors");
+    return Status::InvalidArgument("ExecuteQuery handles \"query\" requests");
+  }
+  Result<PreparedQuery> prep = Prepare(req);
+  if (!prep.ok()) {
+    KGQ_COUNTER_INC("serve.errors");
+    return prep.status();
+  }
+  Result<QueryAnswer> answer = RunPrepared(*prep, snap);
+  if (!answer.ok()) KGQ_COUNTER_INC("serve.errors");
+  KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - start);
+  return answer;
+}
+
+std::string Server::HandleWriteOrStats(const Request& req) {
+  switch (req.op) {
+    case RequestOp::kAddNode:
+      return RenderNode(req, store_.AddNode(req.label));
+    case RequestOp::kInsertEdge: {
+      Result<bool> applied = store_.InsertEdge(req.from, req.to, req.label);
+      if (!applied.ok()) {
+        KGQ_COUNTER_INC("serve.errors");
+        return RenderError(req, applied.status());
+      }
+      return RenderApplied(req, *applied);
+    }
+    case RequestOp::kDeleteEdge: {
+      Result<bool> applied = store_.DeleteEdge(req.from, req.to, req.label);
+      if (!applied.ok()) {
+        KGQ_COUNTER_INC("serve.errors");
+        return RenderError(req, applied.status());
+      }
+      return RenderApplied(req, *applied);
+    }
+    case RequestOp::kPublish: {
+      EpochPtr snap = Publish();
+      return RenderPublish(req, snap->epoch, snap->graph.num_nodes(),
+                           snap->graph.num_edges());
+    }
+    case RequestOp::kStats:
+      return RenderStats(req, store_.CurrentEpoch(), store_.NumNodes(),
+                         store_.NumLiveEdges(), store_.PendingOps());
+    case RequestOp::kQuery:
+    case RequestOp::kExplain:
+      break;  // Not reached; queries go through Prepare/RunPrepared.
+  }
+  KGQ_COUNTER_INC("serve.errors");
+  return RenderError(req, Status::Internal("misrouted request"));
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  KGQ_COUNTER_INC("serve.requests");
+  uint64_t start = obs::NowNanos();
+  Request req;
+  std::string resp;
+  Status parsed = ParseRequestLine(line, &req);
+  if (!parsed.ok()) {
+    KGQ_COUNTER_INC("serve.errors");
+    resp = RenderError(req, parsed);
+  } else if (req.op == RequestOp::kQuery || req.op == RequestOp::kExplain) {
+    Result<PreparedQuery> prep = Prepare(req);
+    if (!prep.ok()) {
+      KGQ_COUNTER_INC("serve.errors");
+      resp = RenderError(req, prep.status());
+    } else {
+      EpochPtr snap = store_.Acquire();
+      if (req.op == RequestOp::kExplain) {
+        Result<std::string> plan =
+            ExplainPrepared(*prep, *snap, options_.planner);
+        if (!plan.ok()) {
+          KGQ_COUNTER_INC("serve.errors");
+          resp = RenderError(req, plan.status());
+        } else {
+          resp = RenderExplain(req, snap->epoch, *plan);
+        }
+      } else {
+        Result<QueryAnswer> answer = RunPrepared(*prep, snap);
+        if (!answer.ok()) {
+          KGQ_COUNTER_INC("serve.errors");
+          resp = RenderError(req, answer.status());
+        } else {
+          resp = RenderAnswer(req, *answer);
+        }
+      }
+    }
+  } else {
+    resp = HandleWriteOrStats(req);
+  }
+  KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - start);
+  return resp;
+}
+
+/// Shared state of one ServeStream run: the bounded job queue feeding
+/// the workers and the reorder buffer serializing responses back into
+/// input order.
+struct Server::StreamState {
+  struct Job {
+    uint64_t seq = 0;
+    Request req;
+    PreparedQuery prep;
+    EpochPtr snap;
+    QueryCache::Slot slot;
+    uint64_t admit_ns = 0;
+  };
+
+  explicit StreamState(std::ostream& o) : out(o) {}
+
+  std::mutex mu;
+  std::condition_variable cv_space;  // Dispatcher waits for queue room.
+  std::condition_variable cv_work;   // Workers wait for jobs.
+  std::deque<Job> queue;
+  bool done = false;
+
+  std::mutex emit_mu;
+  std::map<uint64_t, std::string> reorder;
+  uint64_t next_emit = 0;
+  std::ostream& out;
+
+  /// Hands one response line to the reorder buffer; flushes every line
+  /// that is now next in input order.
+  void Emit(uint64_t seq, std::string line) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    reorder.emplace(seq, std::move(line));
+    bool wrote = false;
+    for (auto it = reorder.find(next_emit); it != reorder.end();
+         it = reorder.find(next_emit)) {
+      out << it->second << '\n';
+      reorder.erase(it);
+      ++next_emit;
+      wrote = true;
+    }
+    if (wrote) out.flush();
+  }
+};
+
+void Server::ServeStream(std::istream& in, std::ostream& out) {
+  StreamState state(out);
+
+  // FIFO pop order plus admission-order cache lookups make the worker
+  // pool deadlock-free under request coalescing: the computing (miss)
+  // job always precedes the jobs waiting on its future.
+  std::vector<std::thread> workers;
+  workers.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers.emplace_back([this, &state] {
+      for (;;) {
+        StreamState::Job job;
+        {
+          std::unique_lock<std::mutex> lock(state.mu);
+          state.cv_work.wait(
+              lock, [&state] { return state.done || !state.queue.empty(); });
+          if (state.queue.empty()) return;  // done and drained.
+          job = std::move(state.queue.front());
+          state.queue.pop_front();
+          KGQ_GAUGE_SET("serve.queue.depth", state.queue.size());
+        }
+        state.cv_space.notify_one();
+        Result<QueryAnswer> answer =
+            FinishSlot(job.prep, job.snap, &job.slot);
+        std::string resp;
+        if (!answer.ok()) {
+          KGQ_COUNTER_INC("serve.errors");
+          resp = RenderError(job.req, answer.status());
+        } else {
+          resp = RenderAnswer(job.req, *answer);
+        }
+        KGQ_HISTOGRAM_RECORD("serve.latency_ns",
+                             obs::NowNanos() - job.admit_ns);
+        state.Emit(job.seq, std::move(resp));
+      }
+    });
+  }
+
+  std::string line;
+  uint64_t seq = 0;
+  while (std::getline(in, line)) {
+    const uint64_t my_seq = seq++;
+    KGQ_COUNTER_INC("serve.requests");
+    const uint64_t admit_ns = obs::NowNanos();
+    Request req;
+    Status parsed = ParseRequestLine(line, &req);
+    if (!parsed.ok()) {
+      KGQ_COUNTER_INC("serve.errors");
+      state.Emit(my_seq, RenderError(req, parsed));
+      KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - admit_ns);
+      continue;
+    }
+    if (req.op == RequestOp::kQuery) {
+      Result<PreparedQuery> prep = Prepare(req);
+      if (!prep.ok()) {
+        KGQ_COUNTER_INC("serve.errors");
+        state.Emit(my_seq, RenderError(req, prep.status()));
+        KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - admit_ns);
+        continue;
+      }
+      // Pin the epoch and resolve the cache *at admission*, in input
+      // order — this is what makes hit/miss (and the whole response
+      // stream) deterministic for any worker count.
+      StreamState::Job job;
+      job.seq = my_seq;
+      job.req = std::move(req);
+      job.prep = std::move(*prep);
+      job.snap = store_.Acquire();
+      job.slot = cache_.Lookup(job.prep.key, job.snap->epoch);
+      job.admit_ns = admit_ns;
+      {
+        std::unique_lock<std::mutex> lock(state.mu);
+        state.cv_space.wait(lock, [this, &state] {
+          return state.queue.size() < options_.queue_capacity;
+        });
+        state.queue.push_back(std::move(job));
+        KGQ_GAUGE_SET("serve.queue.depth", state.queue.size());
+      }
+      state.cv_work.notify_one();
+      continue;
+    }
+    // Writes, publish, stats and explain run on the dispatcher: writes
+    // must be serialized in input order, and the rest are cheap.
+    std::string resp;
+    if (req.op == RequestOp::kExplain) {
+      Result<PreparedQuery> prep = Prepare(req);
+      if (!prep.ok()) {
+        KGQ_COUNTER_INC("serve.errors");
+        resp = RenderError(req, prep.status());
+      } else {
+        EpochPtr snap = store_.Acquire();
+        Result<std::string> plan =
+            ExplainPrepared(*prep, *snap, options_.planner);
+        if (!plan.ok()) {
+          KGQ_COUNTER_INC("serve.errors");
+          resp = RenderError(req, plan.status());
+        } else {
+          resp = RenderExplain(req, snap->epoch, *plan);
+        }
+      }
+    } else {
+      resp = HandleWriteOrStats(req);
+    }
+    state.Emit(my_seq, std::move(resp));
+    KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - admit_ns);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.done = true;
+  }
+  state.cv_work.notify_all();
+  for (std::thread& t : workers) t.join();
+}
+
+Result<QueryAnswer> EvalServeQuery(const Request& req,
+                                   const EpochSnapshot& snap,
+                                   const PlannerOptions& planner) {
+  if (req.op != RequestOp::kQuery) {
+    return Status::InvalidArgument("EvalServeQuery replays \"query\" requests");
+  }
+  Server::PreparedQuery prep;
+  prep.lang = req.lang;
+  switch (req.lang) {
+    case QueryLang::kMatch: {
+      KGQ_ASSIGN_OR_RETURN(prep.match, ParseMatchQuery(req.text));
+      break;
+    }
+    case QueryLang::kCrpq: {
+      KGQ_ASSIGN_OR_RETURN(prep.crpq, ParseCrpq(req.text));
+      break;
+    }
+    case QueryLang::kBgp: {
+      KGQ_ASSIGN_OR_RETURN(prep.bgp, ParseBgp(req.text));
+      break;
+    }
+  }
+  prep.parallel.num_threads = 1;  // The single-threaded reference path.
+  return ComputePrepared(prep, snap, planner);
+}
+
+}  // namespace serve
+}  // namespace kgq

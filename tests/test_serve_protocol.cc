@@ -1,0 +1,243 @@
+// Protocol robustness suite (fuzz tier): the jsonl request parser and
+// the full HandleLine path against malformed, truncated, mutated and
+// oversized input. The server must answer every line with a structured
+// error or a valid response — never crash, never partially apply a
+// write.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgq {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseJson basics.
+
+TEST(ParseJson, ParsesScalarsAndNesting) {
+  auto v = ParseJson(R"( {"a": [1, -2.5, "x\n\u0041\u00e9"], "b": true,
+                          "c": null, "d": {"e": 9007199254740992}} )");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_EQ(v->kind, JsonValue::Kind::kObject);
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_TRUE(a->items[0].number_is_int);
+  EXPECT_EQ(a->items[0].number, 1.0);
+  EXPECT_FALSE(a->items[1].number_is_int);
+  EXPECT_EQ(a->items[2].string, "x\nA\xc3\xa9");
+  EXPECT_TRUE(v->Find("b")->boolean);
+  EXPECT_EQ(v->Find("c")->kind, JsonValue::Kind::kNull);
+  // 2^53 is outside the exact-integer window.
+  EXPECT_FALSE(v->Find("d")->Find("e")->number_is_int);
+}
+
+TEST(ParseJson, ParsesSurrogatePairs) {
+  auto v = ParseJson(R"("\ud83d\ude00")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string, "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());        // Lone high surrogate.
+  EXPECT_FALSE(ParseJson(R"("\ud83dxx")").ok());
+  EXPECT_FALSE(ParseJson(R"("\ude00")").ok());        // Lone low surrogate.
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",           "{",          "[1,]",         "{\"a\":}",
+      "tru",        "nulll",      "01",           "1.",
+      "+1",         "\"\x01\"",   "\"unclosed",   "{\"a\":1,}",
+      "[1] x",      "{\"a\" 1}",  "\"\\q\"",      "--1",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ParseJson, EnforcesDepthAndSizeLimits) {
+  std::string deep(kMaxJsonDepth + 1, '[');
+  deep += std::string(kMaxJsonDepth + 1, ']');
+  auto v = ParseJson(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+
+  std::string shallow(kMaxJsonDepth, '[');
+  shallow += std::string(kMaxJsonDepth, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ParseRequestLine validation.
+
+TEST(ParseRequestLine, ValidatesPerOpFields) {
+  Request req;
+  EXPECT_TRUE(ParseRequestLine(R"({"op":"add_node","label":"x"})", &req).ok());
+  EXPECT_EQ(req.op, RequestOp::kAddNode);
+  EXPECT_EQ(req.label, "x");
+
+  EXPECT_TRUE(ParseRequestLine(
+                  R"({"op":"query","lang":"bgp","text":"?x a ?y","threads":3})",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.lang, QueryLang::kBgp);
+  EXPECT_EQ(req.threads, 3u);
+
+  const char* bad[] = {
+      R"({"op":"add_node"})",                          // Missing label.
+      R"({"op":"insert_edge","from":0,"label":"x"})",  // Missing to.
+      R"({"op":"insert_edge","from":-1,"to":0,"label":"x"})",
+      R"({"op":"insert_edge","from":0.5,"to":0,"label":"x"})",
+      R"({"op":"query","lang":"sql","text":"x"})",     // Unknown lang.
+      R"({"op":"query","lang":"bgp"})",                // Missing text.
+      R"({"op":"frobnicate"})",                        // Unknown op.
+      R"({"op":42})",
+      R"([1,2,3])",                                    // Not an object.
+      R"({"op":"query","lang":"bgp","text":"x","threads":99999})",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseRequestLine(line, &req).ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ParseRequestLine, RecoversIdFromInvalidRequests) {
+  Request req;
+  Status s = ParseRequestLine(R"({"id":77,"op":"frobnicate"})", &req);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 77u);
+}
+
+TEST(ParseRequestLine, RejectsOversizedLines) {
+  std::string line = R"({"op":"add_node","label":")";
+  line += std::string(kMaxRequestBytes, 'x');
+  line += "\"}";
+  Request req;
+  Status s = ParseRequestLine(line, &req);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutation fuzz over HandleLine.
+
+/// The server's externally visible store state — what a rejected request
+/// must leave untouched.
+struct StoreFingerprint {
+  uint64_t epoch;
+  size_t nodes;
+  size_t edges;
+  size_t pending;
+
+  bool operator==(const StoreFingerprint&) const = default;
+};
+
+StoreFingerprint Fingerprint(Server& server) {
+  return {server.store().CurrentEpoch(), server.store().NumNodes(),
+          server.store().NumLiveEdges(), server.store().PendingOps()};
+}
+
+/// Checks one response line: parseable JSON object with a boolean "ok";
+/// errors carry "code" and "error" strings.
+void ExpectWellFormedResponse(const std::string& resp) {
+  auto v = ParseJson(resp);
+  ASSERT_TRUE(v.ok()) << "unparseable response: " << resp;
+  ASSERT_EQ(v->kind, JsonValue::Kind::kObject) << resp;
+  const JsonValue* ok = v->Find("ok");
+  ASSERT_NE(ok, nullptr) << resp;
+  ASSERT_EQ(ok->kind, JsonValue::Kind::kBool) << resp;
+  if (!ok->boolean) {
+    const JsonValue* code = v->Find("code");
+    const JsonValue* error = v->Find("error");
+    ASSERT_NE(code, nullptr) << resp;
+    ASSERT_NE(error, nullptr) << resp;
+    EXPECT_EQ(code->kind, JsonValue::Kind::kString) << resp;
+    EXPECT_EQ(error->kind, JsonValue::Kind::kString) << resp;
+  }
+}
+
+TEST(ServeProtocolFuzz, MutatedRequestsNeverCrashOrPartiallyApply) {
+  const std::vector<std::string> valid = {
+      R"({"op":"add_node","label":"person"})",
+      R"({"op":"insert_edge","from":0,"to":1,"label":"rides"})",
+      R"({"op":"delete_edge","from":1,"to":0,"label":"rides"})",
+      R"({"op":"publish"})",
+      R"({"op":"stats"})",
+      R"({"op":"query","id":3,"lang":"match",)"
+      R"("text":"MATCH (x) -[ rides ]-> (y) RETURN x, y"})",
+      R"j({"op":"query","lang":"crpq","text":"q(x) :- (x: person)"})j",
+      R"({"op":"query","lang":"bgp","text":"?x rides ?y","threads":2})",
+      R"({"op":"explain","lang":"bgp","text":"?x rides ?y"})",
+  };
+
+  Server server;
+  server.store().AddNode("person");
+  server.store().AddNode("bus");
+  server.store().Publish();
+
+  for (uint64_t seed = 0; seed < 256; ++seed) {
+    Rng rng(seed);
+    std::string line = valid[rng.Below(valid.size())];
+    const uint64_t mode = rng.Below(10);
+    if (mode < 3) {
+      // Truncate.
+      line.resize(rng.Below(line.size() + 1));
+    } else if (mode < 6) {
+      // Flip 1–4 random bytes (printable range, keeps it line-shaped).
+      const size_t flips = 1 + rng.Below(4);
+      for (size_t i = 0; i < flips && !line.empty(); ++i) {
+        line[rng.Below(line.size())] =
+            static_cast<char>(0x20 + rng.Below(0x5f));
+      }
+    } else if (mode < 8) {
+      // Insert random printable bytes.
+      const size_t inserts = 1 + rng.Below(6);
+      for (size_t i = 0; i < inserts; ++i) {
+        line.insert(line.begin() + rng.Below(line.size() + 1),
+                    static_cast<char>(0x20 + rng.Below(0x5f)));
+      }
+    } else if (mode < 9) {
+      // Oversize: balloon past the request cap.
+      line.insert(line.size() / 2, std::string(kMaxRequestBytes + 7, 'a'));
+    }
+    // mode 9: leave the line valid — responses must be well-formed too.
+
+    const StoreFingerprint before = Fingerprint(server);
+    std::string resp = server.HandleLine(line);
+    ASSERT_FALSE(resp.empty()) << "seed " << seed;
+    ExpectWellFormedResponse(resp);
+
+    auto parsed = ParseJson(resp);
+    ASSERT_TRUE(parsed.ok());
+    if (!parsed->Find("ok")->boolean) {
+      // A rejected request leaves the store exactly as it was.
+      EXPECT_TRUE(Fingerprint(server) == before) << "seed " << seed
+                                                 << " line: " << line;
+    }
+  }
+}
+
+TEST(ServeProtocolFuzz, RandomGarbageLines) {
+  Server server;
+  for (uint64_t seed = 0; seed < 256; ++seed) {
+    Rng rng(0xBADull * 257 + seed);
+    std::string line;
+    const size_t len = rng.Below(120);
+    for (size_t i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(rng.Below(256)));
+    }
+    const StoreFingerprint before = Fingerprint(server);
+    std::string resp = server.HandleLine(line);
+    ExpectWellFormedResponse(resp);
+    EXPECT_TRUE(Fingerprint(server) == before) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kgq

@@ -1,0 +1,194 @@
+// kgq-serve — the versioned-snapshot serving binary.
+//
+// Reads one jsonl request per line from stdin (or a unix socket with
+// --socket PATH, one connection at a time) and writes one jsonl
+// response per request, in input order. See README "Serving layer" for
+// the protocol.
+//
+// Usage:
+//   kgq-serve [--workers N] [--queue N] [--query-threads N]
+//             [--max-query-threads N] [--cache N | --no-cache]
+//             [--socket PATH]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+#include "serve/server.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KGQ_SERVE_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue N] [--query-threads N]\n"
+               "          [--max-query-threads N] [--cache N | --no-cache]\n"
+               "          [--socket PATH]\n",
+               argv0);
+}
+
+bool ParseSize(const char* text, size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  uint64_t v = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(*p - '0');
+    if (v > (1u << 20)) return false;
+  }
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+#if KGQ_SERVE_HAVE_SOCKETS
+/// Minimal std::streambuf over a connected socket fd — enough to run
+/// std::getline / operator<< against one client connection.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+  ~FdStreambuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+int ServeSocket(kgq::serve::Server& server, const std::string& path) {
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("kgq-serve: socket");
+    return 1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "kgq-serve: socket path too long\n");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 1) < 0) {
+    std::perror("kgq-serve: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "kgq-serve: listening on %s\n", path.c_str());
+  // One connection at a time: the store (and its epochs) persists across
+  // connections, the response stream belongs to one client.
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      std::perror("kgq-serve: accept");
+      break;
+    }
+    FdStreambuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    server.ServeStream(in, out);
+    ::close(fd);
+  }
+  ::close(listen_fd);
+  return 1;
+}
+#endif  // KGQ_SERVE_HAVE_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kgq::serve::ServerOptions options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--workers") {
+      ok = ParseSize(next(), &options.workers);
+    } else if (arg == "--queue") {
+      ok = ParseSize(next(), &options.queue_capacity);
+    } else if (arg == "--query-threads") {
+      ok = ParseSize(next(), &options.default_query_threads);
+    } else if (arg == "--max-query-threads") {
+      ok = ParseSize(next(), &options.max_query_threads);
+    } else if (arg == "--cache") {
+      ok = ParseSize(next(), &options.cache_capacity);
+    } else if (arg == "--no-cache") {
+      options.cache_capacity = 0;
+    } else if (arg == "--socket") {
+      const char* p = next();
+      ok = p != nullptr && *p != '\0';
+      if (ok) socket_path = p;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "kgq-serve: bad argument: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  kgq::serve::Server server(options);
+  if (!socket_path.empty()) {
+#if KGQ_SERVE_HAVE_SOCKETS
+    return ServeSocket(server, socket_path);
+#else
+    std::fprintf(stderr, "kgq-serve: --socket unsupported on this platform\n");
+    return 2;
+#endif
+  }
+  std::ios::sync_with_stdio(false);
+  server.ServeStream(std::cin, std::cout);
+  return 0;
+}
