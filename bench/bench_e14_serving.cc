@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/quantile.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/rng.h"
@@ -117,13 +118,6 @@ struct Sample {
   QueryAnswer answer;
   uint64_t latency_ns = 0;
 };
-
-uint64_t Percentile(std::vector<uint64_t> sorted, double p) {
-  if (sorted.empty()) return 0;
-  const size_t idx = static_cast<size_t>(
-      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 struct RunResult {
   std::string name;
@@ -293,10 +287,14 @@ int main() {
   concurrent.qps = wall_ms > 0.0 ? 1000.0 * static_cast<double>(total) /
                                        wall_ms
                                  : 0.0;
-  concurrent.p50_ms =
-      static_cast<double>(Percentile(latencies, 50.0)) / 1e6;
-  concurrent.p99_ms =
-      static_cast<double>(Percentile(latencies, 99.0)) / 1e6;
+  concurrent.p50_ms = static_cast<double>(obs::QuantileReservoir::
+                                              PercentileOfSorted(
+                                                  latencies, 50.0)) /
+                      1e6;
+  concurrent.p99_ms = static_cast<double>(obs::QuantileReservoir::
+                                              PercentileOfSorted(
+                                                  latencies, 99.0)) /
+                      1e6;
 
   // Sequential baseline: the same number of queries, one thread, no
   // writers — what the concurrency buys QPS against.
@@ -319,8 +317,14 @@ int main() {
                        ? 1000.0 * static_cast<double>(total) / baseline.wall_ms
                        : 0.0;
     std::sort(lat.begin(), lat.end());
-    baseline.p50_ms = static_cast<double>(Percentile(lat, 50.0)) / 1e6;
-    baseline.p99_ms = static_cast<double>(Percentile(lat, 99.0)) / 1e6;
+    baseline.p50_ms =
+        static_cast<double>(
+            obs::QuantileReservoir::PercentileOfSorted(lat, 50.0)) /
+        1e6;
+    baseline.p99_ms =
+        static_cast<double>(
+            obs::QuantileReservoir::PercentileOfSorted(lat, 99.0)) /
+        1e6;
   }
 
   Table t("E14 — serving layer: open-loop mixed read/write load",

@@ -7,6 +7,7 @@ namespace kgq {
 namespace obs {
 
 void JsonWriter::Indent() {
+  if (compact_) return;
   out_ << '\n';
   for (size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
 }
@@ -35,7 +36,7 @@ void JsonWriter::EndObject() {
   if (!empty) Indent();
   out_ << '}';
   first_in_scope_ = false;
-  if (stack_.empty()) out_ << '\n';
+  if (stack_.empty() && !compact_) out_ << '\n';
 }
 
 void JsonWriter::BeginArray() {
@@ -51,7 +52,7 @@ void JsonWriter::EndArray() {
   if (!empty) Indent();
   out_ << ']';
   first_in_scope_ = false;
-  if (stack_.empty()) out_ << '\n';
+  if (stack_.empty() && !compact_) out_ << '\n';
 }
 
 void JsonWriter::Key(std::string_view k) {
@@ -60,7 +61,7 @@ void JsonWriter::Key(std::string_view k) {
   Indent();
   out_ << '"';
   WriteEscaped(k);
-  out_ << "\": ";
+  out_ << (compact_ ? "\":" : "\": ");
   after_key_ = true;
 }
 

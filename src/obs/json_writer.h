@@ -27,7 +27,11 @@ namespace obs {
 /// programming error and only lightly guarded.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  /// `compact` drops all whitespace (no indentation, no space after
+  /// ':', no trailing newline) — the mode for one-line wire responses;
+  /// the default pretty mode is for files meant to be read by humans.
+  explicit JsonWriter(std::ostream& out, bool compact = false)
+      : out_(out), compact_(compact) {}
 
   JsonWriter(const JsonWriter&) = delete;
   JsonWriter& operator=(const JsonWriter&) = delete;
@@ -58,6 +62,7 @@ class JsonWriter {
   void Indent();
 
   std::ostream& out_;
+  const bool compact_ = false;
   std::vector<Scope> stack_;
   bool first_in_scope_ = true;   // No comma needed at the next element.
   bool after_key_ = false;       // The next value continues a "key": line.

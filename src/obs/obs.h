@@ -29,6 +29,7 @@
 
 #include "obs/clock.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 #if defined(KGQ_OBS_ENABLED)
 
@@ -38,13 +39,18 @@
 /// code — when compiled out.
 #define KGQ_OBS_ON() (::kgq::obs::Registry::Enabled())
 
-/// counter(name) += delta.
+/// counter(name) += delta — in the global registry and, when the
+/// calling thread has a request-scoped sink installed (obs/trace.h), in
+/// that sink too.
 #define KGQ_COUNTER_ADD(name, delta)                                     \
   do {                                                                   \
     if (::kgq::obs::Registry::Enabled()) {                               \
       static ::kgq::obs::Counter* kgq_obs_counter_ =                     \
           ::kgq::obs::Registry::Get().GetCounter(name);                  \
-      kgq_obs_counter_->Add(delta);                                      \
+      const uint64_t kgq_obs_delta_ = static_cast<uint64_t>(delta);      \
+      kgq_obs_counter_->Add(kgq_obs_delta_);                             \
+      if (::kgq::obs::ObsSink* kgq_obs_sink_ = ::kgq::obs::CurrentSink()) \
+        kgq_obs_sink_->OnCounter(name, kgq_obs_delta_);                  \
     }                                                                    \
   } while (0)
 
@@ -61,13 +67,17 @@
     }                                                                    \
   } while (0)
 
-/// histogram(name) <- sample (non-negative integer).
+/// histogram(name) <- sample (non-negative integer); mirrored into the
+/// calling thread's sink when one is installed.
 #define KGQ_HISTOGRAM_RECORD(name, value)                                \
   do {                                                                   \
     if (::kgq::obs::Registry::Enabled()) {                               \
       static ::kgq::obs::Histogram* kgq_obs_histogram_ =                 \
           ::kgq::obs::Registry::Get().GetHistogram(name);                \
-      kgq_obs_histogram_->Record(static_cast<uint64_t>(value));          \
+      const uint64_t kgq_obs_value_ = static_cast<uint64_t>(value);      \
+      kgq_obs_histogram_->Record(kgq_obs_value_);                        \
+      if (::kgq::obs::ObsSink* kgq_obs_sink_ = ::kgq::obs::CurrentSink()) \
+        kgq_obs_sink_->OnHistogram(name, kgq_obs_value_);                \
     }                                                                    \
   } while (0)
 

@@ -1,0 +1,64 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+
+namespace kgq {
+namespace obs {
+
+QuantileReservoir::QuantileReservoir(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void QuantileReservoir::Record(uint64_t sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (window_.size() < capacity_) {
+    window_.push_back(sample);
+    return;
+  }
+  window_[next_] = sample;
+  next_ = (next_ + 1) % capacity_;
+}
+
+uint64_t QuantileReservoir::Quantile(double p) const {
+  std::vector<uint64_t> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = window_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
+uint64_t QuantileReservoir::TotalCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t QuantileReservoir::WindowSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.size();
+}
+
+std::vector<uint64_t> QuantileReservoir::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_;
+}
+
+void QuantileReservoir::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  window_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+uint64_t QuantileReservoir::PercentileOfSorted(
+    const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace obs
+}  // namespace kgq

@@ -1,5 +1,7 @@
 #include "obs/registry.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -290,7 +292,9 @@ Span::~Span() {
   if (!active_) return;
   uint64_t duration = NowNanos() - start_ns_;
   std::string& path = ThreadSpanPath();
-  Registry::Get().RecordSpan(std::string_view(path).substr(1), duration);
+  std::string_view rel = std::string_view(path).substr(1);
+  Registry::Get().RecordSpan(rel, duration);
+  if (ObsSink* sink = CurrentSink()) sink->OnSpan(rel, duration);
   path.resize(prev_len_);
 }
 

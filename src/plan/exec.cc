@@ -42,7 +42,28 @@ class Executor {
     }
   }
 
+  /// Operator dispatch plus per-request profiling: when the calling
+  /// thread has a TraceContext installed (serve's "profile":true path),
+  /// every operator contributes one ProfileNode mirroring its EXPLAIN
+  /// line — kind, rows in/out, engine choice and wall time. Without a
+  /// trace this is a null check and the plain dispatch below.
   Result<RowSet> Exec(const LogicalOp& op) {
+    obs::TraceContext* trace = obs::CurrentTrace();
+    if (trace == nullptr) return ExecOp(op);
+    obs::ProfileNode* node = trace->PushOp(LogicalKindName(op.kind));
+    const uint64_t start = obs::NowNanos();
+    Result<RowSet> result = ExecOp(op);
+    node->time_ns = obs::NowNanos() - start;
+    if (result.ok()) node->rows_out = result->rows.size();
+    // rows_in = what the children fed this operator; leaves scan the
+    // graph directly and report 0.
+    for (const auto& child : node->children) node->rows_in += child->rows_out;
+    trace->PopOp();
+    return result;
+  }
+
+ private:
+  Result<RowSet> ExecOp(const LogicalOp& op) {
     switch (op.kind) {
       case LogicalKind::kNodeScan: {
         KGQ_SPAN("plan.op.node_scan");
@@ -72,7 +93,16 @@ class Executor {
     return Status::Internal("unknown logical operator");
   }
 
- private:
+  /// Records the physical engine the current operator chose into the
+  /// active profile node (no-op without a trace). The choice depends
+  /// only on the plan and the snapshot, never on thread count — the
+  /// "engine" field is one of the deterministic profile fields.
+  static void ProfileEngine(const char* engine) {
+    if (obs::TraceContext* trace = obs::CurrentTrace()) {
+      if (obs::ProfileNode* node = trace->CurrentOp()) node->engine = engine;
+    }
+  }
+
   /// Resolves a leaf's constant binding: false → the leaf is empty
   /// (constant absent from the graph).
   static bool UsableBound(bool has, NodeId node, size_t num_nodes,
@@ -110,6 +140,7 @@ class Executor {
   }
 
   Result<RowSet> EdgeScan(const LogicalOp& op) {
+    ProfileEngine(csr_ != nullptr ? "csr" : "list");
     RowSet rs;
     rs.schema = op.schema;
     const bool diagonal = (op.src_var == op.dst_var);
@@ -200,6 +231,7 @@ class Executor {
     // degrades to the BFS engine (results are bit-identical either way).
     const bool matrix = op.use_matrix_rpq && nfa.snapshot() != nullptr;
     if (matrix) popts.engine = PathEngine::kMatrix;
+    ProfileEngine(matrix ? "matrix" : "nfa");
     auto emit = [&](NodeId a, NodeId b) {
       if (dst_bound && b != dst_at) return;
       if (diagonal) {

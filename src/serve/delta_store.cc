@@ -16,6 +16,7 @@ NodeId DeltaStore::AddNode(std::string_view label) {
   std::lock_guard<std::mutex> lock(mu_);
   node_labels_.emplace_back(label);
   ++pending_ops_;
+  ++writes_applied_;
   KGQ_COUNTER_INC("serve.writes.applied");
   return static_cast<NodeId>(node_labels_.size() - 1);
 }
@@ -30,8 +31,10 @@ Result<bool> DeltaStore::InsertEdge(NodeId from, NodeId to,
       edges_.insert(EdgeKey{from, to, std::string(label)}).second;
   if (applied) {
     ++pending_ops_;
+    ++writes_applied_;
     KGQ_COUNTER_INC("serve.writes.applied");
   } else {
+    ++writes_noop_;
     KGQ_COUNTER_INC("serve.writes.noop");
   }
   return applied;
@@ -46,8 +49,10 @@ Result<bool> DeltaStore::DeleteEdge(NodeId from, NodeId to,
   bool applied = edges_.erase(EdgeKey{from, to, std::string(label)}) > 0;
   if (applied) {
     ++pending_ops_;
+    ++writes_applied_;
     KGQ_COUNTER_INC("serve.writes.applied");
   } else {
+    ++writes_noop_;
     KGQ_COUNTER_INC("serve.writes.noop");
   }
   return applied;
@@ -106,6 +111,16 @@ size_t DeltaStore::NumLiveEdges() const {
 size_t DeltaStore::PendingOps() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_ops_;
+}
+
+uint64_t DeltaStore::WritesApplied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_applied_;
+}
+
+uint64_t DeltaStore::WritesNoop() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_noop_;
 }
 
 std::vector<EdgeKey> DeltaStore::LogicalEdges() const {

@@ -113,6 +113,13 @@ class DeltaStore {
   /// since the last Publish().
   size_t PendingOps() const;
 
+  /// Per-instance lifetime write tallies: mutations that changed /
+  /// did not change the logical state since construction (the numbers
+  /// behind the "stats" response; the serve.writes.* registry counters
+  /// are process-global and mix every store in the process).
+  uint64_t WritesApplied() const;
+  uint64_t WritesNoop() const;
+
   /// The logical edge set in canonical (from, to, label) order — what
   /// the next Publish() will materialize. Test/debug surface.
   std::vector<EdgeKey> LogicalEdges() const;
@@ -126,6 +133,8 @@ class DeltaStore {
   std::vector<std::string> node_labels_;
   std::set<EdgeKey> edges_;
   size_t pending_ops_ = 0;
+  uint64_t writes_applied_ = 0;
+  uint64_t writes_noop_ = 0;
   uint64_t epoch_ = 0;
   EpochPtr current_;
 };

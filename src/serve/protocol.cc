@@ -364,6 +364,7 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kQuery: return "query";
     case RequestOp::kExplain: return "explain";
     case RequestOp::kStats: return "stats";
+    case RequestOp::kMetrics: return "metrics";
   }
   return "?";
 }
@@ -413,6 +414,8 @@ Status ParseRequestLine(std::string_view line, Request* out) {
     out->op = RequestOp::kExplain;
   } else if (name == "stats") {
     out->op = RequestOp::kStats;
+  } else if (name == "metrics") {
+    out->op = RequestOp::kMetrics;
   } else {
     return Status::InvalidArgument("unknown op \"" + name + "\"");
   }
@@ -470,10 +473,18 @@ Status ParseRequestLine(std::string_view line, Request* out) {
         out->threads = static_cast<size_t>(t);
       }
       KGQ_RETURN_IF_ERROR(st);
+      if (out->op == RequestOp::kQuery) {
+        if (const JsonValue* profile =
+                Member(obj, "profile", JsonValue::Kind::kBool, false, &st)) {
+          out->profile = profile->boolean;
+        }
+        KGQ_RETURN_IF_ERROR(st);
+      }
       break;
     }
     case RequestOp::kPublish:
     case RequestOp::kStats:
+    case RequestOp::kMetrics:
       break;
   }
   return Status::OK();
@@ -558,19 +569,72 @@ std::string RenderPublish(const Request& req, uint64_t epoch, size_t nodes,
   return out;
 }
 
-std::string RenderStats(const Request& req, uint64_t epoch, size_t nodes,
-                        size_t edges, size_t pending) {
+std::string RenderStats(const Request& req, const StatsBody& stats) {
   std::string out = Open(req, true);
   out += ",\"epoch\":";
-  out += std::to_string(epoch);
+  out += std::to_string(stats.epoch);
   out += ",\"nodes\":";
-  out += std::to_string(nodes);
+  out += std::to_string(stats.nodes);
   out += ",\"edges\":";
-  out += std::to_string(edges);
+  out += std::to_string(stats.edges);
   out += ",\"pending\":";
-  out += std::to_string(pending);
+  out += std::to_string(stats.pending);
+  out += ",\"cache_hits\":";
+  out += std::to_string(stats.cache_hits);
+  out += ",\"cache_misses\":";
+  out += std::to_string(stats.cache_misses);
+  out += ",\"cache_size\":";
+  out += std::to_string(stats.cache_size);
+  out += ",\"writes_applied\":";
+  out += std::to_string(stats.writes_applied);
+  out += ",\"writes_noop\":";
+  out += std::to_string(stats.writes_noop);
+  // Wall-clock fields last; goldens normalize everything `_ns`-suffixed.
+  out += ",\"p50_ns\":";
+  out += std::to_string(stats.p50_ns);
+  out += ",\"p99_ns\":";
+  out += std::to_string(stats.p99_ns);
   out += '}';
   return out;
+}
+
+std::string RenderMetrics(const Request& req, const MetricsBody& metrics) {
+  std::string out = Open(req, true);
+  out += ",\"epoch\":";
+  out += std::to_string(metrics.epoch);
+  out += ",\"latency\":{\"samples\":";
+  out += std::to_string(metrics.samples);
+  out += ",\"p50_ns\":";
+  out += std::to_string(metrics.p50_ns);
+  out += ",\"p95_ns\":";
+  out += std::to_string(metrics.p95_ns);
+  out += ",\"p99_ns\":";
+  out += std::to_string(metrics.p99_ns);
+  out += "},\"metrics\":";
+  out += metrics.registry_json;
+  out += '}';
+  return out;
+}
+
+void AppendProfileNode(std::string* out, const obs::ProfileNode& node) {
+  *out += "{\"op\":";
+  AppendJsonString(out, node.kind);
+  if (!node.engine.empty()) {
+    *out += ",\"engine\":";
+    AppendJsonString(out, node.engine);
+  }
+  *out += ",\"rows_in\":";
+  *out += std::to_string(node.rows_in);
+  *out += ",\"rows_out\":";
+  *out += std::to_string(node.rows_out);
+  *out += ",\"time_ns\":";
+  *out += std::to_string(node.time_ns);
+  *out += ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendProfileNode(out, *node.children[i]);
+  }
+  *out += "]}";
 }
 
 std::string RenderAnswer(const Request& req, const QueryAnswer& answer) {
@@ -594,7 +658,19 @@ std::string RenderAnswer(const Request& req, const QueryAnswer& answer) {
     }
     out += ']';
   }
-  out += "]}";
+  out += ']';
+  if (req.profile) {
+    // The member is always present on a profiled request, so clients
+    // can rely on its shape; null means "no tree was captured" (obs
+    // off, or a cache hit on an unprofiled computation).
+    out += ",\"profile\":";
+    if (answer.profile != nullptr) {
+      AppendProfileNode(&out, *answer.profile);
+    } else {
+      out += "null";
+    }
+  }
+  out += '}';
   return out;
 }
 

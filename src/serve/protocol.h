@@ -7,7 +7,10 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "graph/multigraph.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace kgq {
@@ -53,9 +56,12 @@ enum class RequestOp {
   kInsertEdge,  ///< {"op":"insert_edge","from":N,"to":N,"label":L}
   kDeleteEdge,  ///< {"op":"delete_edge","from":N,"to":N,"label":L}
   kPublish,     ///< {"op":"publish"} → new epoch
-  kQuery,       ///< {"op":"query","lang":...,"text":...[,"threads":T]}
+  kQuery,       ///< {"op":"query","lang":...,"text":...[,"threads":T]
+                ///<  [,"profile":true]}
   kExplain,     ///< {"op":"explain","lang":...,"text":...} → plan text
-  kStats,       ///< {"op":"stats"} → epoch/nodes/edges/pending
+  kStats,       ///< {"op":"stats"} → epoch/nodes/edges/pending/cache/...
+  kMetrics,     ///< {"op":"metrics"} → registry dump + exact latency
+                ///<  quantiles
 };
 
 /// The three query front-ends the server compiles through src/plan.
@@ -76,6 +82,12 @@ struct Request {
   QueryLang lang = QueryLang::kMatch;  // query / explain
   std::string text;                    // query / explain
   size_t threads = 0;  // query: per-query thread budget (0 = server default)
+  /// query: attach the per-operator profile tree to the response. The
+  /// response then always carries a "profile" member — the tree when
+  /// one was captured, null when profiling is unavailable (obs compiled
+  /// out or disabled) or the answer was served from a cache entry
+  /// computed without a profile.
+  bool profile = false;
 };
 
 /// Parses and validates one request line. On failure returns a non-OK
@@ -92,11 +104,48 @@ struct QueryAnswer {
   bool cached = false;
   std::vector<std::string> columns;
   std::vector<std::vector<NodeId>> rows;
+  /// Per-operator profile tree, when the computation captured one
+  /// (request asked for it, or the server's slow-query log is armed).
+  /// Shared with the cache entry; never mutated after capture.
+  std::shared_ptr<const obs::ProfileNode> profile;
 
   bool operator==(const QueryAnswer& other) const {
     return epoch == other.epoch && columns == other.columns &&
            rows == other.rows;
   }
+};
+
+/// The "stats" response payload. Every field except the `_ns` pair is
+/// deterministic under the serving layer's admission-order discipline
+/// (cache lookups, writes and the stats request itself are all resolved
+/// on the dispatcher in input order), so golden diffs byte-compare them
+/// at any worker count; the `_ns` fields are wall-clock and rendered
+/// last so gates can normalize everything `_ns`-suffixed to 0.
+struct StatsBody {
+  uint64_t epoch = 0;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t pending = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t cache_size = 0;
+  uint64_t writes_applied = 0;
+  uint64_t writes_noop = 0;
+  uint64_t p50_ns = 0;  ///< Exact reservoir p50 of serve.latency_ns.
+  uint64_t p99_ns = 0;  ///< Exact reservoir p99 of serve.latency_ns.
+};
+
+/// The "metrics" response payload: exact latency quantiles from the
+/// server's QuantileReservoir plus the full obs registry export
+/// (`registry_json` must be one compact JSON object; it is embedded
+/// verbatim as the "metrics" member).
+struct MetricsBody {
+  uint64_t epoch = 0;
+  uint64_t samples = 0;  ///< Reservoir window size the quantiles are over.
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  std::string registry_json = "{}";
 };
 
 /// Response renderers. One line each (no trailing newline), fixed field
@@ -107,11 +156,17 @@ std::string RenderNode(const Request& req, NodeId node);
 std::string RenderApplied(const Request& req, bool applied);
 std::string RenderPublish(const Request& req, uint64_t epoch, size_t nodes,
                           size_t edges);
-std::string RenderStats(const Request& req, uint64_t epoch, size_t nodes,
-                        size_t edges, size_t pending);
+std::string RenderStats(const Request& req, const StatsBody& stats);
+std::string RenderMetrics(const Request& req, const MetricsBody& metrics);
 std::string RenderAnswer(const Request& req, const QueryAnswer& answer);
 std::string RenderExplain(const Request& req, uint64_t epoch,
                           const std::string& plan);
+
+/// Appends one profile tree as a JSON object: fixed field order
+/// {"op","engine"?,"rows_in","rows_out","time_ns","children"}; "engine"
+/// is omitted for operators with no engine choice. `time_ns` is the
+/// only non-deterministic field.
+void AppendProfileNode(std::string* out, const obs::ProfileNode& node);
 
 /// Appends `s` JSON-escaped (quotes included) to `out` — the escaping
 /// rules shared by every renderer.

@@ -18,12 +18,14 @@ QueryCache::Slot QueryCache::Lookup(const std::string& key, uint64_t epoch) {
     auto it = entries_.find(full);
     if (it != entries_.end()) {
       KGQ_COUNTER_INC("serve.cache.hit");
+      hits_.fetch_add(1, std::memory_order_relaxed);
       slot.hit = true;
       slot.future = it->second;
       return slot;
     }
   }
   KGQ_COUNTER_INC("serve.cache.miss");
+  misses_.fetch_add(1, std::memory_order_relaxed);
   slot.fill = std::make_shared<std::promise<CachedAnswerPtr>>();
   slot.future = slot.fill->get_future().share();
   if (capacity_ > 0) {

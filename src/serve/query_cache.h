@@ -1,6 +1,7 @@
 #ifndef KGQ_SERVE_QUERY_CACHE_H_
 #define KGQ_SERVE_QUERY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -74,9 +75,19 @@ class QueryCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Per-instance hit/miss tallies since construction. Unlike the
+  /// process-global serve.cache.* counters (which mix every cache in
+  /// the process), these belong to this cache alone — the numbers the
+  /// "stats" response reports. Deterministic under the serving layer's
+  /// admission-order lookups.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
  private:
   mutable std::mutex mu_;
   size_t capacity_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
   std::unordered_map<std::string, std::shared_future<CachedAnswerPtr>>
       entries_;
 };

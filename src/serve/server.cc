@@ -4,16 +4,19 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <iostream>
 #include <istream>
 #include <map>
 #include <mutex>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/clock.h"
+#include "obs/json_writer.h"
 #include "obs/obs.h"
 #include "plan/exec.h"
 #include "plan/stats.h"
@@ -36,6 +39,8 @@ struct Server::PreparedQuery {
   Crpq crpq;
   std::vector<TriplePattern> bgp;
   ParallelOptions parallel;
+  /// The request asked for a per-operator profile ("profile":true).
+  bool profile = false;
 };
 
 namespace {
@@ -177,9 +182,12 @@ Result<ConjunctiveQuery> CompilePrepared(const Server::PreparedQuery& prep,
 
 /// Compile → plan → execute one prepared query against one epoch. The
 /// uncached compute path shared by the server and the replay oracle.
+/// With `capture_profile`, execution runs under a request-scoped
+/// TraceContext and the answer carries the per-operator profile tree.
 Result<QueryAnswer> ComputePrepared(const Server::PreparedQuery& prep,
                                     const EpochSnapshot& snap,
-                                    const PlannerOptions& planner) {
+                                    const PlannerOptions& planner,
+                                    bool capture_profile = false) {
   KGQ_SPAN("serve.query");
   bool ask = false;
   KGQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
@@ -190,10 +198,25 @@ Result<QueryAnswer> ComputePrepared(const Server::PreparedQuery& prep,
   ExecOptions eopts;
   eopts.parallel = prep.parallel;
   eopts.snapshot = &snap.csr;
-  KGQ_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(view, *plan, eopts));
+
+  // The enable decision is snapshotted once, here: a concurrent
+  // SetEnabled flip mid-execution can therefore never produce a torn
+  // tree — the profile is captured whole or not at all (the executor
+  // gates node construction only on the installed trace).
+  std::shared_ptr<const obs::ProfileNode> profile;
+  RowSet rows;
+  if (capture_profile && obs::kCompiledIn && obs::Registry::Enabled()) {
+    obs::TraceContext ctx;
+    obs::ScopedTrace trace(&ctx);
+    KGQ_ASSIGN_OR_RETURN(rows, ExecutePlan(view, *plan, eopts));
+    profile = ctx.TakeProfile();
+  } else {
+    KGQ_ASSIGN_OR_RETURN(rows, ExecutePlan(view, *plan, eopts));
+  }
 
   QueryAnswer answer;
   answer.epoch = snap.epoch;
+  answer.profile = std::move(profile);
   if (ask) {
     if (!rows.rows.empty()) answer.rows.push_back({});
   } else {
@@ -256,6 +279,8 @@ Result<Server::PreparedQuery> Server::Prepare(const Request& req) const {
                                     : req.threads;
   prep.parallel.num_threads =
       std::min(threads, options_.max_query_threads);
+  prep.profile = req.op == RequestOp::kQuery && req.profile;
+  if (prep.profile) KGQ_COUNTER_INC("serve.profile.requests");
   return prep;
 }
 
@@ -276,8 +301,15 @@ Result<QueryAnswer> Server::FinishSlot(const PreparedQuery& prep,
     return answer;
   }
   auto cached = std::make_shared<CachedAnswer>();
+  // Profile when the computing request asked, or whenever the slow
+  // log is armed (its lines need per-operator attribution). Coalesced
+  // requests waiting on this slot — and later cache hits — get this
+  // computation's profile (or none), which keeps the profile member
+  // deterministic: admission order decides who computes.
+  const bool capture_profile =
+      prep.profile || options_.slow_query_ns > 0;
   Result<QueryAnswer> computed =
-      ComputePrepared(prep, *snap, options_.planner);
+      ComputePrepared(prep, *snap, options_.planner, capture_profile);
   if (computed.ok()) {
     cached->answer = std::move(computed).value();
   } else {
@@ -311,7 +343,9 @@ Result<QueryAnswer> Server::ExecuteQueryAt(const Request& req,
   }
   Result<QueryAnswer> answer = RunPrepared(*prep, snap);
   if (!answer.ok()) KGQ_COUNTER_INC("serve.errors");
-  KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - start);
+  const uint64_t latency = obs::NowNanos() - start;
+  RecordLatency(latency);
+  MaybeLogSlow(req, latency, answer.ok() ? &*answer : nullptr);
   return answer;
 }
 
@@ -341,8 +375,9 @@ std::string Server::HandleWriteOrStats(const Request& req) {
                            snap->graph.num_edges());
     }
     case RequestOp::kStats:
-      return RenderStats(req, store_.CurrentEpoch(), store_.NumNodes(),
-                         store_.NumLiveEdges(), store_.PendingOps());
+      return RenderStats(req, BuildStats());
+    case RequestOp::kMetrics:
+      return RenderMetrics(req, BuildMetrics());
     case RequestOp::kQuery:
     case RequestOp::kExplain:
       break;  // Not reached; queries go through Prepare/RunPrepared.
@@ -356,6 +391,8 @@ std::string Server::HandleLine(const std::string& line) {
   uint64_t start = obs::NowNanos();
   Request req;
   std::string resp;
+  QueryAnswer done_answer;
+  bool have_answer = false;
   Status parsed = ParseRequestLine(line, &req);
   if (!parsed.ok()) {
     KGQ_COUNTER_INC("serve.errors");
@@ -383,14 +420,119 @@ std::string Server::HandleLine(const std::string& line) {
           resp = RenderError(req, answer.status());
         } else {
           resp = RenderAnswer(req, *answer);
+          done_answer = std::move(*answer);
+          have_answer = true;
         }
       }
     }
   } else {
     resp = HandleWriteOrStats(req);
   }
-  KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - start);
+  const uint64_t latency = obs::NowNanos() - start;
+  RecordLatency(latency);
+  MaybeLogSlow(req, latency, have_answer ? &done_answer : nullptr);
   return resp;
+}
+
+StatsBody Server::BuildStats() {
+  StatsBody s;
+  s.epoch = store_.CurrentEpoch();
+  s.nodes = store_.NumNodes();
+  s.edges = store_.NumLiveEdges();
+  s.pending = store_.PendingOps();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_size = cache_.size();
+  s.writes_applied = store_.WritesApplied();
+  s.writes_noop = store_.WritesNoop();
+  s.p50_ns = latency_.Quantile(50);
+  s.p99_ns = latency_.Quantile(99);
+  return s;
+}
+
+MetricsBody Server::BuildMetrics() {
+  MetricsBody m;
+  m.epoch = store_.CurrentEpoch();
+  m.samples = latency_.WindowSize();
+  m.p50_ns = latency_.Quantile(50);
+  m.p95_ns = latency_.Quantile(95);
+  m.p99_ns = latency_.Quantile(99);
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*compact=*/true);
+  obs::Registry::Get().WriteJson(&w);
+  m.registry_json = os.str();
+  return m;
+}
+
+std::string Server::MetricsJson() {
+  Request req;  // No correlation id: the periodic-export shape.
+  return RenderMetrics(req, BuildMetrics());
+}
+
+void Server::RecordLatency(uint64_t latency_ns) {
+  KGQ_HISTOGRAM_RECORD("serve.latency_ns", latency_ns);
+  latency_.Record(latency_ns);
+}
+
+void Server::MaybeLogSlow(const Request& req, uint64_t latency_ns,
+                          const QueryAnswer* answer) {
+  if (options_.slow_query_ns == 0 || latency_ns < options_.slow_query_ns) {
+    return;
+  }
+  if (req.op != RequestOp::kQuery) return;
+  KGQ_COUNTER_INC("serve.profile.slow");
+
+  // Top-3 operators by (inclusive) wall time, from the profile tree the
+  // armed slow log made every computation capture. A cache hit may
+  // carry the computing request's tree; an obs-disabled run has none.
+  std::vector<const obs::ProfileNode*> ops;
+  if (answer != nullptr && answer->profile != nullptr) {
+    std::vector<const obs::ProfileNode*> stack = {answer->profile.get()};
+    while (!stack.empty()) {
+      const obs::ProfileNode* node = stack.back();
+      stack.pop_back();
+      ops.push_back(node);
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const obs::ProfileNode* a, const obs::ProfileNode* b) {
+                       return a->time_ns > b->time_ns;
+                     });
+    if (ops.size() > 3) ops.resize(3);
+  }
+
+  std::string line = "{\"slow_query\":{\"lang\":";
+  AppendJsonString(&line, QueryLangName(req.lang));
+  line += ",\"text\":";
+  AppendJsonString(&line, req.text);
+  line += ",\"epoch\":";
+  line += std::to_string(answer != nullptr ? answer->epoch : 0);
+  line += ",\"cached\":";
+  line += (answer != nullptr && answer->cached) ? "true" : "false";
+  line += ",\"time_ns\":";
+  line += std::to_string(latency_ns);
+  line += ",\"top_ops\":[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) line += ',';
+    line += "{\"op\":";
+    AppendJsonString(&line, ops[i]->kind);
+    if (!ops[i]->engine.empty()) {
+      line += ",\"engine\":";
+      AppendJsonString(&line, ops[i]->engine);
+    }
+    line += ",\"rows_out\":";
+    line += std::to_string(ops[i]->rows_out);
+    line += ",\"time_ns\":";
+    line += std::to_string(ops[i]->time_ns);
+    line += '}';
+  }
+  line += "]}}";
+
+  std::ostream* out =
+      options_.slow_log != nullptr ? options_.slow_log : &std::cerr;
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  *out << line << '\n';
+  out->flush();
 }
 
 /// Shared state of one ServeStream run: the bounded job queue feeding
@@ -467,8 +609,9 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
         } else {
           resp = RenderAnswer(job.req, *answer);
         }
-        KGQ_HISTOGRAM_RECORD("serve.latency_ns",
-                             obs::NowNanos() - job.admit_ns);
+        const uint64_t latency = obs::NowNanos() - job.admit_ns;
+        RecordLatency(latency);
+        MaybeLogSlow(job.req, latency, answer.ok() ? &*answer : nullptr);
         state.Emit(job.seq, std::move(resp));
       }
     });
@@ -485,7 +628,7 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
     if (!parsed.ok()) {
       KGQ_COUNTER_INC("serve.errors");
       state.Emit(my_seq, RenderError(req, parsed));
-      KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - admit_ns);
+      RecordLatency(obs::NowNanos() - admit_ns);
       continue;
     }
     if (req.op == RequestOp::kQuery) {
@@ -493,7 +636,7 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
       if (!prep.ok()) {
         KGQ_COUNTER_INC("serve.errors");
         state.Emit(my_seq, RenderError(req, prep.status()));
-        KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - admit_ns);
+        RecordLatency(obs::NowNanos() - admit_ns);
         continue;
       }
       // Pin the epoch and resolve the cache *at admission*, in input
@@ -540,7 +683,7 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
       resp = HandleWriteOrStats(req);
     }
     state.Emit(my_seq, std::move(resp));
-    KGQ_HISTOGRAM_RECORD("serve.latency_ns", obs::NowNanos() - admit_ns);
+    RecordLatency(obs::NowNanos() - admit_ns);
   }
 
   {

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 
+#include "obs/quantile.h"
 #include "plan/optimizer.h"
 #include "serve/delta_store.h"
 #include "serve/protocol.h"
@@ -32,6 +34,13 @@ struct ServerOptions {
   size_t cache_capacity = 1024;
   /// Planner configuration shared by every query.
   PlannerOptions planner;
+  /// Slow-query log threshold in nanoseconds; 0 disables the log. When
+  /// armed, every query computation also captures a profile tree (so
+  /// slow-log lines can name their top operators), and any query whose
+  /// latency reaches the threshold emits one JSON line to `slow_log`.
+  uint64_t slow_query_ns = 0;
+  /// Destination of slow-query log lines; nullptr means std::cerr.
+  std::ostream* slow_log = nullptr;
 };
 
 /// The kgq-serve core: a DeltaStore plus the three query front-ends
@@ -99,6 +108,24 @@ class Server {
   /// the calling thread and options().workers query workers.
   void ServeStream(std::istream& in, std::ostream& out);
 
+  /// The "stats" payload: store/cache/write tallies (deterministic
+  /// under admission ordering) plus exact latency quantiles.
+  StatsBody BuildStats();
+  /// The "metrics" payload: exact latency quantiles plus the full
+  /// (compact) obs registry export.
+  MetricsBody BuildMetrics();
+  /// One rendered metrics line (no correlation id) — what the
+  /// `--metrics-interval` exporter of kgq-serve emits periodically.
+  std::string MetricsJson();
+
+  /// The exact-latency reservoir behind stats/metrics quantiles. Every
+  /// request's latency (the same observations as the serve.latency_ns
+  /// histogram) is recorded here; tests recompute quantiles offline
+  /// from Samples() and byte-compare them against served responses.
+  const obs::QuantileReservoir& latency_reservoir() const {
+    return latency_;
+  }
+
  private:
   struct StreamState;
 
@@ -115,9 +142,19 @@ class Server {
   /// Handles any non-query request synchronously; returns the response.
   std::string HandleWriteOrStats(const Request& req);
 
+  /// Feeds one request latency to the histogram and the reservoir.
+  void RecordLatency(uint64_t latency_ns);
+  /// Emits a slow-query log line when the log is armed and `latency_ns`
+  /// reaches the threshold: query text, epoch, duration and the top-3
+  /// operators by self-inclusive time from the answer's profile tree.
+  void MaybeLogSlow(const Request& req, uint64_t latency_ns,
+                    const QueryAnswer* answer);
+
   ServerOptions options_;
   DeltaStore store_;
   QueryCache cache_;
+  obs::QuantileReservoir latency_;
+  std::mutex slow_mu_;  // Serializes slow-log lines across workers.
 };
 
 /// Cache-free, single-threaded evaluation of one query/explain request

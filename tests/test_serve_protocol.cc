@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/quantile.h"
+#include "obs/registry.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/rng.h"
@@ -103,6 +107,140 @@ TEST(ParseRequestLine, ValidatesPerOpFields) {
   for (const char* line : bad) {
     EXPECT_FALSE(ParseRequestLine(line, &req).ok()) << "accepted: " << line;
   }
+}
+
+TEST(ParseRequestLine, ParsesProfileFlagAndMetricsOp) {
+  Request req;
+  // "profile" defaults to false and must be a boolean when present.
+  EXPECT_TRUE(ParseRequestLine(
+                  R"({"op":"query","lang":"bgp","text":"?x a ?y"})", &req)
+                  .ok());
+  EXPECT_FALSE(req.profile);
+  EXPECT_TRUE(
+      ParseRequestLine(
+          R"({"op":"query","lang":"bgp","text":"?x a ?y","profile":true})",
+          &req)
+          .ok());
+  EXPECT_TRUE(req.profile);
+  EXPECT_TRUE(
+      ParseRequestLine(
+          R"({"op":"query","lang":"bgp","text":"?x a ?y","profile":false})",
+          &req)
+          .ok());
+  EXPECT_FALSE(req.profile);
+  EXPECT_FALSE(
+      ParseRequestLine(
+          R"({"op":"query","lang":"bgp","text":"?x a ?y","profile":1})",
+          &req)
+          .ok());
+
+  EXPECT_TRUE(ParseRequestLine(R"({"op":"metrics"})", &req).ok());
+  EXPECT_EQ(req.op, RequestOp::kMetrics);
+  EXPECT_TRUE(ParseRequestLine(R"({"op":"metrics","id":5})", &req).ok());
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats and metrics responses.
+
+/// Integer member accessor with assertion plumbing.
+uint64_t IntMember(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  EXPECT_NE(v, nullptr) << "missing member " << key;
+  if (v == nullptr) return 0;
+  EXPECT_TRUE(v->number_is_int) << key;
+  return static_cast<uint64_t>(v->number);
+}
+
+TEST(ServeStats, ReportsCacheAndWriteTallies) {
+  obs::Registry::SetEnabled(true);
+  Server server;
+  (void)server.HandleLine(R"({"op":"add_node","label":"person"})");
+  (void)server.HandleLine(R"({"op":"add_node","label":"bus"})");
+  // One applied insert, one duplicate (noop), one applied delete.
+  (void)server.HandleLine(
+      R"({"op":"insert_edge","from":0,"to":1,"label":"rides"})");
+  (void)server.HandleLine(
+      R"({"op":"insert_edge","from":0,"to":1,"label":"rides"})");
+  (void)server.HandleLine(
+      R"({"op":"delete_edge","from":0,"to":1,"label":"rides"})");
+  (void)server.HandleLine(
+      R"({"op":"insert_edge","from":0,"to":1,"label":"rides"})");
+  (void)server.HandleLine(R"({"op":"publish"})");
+  // Two distinct queries, one repeated: 2 misses + 1 hit.
+  (void)server.HandleLine(
+      R"({"op":"query","lang":"bgp","text":"?x rides ?y"})");
+  (void)server.HandleLine(
+      R"({"op":"query","lang":"bgp","text":"?x rides ?y"})");
+  (void)server.HandleLine(
+      R"x({"op":"query","lang":"crpq","text":"q(x) :- (x: person)"})x");
+
+  const std::string resp = server.HandleLine(R"({"op":"stats","id":9})");
+  Result<JsonValue> json = ParseJson(resp);
+  ASSERT_TRUE(json.ok()) << resp;
+  EXPECT_EQ(IntMember(*json, "id"), 9u);
+  EXPECT_EQ(IntMember(*json, "epoch"), 1u);
+  EXPECT_EQ(IntMember(*json, "nodes"), 2u);
+  EXPECT_EQ(IntMember(*json, "edges"), 1u);
+  // add_node x2 + applied insert/delete/insert = 5 applied, 1 noop.
+  EXPECT_EQ(IntMember(*json, "writes_applied"), 5u);
+  EXPECT_EQ(IntMember(*json, "writes_noop"), 1u);
+  EXPECT_EQ(IntMember(*json, "cache_misses"), 2u);
+  EXPECT_EQ(IntMember(*json, "cache_hits"), 1u);
+  EXPECT_EQ(IntMember(*json, "cache_size"), 2u);
+  ASSERT_NE(json->Find("p50_ns"), nullptr) << resp;
+  ASSERT_NE(json->Find("p99_ns"), nullptr) << resp;
+}
+
+TEST(ServeMetrics, QuantilesMatchOfflineRecompute) {
+  obs::Registry::SetEnabled(true);
+  Server server;
+  (void)server.HandleLine(R"({"op":"add_node","label":"person"})");
+  (void)server.HandleLine(R"({"op":"publish"})");
+  for (int i = 0; i < 20; ++i) {
+    (void)server.HandleLine(
+        R"x({"op":"query","lang":"crpq","text":"q(x) :- (x: person)"})x");
+  }
+
+  // Recompute from the reservoir's window BEFORE the metrics request
+  // lands (its own latency is recorded after rendering, so the served
+  // quantiles are over exactly these samples).
+  std::vector<uint64_t> sorted = server.latency_reservoir().Samples();
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(sorted.size(), 22u);  // 2 writes + 20 queries.
+
+  const std::string resp = server.HandleLine(R"({"op":"metrics","id":3})");
+  Result<JsonValue> json = ParseJson(resp);
+  ASSERT_TRUE(json.ok()) << resp;
+  EXPECT_EQ(IntMember(*json, "id"), 3u);
+  EXPECT_EQ(IntMember(*json, "epoch"), 1u);
+
+  const JsonValue* latency = json->Find("latency");
+  ASSERT_NE(latency, nullptr) << resp;
+  EXPECT_EQ(IntMember(*latency, "samples"), sorted.size());
+  EXPECT_EQ(IntMember(*latency, "p50_ns"),
+            obs::QuantileReservoir::PercentileOfSorted(sorted, 50.0));
+  EXPECT_EQ(IntMember(*latency, "p95_ns"),
+            obs::QuantileReservoir::PercentileOfSorted(sorted, 95.0));
+  EXPECT_EQ(IntMember(*latency, "p99_ns"),
+            obs::QuantileReservoir::PercentileOfSorted(sorted, 99.0));
+
+  // The embedded registry dump is itself valid JSON.
+  const JsonValue* metrics = json->Find("metrics");
+  ASSERT_NE(metrics, nullptr) << resp;
+  ASSERT_EQ(metrics->kind, JsonValue::Kind::kObject) << resp;
+  if (obs::kCompiledIn) {
+    EXPECT_NE(metrics->Find("counters"), nullptr) << resp;
+  }
+
+  // MetricsJson (the --metrics-interval export) renders the same shape
+  // without a correlation id.
+  const std::string exported = server.MetricsJson();
+  Result<JsonValue> exported_json = ParseJson(exported);
+  ASSERT_TRUE(exported_json.ok()) << exported;
+  EXPECT_EQ(exported_json->Find("id"), nullptr);
+  ASSERT_NE(exported_json->Find("latency"), nullptr);
 }
 
 TEST(ParseRequestLine, RecoversIdFromInvalidRequests) {

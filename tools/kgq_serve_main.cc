@@ -8,16 +8,29 @@
 // Usage:
 //   kgq-serve [--workers N] [--queue N] [--query-threads N]
 //             [--max-query-threads N] [--cache N | --no-cache]
+//             [--slow-ms N] [--metrics-interval SECONDS]
 //             [--socket PATH]
+//
+// Observability flags:
+//   --slow-ms N            log queries slower than N milliseconds to
+//                          stderr (one JSON line: query text, epoch,
+//                          duration, top-3 operators by time)
+//   --metrics-interval N   every N seconds, export one metrics JSON
+//                          line (registry dump + exact latency
+//                          quantiles) to stderr
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <streambuf>
 #include <string>
+#include <thread>
 
 #include "serve/server.h"
 
@@ -34,6 +47,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue N] [--query-threads N]\n"
                "          [--max-query-threads N] [--cache N | --no-cache]\n"
+               "          [--slow-ms N] [--metrics-interval SECONDS]\n"
                "          [--socket PATH]\n",
                argv0);
 }
@@ -141,9 +155,60 @@ int ServeSocket(kgq::serve::Server& server, const std::string& path) {
 
 }  // namespace
 
+/// Background thread that writes one Server::MetricsJson() line to
+/// stderr every `interval_s` seconds until Stop() — the
+/// --metrics-interval exporter. stderr keeps the export out of the
+/// response stream, so clients piping stdout see only protocol lines.
+class MetricsExporter {
+ public:
+  MetricsExporter(kgq::serve::Server& server, size_t interval_s)
+      : server_(server), interval_s_(interval_s) {
+    if (interval_s_ > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+
+  ~MetricsExporter() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::seconds(interval_s_),
+                       [this] { return stopped_; })) {
+        return;
+      }
+      lock.unlock();
+      const std::string line = server_.MetricsJson();
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+      lock.lock();
+    }
+  }
+
+  kgq::serve::Server& server_;
+  const size_t interval_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
 int main(int argc, char** argv) {
   kgq::serve::ServerOptions options;
   std::string socket_path;
+  size_t slow_ms = 0;
+  size_t metrics_interval_s = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -162,6 +227,10 @@ int main(int argc, char** argv) {
       ok = ParseSize(next(), &options.cache_capacity);
     } else if (arg == "--no-cache") {
       options.cache_capacity = 0;
+    } else if (arg == "--slow-ms") {
+      ok = ParseSize(next(), &slow_ms);
+    } else if (arg == "--metrics-interval") {
+      ok = ParseSize(next(), &metrics_interval_s);
     } else if (arg == "--socket") {
       const char* p = next();
       ok = p != nullptr && *p != '\0';
@@ -179,7 +248,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  options.slow_query_ns = static_cast<uint64_t>(slow_ms) * 1'000'000;
+
   kgq::serve::Server server(options);
+  MetricsExporter exporter(server, metrics_interval_s);
   if (!socket_path.empty()) {
 #if KGQ_SERVE_HAVE_SOCKETS
     return ServeSocket(server, socket_path);
@@ -190,5 +262,6 @@ int main(int argc, char** argv) {
   }
   std::ios::sync_with_stdio(false);
   server.ServeStream(std::cin, std::cout);
+  exporter.Stop();
   return 0;
 }

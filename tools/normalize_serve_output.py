@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Normalizes kgq-serve output for golden diffs.
+
+Reads jsonl on stdin, writes jsonl on stdout. Per line:
+  * every value of a key ending in `_ns` (stats p50_ns/p99_ns, profile
+    time_ns, metrics quantiles) is zeroed — wall-clock, nondeterministic;
+  * the value of any `samples` key is zeroed (in-flight requests make
+    reservoir window sizes timing-dependent);
+  * the value of any `metrics` key (the embedded obs registry dump,
+    which aggregates process-global state) is replaced with {}.
+
+Everything else — rows, profile shape, engines, row counts, cache and
+write tallies — passes through byte-exact, preserving key order, so a
+diff against a normalized golden still pins every deterministic field.
+Non-JSON lines pass through unchanged.
+"""
+
+import json
+import sys
+
+
+def normalize(value):
+    if isinstance(value, dict):
+        out = {}
+        for key, member in value.items():
+            if key.endswith("_ns") or key == "samples":
+                out[key] = 0
+            elif key == "metrics":
+                out[key] = {}
+            else:
+                out[key] = normalize(member)
+        return out
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    return value
+
+
+def main():
+    for line in sys.stdin:
+        line = line.rstrip("\n")
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            print(line)
+            continue
+        print(json.dumps(normalize(obj), separators=(",", ":")))
+
+
+if __name__ == "__main__":
+    main()
