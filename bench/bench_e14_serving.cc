@@ -129,6 +129,8 @@ struct RunResult {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  uint64_t publish_p50_ns = 0;
+  uint64_t publish_p99_ns = 0;
 };
 
 }  // namespace
@@ -198,11 +200,14 @@ int main() {
   const std::vector<Request> queries = QueryMix();
   std::vector<std::vector<Sample>> samples(kReaders);
   std::vector<size_t> publishes_per_writer(kWriters, 0);
+  // One reservoir shared by both writers (it locks internally): the
+  // steady-state incremental publish latency under concurrent load.
+  obs::QuantileReservoir publish_lat;
 
   Timer run_timer;
   std::vector<std::thread> writers;
   for (size_t w = 0; w < kWriters; ++w) {
-    writers.emplace_back([&server, &publishes_per_writer, w] {
+    writers.emplace_back([&server, &publishes_per_writer, &publish_lat, w] {
       Rng rng(0x17E5ull + w);
       for (size_t i = 0; i < kWritesPerWriter; ++i) {
         NodeId from = static_cast<NodeId>(rng.Below(kNodes));
@@ -214,7 +219,9 @@ int main() {
           (void)server.store().DeleteEdge(from, to, label);
         }
         if (rng.Bernoulli(0.02)) {
+          const uint64_t start = obs::NowNanos();
           server.Publish();
+          publish_lat.Record(obs::NowNanos() - start);
           ++publishes_per_writer[w];
         }
       }
@@ -295,6 +302,8 @@ int main() {
                                               PercentileOfSorted(
                                                   latencies, 99.0)) /
                       1e6;
+  concurrent.publish_p50_ns = publish_lat.Quantile(50.0);
+  concurrent.publish_p99_ns = publish_lat.Quantile(99.0);
 
   // Sequential baseline: the same number of queries, one thread, no
   // writers — what the concurrency buys QPS against.
@@ -329,12 +338,14 @@ int main() {
 
   Table t("E14 — serving layer: open-loop mixed read/write load",
           {"run", "readers", "writers", "queries", "publishes", "wall(ms)",
-           "QPS", "p50(ms)", "p99(ms)"});
+           "QPS", "p50(ms)", "p99(ms)", "pub p50(us)", "pub p99(us)"});
   for (const RunResult* r : {&concurrent, &baseline}) {
     t.AddRow({r->name, std::to_string(r->readers), std::to_string(r->writers),
               std::to_string(r->queries), std::to_string(r->publishes),
               std::to_string(r->wall_ms), std::to_string(r->qps),
-              std::to_string(r->p50_ms), std::to_string(r->p99_ms)});
+              std::to_string(r->p50_ms), std::to_string(r->p99_ms),
+              std::to_string(r->publish_p50_ns / 1000),
+              std::to_string(r->publish_p99_ns / 1000)});
   }
   t.Print(std::cout);
   std::printf("\nphase B: %zu samples over %zu distinct (query, epoch) "
@@ -370,6 +381,10 @@ int main() {
       w.Double(r->p50_ms);
       w.Key("p99_ms");
       w.Double(r->p99_ms);
+      w.Key("publish_p50_ns");
+      w.UInt(r->publish_p50_ns);
+      w.Key("publish_p99_ns");
+      w.UInt(r->publish_p99_ns);
       w.EndObject();
     }
     w.EndArray();

@@ -29,6 +29,31 @@ ComponentAssignment WeaklyConnectedComponents(const Multigraph& g) {
   return out;
 }
 
+ComponentAssignment WeaklyConnectedComponentsCsr(const CsrSnapshot& g) {
+  ComponentAssignment out;
+  out.component.assign(g.num_nodes(), 0xFFFFFFFFu);
+  std::vector<NodeId> stack;
+  for (NodeId seed = 0; seed < g.num_nodes(); ++seed) {
+    if (out.component[seed] != 0xFFFFFFFFu) continue;
+    uint32_t id = out.num_components++;
+    out.component[seed] = id;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId to) {
+        if (out.component[to] == 0xFFFFFFFFu) {
+          out.component[to] = id;
+          stack.push_back(to);
+        }
+      };
+      for (const CsrSnapshot::Entry& e : g.Out(n)) visit(e.neighbor);
+      for (const CsrSnapshot::Entry& e : g.In(n)) visit(e.neighbor);
+    }
+  }
+  return out;
+}
+
 ComponentAssignment StronglyConnectedComponents(const Multigraph& g) {
   // Iterative Tarjan.
   const uint32_t kUnvisited = 0xFFFFFFFFu;

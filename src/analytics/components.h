@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/multigraph.h"
 
 namespace kgq {
@@ -17,6 +18,12 @@ struct ComponentAssignment {
 
 /// Weakly connected components (edges taken as undirected).
 ComponentAssignment WeaklyConnectedComponents(const Multigraph& g);
+
+/// Weakly connected components over a CSR snapshot — the same traversal
+/// (and therefore the same discovery-order component ids: a component's
+/// id is the rank of its minimum node id) without materializing a
+/// Multigraph. The serving layer's view cache recomputes on this.
+ComponentAssignment WeaklyConnectedComponentsCsr(const CsrSnapshot& g);
 
 /// Strongly connected components (Tarjan, iterative — safe on deep
 /// graphs).

@@ -61,6 +61,7 @@ class CsrSnapshot {
     EdgeId edge;
     NodeId neighbor;
     LabelId label;
+    bool operator==(const Entry&) const = default;
   };
 
   /// A contiguous run of entries (iterable, indexable).
@@ -197,6 +198,34 @@ class CsrSnapshot {
   /// (test/debug surface).
   std::vector<EdgeRecord> ToEdgeList() const;
 
+  /// Incremental rebuild: the snapshot of `prev`'s edge set minus
+  /// `deleted` plus `inserted`, over `num_nodes` nodes — bit-identical
+  /// to a from-scratch FromLabeledEdges build of the same logical edge
+  /// set, at delta-merge cost (no string interning, no intermediate
+  /// graph; one linear merge plus the counting-sort passes).
+  ///
+  /// Preconditions (the DeltaStore publish invariants):
+  ///   * prev's edge ids enumerate its edges in canonical
+  ///     (from, to, label) order — true of every snapshot built from a
+  ///     canonically ordered edge stream, which publishes maintain;
+  ///   * `inserted` and `deleted` are canonically sorted and duplicate
+  ///     free; every deleted edge is present in prev and no inserted
+  ///     edge is (net-delta semantics);
+  ///   * num_nodes >= prev.num_nodes().
+  ///
+  /// Label ids are re-derived in first-appearance order over the merged
+  /// stream; labels whose last edge was deleted drop out — exactly what
+  /// a cold rebuild would intern.
+  static CsrSnapshot ApplyCanonicalDelta(const CsrSnapshot& prev,
+                                         size_t num_nodes,
+                                         const std::vector<EdgeRecord>& inserted,
+                                         const std::vector<EdgeRecord>& deleted);
+
+  /// Structural bit-identity: every array equal, including label
+  /// interning order and the partitioned views. The differential gates
+  /// compare incremental publishes against cold rebuilds with this.
+  bool operator==(const CsrSnapshot&) const = default;
+
  private:
   /// Shared builder: `edge_label_const[e]` is the source-graph ConstId
   /// of e's label and `spell` maps one to its string.
@@ -204,6 +233,30 @@ class CsrSnapshot {
   static CsrSnapshot Build(const Multigraph& g,
                            const std::vector<ConstId>& edge_label_const,
                            SpellFn&& spell);
+
+  /// Derives the adjacency views (offsets, entry arrays, label
+  /// partitions) from the already-filled edge arrays (num_nodes_,
+  /// sources_, targets_, edge_labels_). Shared by Build and
+  /// ApplyCanonicalDelta so both produce byte-identical layouts.
+  void BuildViews();
+
+  /// Delta-aware view build for canonically ordered edge arrays: the
+  /// out view is the stream itself, offsets come from prev's degrees
+  /// adjusted by the delta, the in spans and label partitions of nodes
+  /// no delta edge touches are copied from `prev` with edge/label ids
+  /// remapped — only touched nodes pay a merge or span sort.
+  /// `prev_new_id[e]` is prev edge e's id in this snapshot (the max
+  /// EdgeId sentinel for deleted edges); `ins_new_id[i]` is inserted[i]'s
+  /// id; `label_remap[l]` is prev dense label l's new id or kNoLabel if
+  /// its last edge was deleted. Byte-identical to BuildViews(); falls
+  /// back to it when the label re-map is not order-preserving (a novel
+  /// label interned before a surviving one).
+  void BuildViewsFromDelta(const CsrSnapshot& prev,
+                           const std::vector<EdgeId>& prev_new_id,
+                           const std::vector<LabelId>& label_remap,
+                           const std::vector<EdgeRecord>& inserted,
+                           const std::vector<EdgeId>& ins_new_id,
+                           const std::vector<EdgeRecord>& deleted);
 
   Span ForLabel(const std::vector<Entry>& entries,
                 const std::vector<size_t>& offsets, NodeId n,

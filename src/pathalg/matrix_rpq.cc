@@ -115,6 +115,86 @@ BoolCsr BoolSpGemm(const BoolCsr& a, const BoolCsr& b,
   return out;
 }
 
+BoolCsr BoolSpGemmDelta(const BoolCsr& frontier, const BoolCsr& adj,
+                        const BoolCsr& visited, const ParallelOptions& par) {
+  BoolCsr out;
+  out.num_rows = frontier.num_rows;
+  out.num_cols = adj.num_cols;
+  out.offsets.assign(frontier.num_rows + 1, 0);
+
+  // Bit-identical to BoolSpGemm(frontier, adj, &visited) — same
+  // Gustavson accumulation, same mask — but the accumulator is only
+  // cleared for *nonempty* frontier rows, so a sparse frontier costs
+  // its own nnz, not one bitmap wipe per matrix row.
+  std::vector<std::vector<uint32_t>> row_cols(frontier.num_rows);
+  size_t grain = std::max<size_t>(1, (frontier.num_rows + 255) / 256);
+  ParallelFor(
+      0, frontier.num_rows, grain,
+      [&](size_t lo, size_t hi) {
+        Bitset acc(adj.num_cols);
+        [[maybe_unused]] size_t entries = 0, word_ops = 0, delta_rows = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          if (frontier.offsets[i] == frontier.offsets[i + 1]) continue;
+          ++delta_rows;
+          acc.ClearAll();
+          for (size_t k = frontier.offsets[i]; k < frontier.offsets[i + 1];
+               ++k) {
+            uint32_t mid = frontier.cols[k];
+            for (size_t j = adj.offsets[mid]; j < adj.offsets[mid + 1]; ++j) {
+              acc.Set(adj.cols[j]);
+              ++word_ops;
+            }
+            entries += adj.offsets[mid + 1] - adj.offsets[mid];
+          }
+          std::vector<uint32_t>& row = row_cols[i];
+          acc.ForEach([&](size_t c) {
+            if (visited.Test(i, c)) return;
+            row.push_back(static_cast<uint32_t>(c));
+          });
+        }
+        if (KGQ_OBS_ON()) {
+          KGQ_COUNTER_ADD("matrix_rpq.spgemm.entries", entries);
+          KGQ_COUNTER_ADD("matrix_rpq.spgemm.word_ops", word_ops);
+          KGQ_COUNTER_ADD("matrix_rpq.spgemm.delta_rows", delta_rows);
+        }
+      },
+      par);
+
+  for (size_t i = 0; i < frontier.num_rows; ++i) {
+    out.offsets[i + 1] = out.offsets[i] + row_cols[i].size();
+  }
+  out.cols.resize(out.offsets[frontier.num_rows]);
+  for (size_t i = 0; i < frontier.num_rows; ++i) {
+    std::copy(row_cols[i].begin(), row_cols[i].end(),
+              out.cols.begin() + out.offsets[i]);
+  }
+  return out;
+}
+
+BoolCsr BoolUnion(const BoolCsr& a, const BoolCsr& b) {
+  BoolCsr out;
+  out.num_rows = a.num_rows;
+  out.num_cols = a.num_cols;
+  out.offsets.assign(a.num_rows + 1, 0);
+  out.cols.reserve(a.nnz() + b.nnz());
+  for (size_t i = 0; i < a.num_rows; ++i) {
+    size_t ai = a.offsets[i], ae = a.offsets[i + 1];
+    size_t bi = b.offsets[i], be = b.offsets[i + 1];
+    while (ai < ae || bi < be) {
+      uint32_t c;
+      if (bi >= be || (ai < ae && a.cols[ai] <= b.cols[bi])) {
+        c = a.cols[ai++];
+        if (bi < be && b.cols[bi] == c) ++bi;
+      } else {
+        c = b.cols[bi++];
+      }
+      out.cols.push_back(c);
+    }
+    out.offsets[i + 1] = out.cols.size();
+  }
+  return out;
+}
+
 Bitset BoolSpMv(const BoolCsr& a, const Bitset& x,
                 const Bitset* complement_mask) {
   Bitset y(a.num_rows);

@@ -82,6 +82,22 @@ BoolCsr BoolSpGemm(const BoolCsr& a, const BoolCsr& b,
 Bitset BoolSpMv(const BoolCsr& a, const Bitset& x,
                 const Bitset* complement_mask = nullptr);
 
+/// The delta-SpGEMM step of incremental transitive-closure maintenance:
+/// (frontier ×_bool adj) \ visited — the configurations reached by
+/// extending only the *new* facts one step, minus everything already
+/// known. Iterating Δ' = BoolSpGemmDelta(Δ, A, R); R ∪= Δ' from the
+/// frontier of inserted facts converges to the same closure a
+/// from-scratch fixpoint computes, touching only rows the delta can
+/// still grow. obs: counter matrix_rpq.spgemm.delta_rows tallies the
+/// nonempty frontier rows each call expands.
+BoolCsr BoolSpGemmDelta(const BoolCsr& frontier, const BoolCsr& adj,
+                        const BoolCsr& visited,
+                        const ParallelOptions& par = {});
+
+/// C = A ∨ B elementwise (same shape). Canonical-CSR output, linear
+/// merge per row.
+BoolCsr BoolUnion(const BoolCsr& a, const BoolCsr& b);
+
 // ---------------------------------------------------------------------
 // Dense bit-matrix (the frontier representation)
 

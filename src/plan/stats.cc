@@ -6,11 +6,13 @@
 
 namespace kgq {
 
-GraphStats GraphStats::From(const GraphView* view,
-                            const CsrSnapshot* snapshot) {
+GraphStats GraphStats::From(
+    const GraphView* view, const CsrSnapshot* snapshot,
+    const std::map<std::string, size_t>* node_label_counts) {
   GraphStats stats;
   stats.view_ = view;
   stats.snapshot_ = snapshot;
+  stats.node_label_counts_ = node_label_counts;
   if (snapshot != nullptr) {
     stats.num_nodes_ = static_cast<double>(snapshot->num_nodes());
     stats.num_edges_ = static_cast<double>(snapshot->num_edges());
@@ -34,6 +36,16 @@ double GraphStats::LabelFrequency(std::string_view label) const {
 double GraphStats::NodeTestSelectivity(const TestExpr& test) const {
   if (test.kind() == TestExpr::Kind::kTrue) return 1.0;
   if (view_ == nullptr || num_nodes_ <= 0.0) return 0.5;
+  if (test.kind() == TestExpr::Kind::kLabel &&
+      node_label_counts_ != nullptr) {
+    // Exactly the MatchNodes count — a label test matches the nodes
+    // whose label string equals test.label() — read off the tallies.
+    auto it = node_label_counts_->find(std::string(test.label()));
+    double count = it == node_label_counts_->end()
+                       ? 0.0
+                       : static_cast<double>(it->second);
+    return count / num_nodes_;
+  }
   return static_cast<double>(MatchNodes(*view_, test).Count()) / num_nodes_;
 }
 

@@ -1,6 +1,8 @@
 #ifndef KGQ_PLAN_STATS_H_
 #define KGQ_PLAN_STATS_H_
 
+#include <map>
+#include <string>
 #include <string_view>
 
 #include "graph/csr_snapshot.h"
@@ -24,9 +26,14 @@ class GraphStats {
   GraphStats() = default;
 
   /// Stats over `view`, optionally backed by `snapshot` for per-label
-  /// frequencies. Both pointers may be null (size-only estimates) but
-  /// when given must outlive the GraphStats.
-  static GraphStats From(const GraphView* view, const CsrSnapshot* snapshot);
+  /// frequencies and by `node_label_counts` (label → node count, e.g.
+  /// the serving layer's per-epoch tallies) for O(1) node-label
+  /// selectivities — exactly the count the O(n) MatchNodes pass would
+  /// produce, without the pass. All pointers may be null (size-only /
+  /// scan-based estimates) but when given must outlive the GraphStats.
+  static GraphStats From(
+      const GraphView* view, const CsrSnapshot* snapshot,
+      const std::map<std::string, size_t>* node_label_counts = nullptr);
 
   double num_nodes() const { return num_nodes_; }
   double num_edges() const { return num_edges_; }
@@ -39,7 +46,8 @@ class GraphStats {
   double LabelFrequency(std::string_view label) const;
 
   /// Fraction of nodes satisfying `test`, in [0, 1] — exact with a
-  /// view, 0.5 otherwise.
+  /// view (O(1) for plain label tests when node-label tallies were
+  /// supplied, one O(n) scan otherwise), 0.5 without a view.
   double NodeTestSelectivity(const TestExpr& test) const;
 
   /// Estimated number of (a, b) pairs in the existential pair relation
@@ -61,6 +69,7 @@ class GraphStats {
 
   const GraphView* view_ = nullptr;
   const CsrSnapshot* snapshot_ = nullptr;
+  const std::map<std::string, size_t>* node_label_counts_ = nullptr;
   double num_nodes_ = 0.0;
   double num_edges_ = 0.0;
 };

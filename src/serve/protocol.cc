@@ -365,6 +365,7 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kExplain: return "explain";
     case RequestOp::kStats: return "stats";
     case RequestOp::kMetrics: return "metrics";
+    case RequestOp::kAnalytics: return "analytics";
   }
   return "?";
 }
@@ -416,6 +417,8 @@ Status ParseRequestLine(std::string_view line, Request* out) {
     out->op = RequestOp::kStats;
   } else if (name == "metrics") {
     out->op = RequestOp::kMetrics;
+  } else if (name == "analytics") {
+    out->op = RequestOp::kAnalytics;
   } else {
     return Status::InvalidArgument("unknown op \"" + name + "\"");
   }
@@ -479,6 +482,47 @@ Status ParseRequestLine(std::string_view line, Request* out) {
           out->profile = profile->boolean;
         }
         KGQ_RETURN_IF_ERROR(st);
+      }
+      break;
+    }
+    case RequestOp::kAnalytics: {
+      const JsonValue* view =
+          Member(obj, "view", JsonValue::Kind::kString, true, &st);
+      KGQ_RETURN_IF_ERROR(st);
+      if (view->string != "components" && view->string != "pagerank" &&
+          view->string != "reach") {
+        return Status::InvalidArgument(
+            "unknown view \"" + view->string +
+            "\" (components, pagerank or reach)");
+      }
+      out->view = view->string;
+      if (const JsonValue* label =
+              Member(obj, "label", JsonValue::Kind::kString, false, &st)) {
+        out->label = label->string;
+      }
+      KGQ_RETURN_IF_ERROR(st);
+      if (out->view == "reach" && obj.Find("label") == nullptr) {
+        return Status::InvalidArgument("view \"reach\" requires \"label\"");
+      }
+      if (const JsonValue* node =
+              Member(obj, "node", JsonValue::Kind::kNumber, false, &st)) {
+        uint64_t n = 0;
+        KGQ_RETURN_IF_ERROR(ToUint(*node, "node", kNoNode - 1, &n));
+        out->node = static_cast<NodeId>(n);
+        out->has_node = true;
+      }
+      KGQ_RETURN_IF_ERROR(st);
+      if (const JsonValue* top =
+              Member(obj, "top", JsonValue::Kind::kNumber, false, &st)) {
+        KGQ_RETURN_IF_ERROR(ToUint(*top, "top", 1 << 20, &out->top));
+        if (out->top == 0) {
+          return Status::InvalidArgument("\"top\" must be positive");
+        }
+      }
+      KGQ_RETURN_IF_ERROR(st);
+      if (out->view == "pagerank" && !out->has_node && out->top == 0) {
+        return Status::InvalidArgument(
+            "view \"pagerank\" requires \"node\" or \"top\"");
       }
       break;
     }
@@ -612,6 +656,63 @@ std::string RenderMetrics(const Request& req, const MetricsBody& metrics) {
   out += std::to_string(metrics.p99_ns);
   out += "},\"metrics\":";
   out += metrics.registry_json;
+  out += '}';
+  return out;
+}
+
+std::string RenderAnalytics(const Request& req, const AnalyticsBody& body) {
+  std::string out = Open(req, true);
+  out += ",\"epoch\":";
+  out += std::to_string(body.epoch);
+  out += ",\"view\":";
+  AppendJsonString(&out, body.view);
+  if (body.view == "components") {
+    out += ",\"num_components\":";
+    out += std::to_string(body.num_components);
+    if (body.has_node) {
+      out += ",\"node\":";
+      out += std::to_string(body.node);
+      out += ",\"component\":";
+      out += std::to_string(body.component);
+    }
+  } else if (body.view == "pagerank") {
+    if (body.has_node) {
+      out += ",\"node\":";
+      out += std::to_string(body.node);
+      out += ",\"rank\":";
+      out += std::to_string(body.rank);
+    }
+    if (body.has_top) {
+      out += ",\"top\":[";
+      for (size_t i = 0; i < body.top.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"node\":";
+        out += std::to_string(body.top[i].first);
+        out += ",\"rank\":";
+        out += std::to_string(body.top[i].second);
+        out += '}';
+      }
+      out += ']';
+    }
+  } else {  // reach
+    out += ",\"label\":";
+    AppendJsonString(&out, body.label);
+    if (body.has_node) {
+      out += ",\"node\":";
+      out += std::to_string(body.node);
+      out += ",\"count\":";
+      out += std::to_string(body.reach_nodes.size());
+      out += ",\"nodes\":[";
+      for (size_t i = 0; i < body.reach_nodes.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(body.reach_nodes[i]);
+      }
+      out += ']';
+    } else {
+      out += ",\"nnz\":";
+      out += std::to_string(body.nnz);
+    }
+  }
   out += '}';
   return out;
 }

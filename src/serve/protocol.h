@@ -62,6 +62,8 @@ enum class RequestOp {
   kStats,       ///< {"op":"stats"} → epoch/nodes/edges/pending/cache/...
   kMetrics,     ///< {"op":"metrics"} → registry dump + exact latency
                 ///<  quantiles
+  kAnalytics,   ///< {"op":"analytics","view":V[,"label":L][,"node":N]
+                ///<  [,"top":K]} → materialized view lookup
 };
 
 /// The three query front-ends the server compiles through src/plan.
@@ -88,6 +90,13 @@ struct Request {
   /// out or disabled) or the answer was served from a cache entry
   /// computed without a profile.
   bool profile = false;
+  /// analytics: which materialized view — "components", "pagerank" or
+  /// "reach" (the latter requires `label`: the edge label whose
+  /// positive-length closure is queried).
+  std::string view;
+  bool has_node = false;  ///< analytics: scope the response to one node.
+  NodeId node = kNoNode;
+  uint64_t top = 0;  ///< analytics pagerank: top-K ranked nodes.
 };
 
 /// Parses and validates one request line. On failure returns a non-OK
@@ -135,6 +144,34 @@ struct StatsBody {
   uint64_t p99_ns = 0;  ///< Exact reservoir p99 of serve.latency_ns.
 };
 
+/// The "analytics" response payload. Every rendered field is a pure
+/// function of the pinned epoch's logical graph (no iteration counts,
+/// no wall-clock — maintenance telemetry goes to the obs registry), so
+/// analytics responses are byte-stable across hit/advance/rebuild paths
+/// and across worker counts. `view` selects which members render.
+struct AnalyticsBody {
+  uint64_t epoch = 0;
+  std::string view;  ///< "components" | "pagerank" | "reach"
+
+  // components
+  size_t num_components = 0;
+  uint32_t component = 0;  ///< with node: that node's component id.
+
+  // pagerank (integer fixed-point, kPageRankScale units)
+  int64_t rank = 0;  ///< with node: that node's rank.
+  /// With top-K: (node, rank) sorted by rank descending, node ascending.
+  std::vector<std::pair<NodeId, int64_t>> top;
+
+  // reach
+  std::string label;
+  size_t nnz = 0;                   ///< closure size (no node given).
+  std::vector<NodeId> reach_nodes;  ///< with node: successors, ascending.
+
+  bool has_node = false;
+  NodeId node = kNoNode;
+  bool has_top = false;
+};
+
 /// The "metrics" response payload: exact latency quantiles from the
 /// server's QuantileReservoir plus the full obs registry export
 /// (`registry_json` must be one compact JSON object; it is embedded
@@ -158,6 +195,7 @@ std::string RenderPublish(const Request& req, uint64_t epoch, size_t nodes,
                           size_t edges);
 std::string RenderStats(const Request& req, const StatsBody& stats);
 std::string RenderMetrics(const Request& req, const MetricsBody& metrics);
+std::string RenderAnalytics(const Request& req, const AnalyticsBody& body);
 std::string RenderAnswer(const Request& req, const QueryAnswer& answer);
 std::string RenderExplain(const Request& req, uint64_t epoch,
                           const std::string& plan);

@@ -5,10 +5,11 @@
 namespace kgq {
 namespace serve {
 
-QueryCache::Slot QueryCache::Lookup(const std::string& key, uint64_t epoch) {
-  // The epoch is folded into the stored key, so an entry can only ever
-  // be hit by a query pinned to the same graph version.
-  std::string full = std::to_string(epoch);
+QueryCache::Slot QueryCache::Lookup(const std::string& key,
+                                    uint64_t version) {
+  // The content version is folded into the stored key, so an entry can
+  // only ever be hit by a query pinned to the same graph content.
+  std::string full = std::to_string(version);
   full.push_back('\n');
   full += key;
 

@@ -27,15 +27,19 @@ struct CachedAnswer {
 using CachedAnswerPtr = std::shared_ptr<const CachedAnswer>;
 
 /// The plan/result cache of the serving layer, keyed on canonical query
-/// text + snapshot epoch.
+/// text + snapshot *content version*.
 ///
 /// Keys are the *canonical* rendering of the parsed query (front-end
 /// name + parser round-trip), so textual variants of one query — extra
-/// whitespace, case-folded keywords — share an entry. The epoch is part
-/// of the key: an entry can never serve rows from a different graph
-/// version. Publish() calls Invalidate(), which drops every entry — old
-/// epochs are unreachable through the server anyway, this just frees
-/// the memory — and bumps serve.cache.invalidate exactly once per epoch.
+/// whitespace, case-folded keywords — share an entry. The snapshot's
+/// content version is part of the key: an entry can never serve rows
+/// from a different graph *content*, while epochs that republish
+/// identical content (empty publishes) keep hitting it — the server
+/// patches the response's epoch number to the pinned snapshot's.
+/// Server::Publish() calls Invalidate() only when the published content
+/// actually changed; Invalidate drops every entry (stale versions are
+/// unreachable anyway, this just frees the memory) and bumps
+/// serve.cache.invalidate exactly once per content change.
 ///
 /// Lookup() implements request coalescing: the first miss installs an
 /// in-flight slot (a shared_future) that the caller must fill exactly
@@ -65,11 +69,12 @@ class QueryCache {
     std::shared_ptr<std::promise<CachedAnswerPtr>> fill;
   };
 
-  /// Finds or installs the slot for (key, epoch).
-  Slot Lookup(const std::string& key, uint64_t epoch);
+  /// Finds or installs the slot for (key, version) — `version` is the
+  /// pinned snapshot's content_version.
+  Slot Lookup(const std::string& key, uint64_t version);
 
-  /// Drops every entry (the epoch just became stale). Called once per
-  /// Publish().
+  /// Drops every entry (the cached content version just became stale).
+  /// Called once per content-changing Publish().
   void Invalidate();
 
   size_t size() const;

@@ -169,7 +169,7 @@ Result<ConjunctiveQuery> CompilePrepared(const Server::PreparedQuery& prep,
       break;
     }
     case QueryLang::kBgp: {
-      KGQ_ASSIGN_OR_RETURN(cq, CompileBgpOverLabeled(prep.bgp, snap.graph));
+      KGQ_ASSIGN_OR_RETURN(cq, CompileBgpOverLabeled(prep.bgp, snap.graph()));
       if (cq.projection.empty()) {
         *ask = true;
         cq.projection.push_back(cq.bound.begin()->first);
@@ -192,12 +192,13 @@ Result<QueryAnswer> ComputePrepared(const Server::PreparedQuery& prep,
   bool ask = false;
   KGQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
                        CompilePrepared(prep, snap, &ask));
-  LabeledGraphView view(snap.graph);
-  GraphStats stats = GraphStats::From(&view, &snap.csr);
+  LabeledGraphView view(snap.graph());
+  GraphStats stats = GraphStats::From(&view, snap.csr.get(),
+                                      snap.node_label_counts.get());
   KGQ_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanQuery(cq, stats, planner));
   ExecOptions eopts;
   eopts.parallel = prep.parallel;
-  eopts.snapshot = &snap.csr;
+  eopts.snapshot = snap.csr.get();
 
   // The enable decision is snapshotted once, here: a concurrent
   // SetEnabled flip mid-execution can therefore never produce a torn
@@ -233,8 +234,9 @@ Result<std::string> ExplainPrepared(const Server::PreparedQuery& prep,
   bool ask = false;
   KGQ_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
                        CompilePrepared(prep, snap, &ask));
-  LabeledGraphView view(snap.graph);
-  GraphStats stats = GraphStats::From(&view, &snap.csr);
+  LabeledGraphView view(snap.graph());
+  GraphStats stats = GraphStats::From(&view, snap.csr.get(),
+                                      snap.node_label_counts.get());
   KGQ_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanQuery(cq, stats, planner));
   return ExplainPlan(*plan);
 }
@@ -250,8 +252,12 @@ Server::Server(ServerOptions options)
 }
 
 EpochPtr Server::Publish() {
+  const uint64_t before = store_.Acquire()->content_version;
   EpochPtr snap = store_.Publish();
-  cache_.Invalidate();
+  // Cached answers are keyed on content_version, so an empty publish
+  // (same content, new epoch number) keeps every entry; responses served
+  // from them get their epoch patched to the pinned snapshot's.
+  if (snap->content_version != before) cache_.Invalidate();
   return snap;
 }
 
@@ -286,7 +292,7 @@ Result<Server::PreparedQuery> Server::Prepare(const Request& req) const {
 
 Result<QueryAnswer> Server::RunPrepared(const PreparedQuery& prep,
                                         const EpochPtr& snap) {
-  QueryCache::Slot slot = cache_.Lookup(prep.key, snap->epoch);
+  QueryCache::Slot slot = cache_.Lookup(prep.key, snap->content_version);
   return FinishSlot(prep, snap, &slot);
 }
 
@@ -298,6 +304,9 @@ Result<QueryAnswer> Server::FinishSlot(const PreparedQuery& prep,
     if (!cached->status.ok()) return cached->status;
     QueryAnswer answer = cached->answer;
     answer.cached = true;
+    // The entry may predate an empty publish (same content version,
+    // older epoch number); the response reports the pinned epoch.
+    answer.epoch = snap->epoch;
     return answer;
   }
   auto cached = std::make_shared<CachedAnswer>();
@@ -371,19 +380,74 @@ std::string Server::HandleWriteOrStats(const Request& req) {
     }
     case RequestOp::kPublish: {
       EpochPtr snap = Publish();
-      return RenderPublish(req, snap->epoch, snap->graph.num_nodes(),
-                           snap->graph.num_edges());
+      return RenderPublish(req, snap->epoch, snap->num_nodes(),
+                           snap->num_edges());
     }
     case RequestOp::kStats:
       return RenderStats(req, BuildStats());
     case RequestOp::kMetrics:
       return RenderMetrics(req, BuildMetrics());
+    case RequestOp::kAnalytics:
+      return HandleAnalytics(req);
     case RequestOp::kQuery:
     case RequestOp::kExplain:
       break;  // Not reached; queries go through Prepare/RunPrepared.
   }
   KGQ_COUNTER_INC("serve.errors");
   return RenderError(req, Status::Internal("misrouted request"));
+}
+
+std::string Server::HandleAnalytics(const Request& req) {
+  KGQ_SPAN("serve.analytics");
+  EpochPtr snap = store_.Acquire();
+  if (req.has_node && req.node >= snap->num_nodes()) {
+    KGQ_COUNTER_INC("serve.errors");
+    return RenderError(req,
+                       Status::InvalidArgument("analytics: no such node"));
+  }
+  AnalyticsBody body;
+  body.epoch = snap->epoch;
+  body.view = req.view;
+  body.has_node = req.has_node;
+  body.node = req.node;
+  if (req.view == "components") {
+    std::shared_ptr<const ComponentAssignment> comp = views_.Components(snap);
+    body.num_components = comp->num_components;
+    if (req.has_node) body.component = comp->component[req.node];
+  } else if (req.view == "pagerank") {
+    std::shared_ptr<const std::vector<int64_t>> rank = views_.PageRank(snap);
+    if (req.has_node) body.rank = (*rank)[req.node];
+    if (req.top > 0) {
+      body.has_top = true;
+      body.top.reserve(rank->size());
+      for (NodeId n = 0; n < rank->size(); ++n) {
+        body.top.emplace_back(n, (*rank)[n]);
+      }
+      const size_t k = std::min<size_t>(req.top, body.top.size());
+      std::partial_sort(body.top.begin(), body.top.begin() + k,
+                        body.top.end(),
+                        [](const std::pair<NodeId, int64_t>& a,
+                           const std::pair<NodeId, int64_t>& b) {
+                          if (a.second != b.second) return a.second > b.second;
+                          return a.first < b.first;
+                        });
+      body.top.resize(k);
+    }
+  } else {  // reach
+    std::shared_ptr<const BoolCsr> closure =
+        views_.Reachability(snap, req.label);
+    body.label = req.label;
+    if (req.has_node) {
+      body.reach_nodes.assign(
+          closure->cols.begin() +
+              static_cast<ptrdiff_t>(closure->offsets[req.node]),
+          closure->cols.begin() +
+              static_cast<ptrdiff_t>(closure->offsets[req.node + 1]));
+    } else {
+      body.nnz = closure->nnz();
+    }
+  }
+  return RenderAnalytics(req, body);
 }
 
 std::string Server::HandleLine(const std::string& line) {
@@ -647,7 +711,7 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
       job.req = std::move(req);
       job.prep = std::move(*prep);
       job.snap = store_.Acquire();
-      job.slot = cache_.Lookup(job.prep.key, job.snap->epoch);
+      job.slot = cache_.Lookup(job.prep.key, job.snap->content_version);
       job.admit_ns = admit_ns;
       {
         std::unique_lock<std::mutex> lock(state.mu);

@@ -11,6 +11,7 @@
 #include "serve/delta_store.h"
 #include "serve/protocol.h"
 #include "serve/query_cache.h"
+#include "serve/view_cache.h"
 #include "util/result.h"
 
 namespace kgq {
@@ -84,7 +85,8 @@ class Server {
   const ServerOptions& options() const { return options_; }
 
   /// Publishes the pending writes as a new epoch and invalidates the
-  /// cache (exactly one invalidation per epoch bump) — what the
+  /// query cache iff the published *content* changed (an empty publish
+  /// bumps the epoch but keeps every cached answer) — what the
   /// "publish" request does; in-process clients should use this rather
   /// than store().Publish() so the cache stays in step.
   EpochPtr Publish();
@@ -141,6 +143,9 @@ class Server {
                                  QueryCache::Slot* slot);
   /// Handles any non-query request synchronously; returns the response.
   std::string HandleWriteOrStats(const Request& req);
+  /// Serves one "analytics" request from the materialized-view cache,
+  /// pinned to the current epoch.
+  std::string HandleAnalytics(const Request& req);
 
   /// Feeds one request latency to the histogram and the reservoir.
   void RecordLatency(uint64_t latency_ns);
@@ -153,6 +158,7 @@ class Server {
   ServerOptions options_;
   DeltaStore store_;
   QueryCache cache_;
+  ViewCache views_;
   obs::QuantileReservoir latency_;
   std::mutex slow_mu_;  // Serializes slow-log lines across workers.
 };

@@ -28,9 +28,9 @@ TEST(DeltaStore, StartsAtEmptyPublishedEpochZero) {
   EpochPtr snap = store.Acquire();
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->epoch, 0u);
-  EXPECT_EQ(snap->graph.num_nodes(), 0u);
-  EXPECT_EQ(snap->graph.num_edges(), 0u);
-  EXPECT_EQ(snap->csr.num_edges(), 0u);
+  EXPECT_EQ(snap->graph().num_nodes(), 0u);
+  EXPECT_EQ(snap->graph().num_edges(), 0u);
+  EXPECT_EQ(snap->csr->num_edges(), 0u);
 }
 
 TEST(DeltaStore, DuplicateInsertAndAbsentDeleteAreNoOps) {
@@ -73,13 +73,13 @@ TEST(DeltaStore, WritesInvisibleUntilPublish) {
   NodeId a = store.AddNode("n");
   NodeId b = store.AddNode("n");
   ASSERT_TRUE(store.InsertEdge(a, b, "e").ok());
-  EXPECT_EQ(store.Acquire()->graph.num_nodes(), 0u);
+  EXPECT_EQ(store.Acquire()->graph().num_nodes(), 0u);
   EXPECT_EQ(store.PendingOps(), 3u);
 
   EpochPtr snap = store.Publish();
   EXPECT_EQ(snap->epoch, 1u);
-  EXPECT_EQ(snap->graph.num_nodes(), 2u);
-  EXPECT_EQ(snap->graph.num_edges(), 1u);
+  EXPECT_EQ(snap->graph().num_nodes(), 2u);
+  EXPECT_EQ(snap->graph().num_edges(), 1u);
   EXPECT_EQ(store.PendingOps(), 0u);
   EXPECT_EQ(store.Acquire(), snap);
 }
@@ -97,11 +97,11 @@ TEST(DeltaStore, AcquiredEpochSurvivesLaterWrites) {
 
   // The pinned epoch still shows the old state, untouched.
   EXPECT_EQ(one->epoch, 1u);
-  EXPECT_EQ(one->graph.num_nodes(), 2u);
-  EXPECT_EQ(one->graph.num_edges(), 1u);
+  EXPECT_EQ(one->graph().num_nodes(), 2u);
+  EXPECT_EQ(one->graph().num_edges(), 1u);
   EXPECT_EQ(two->epoch, 2u);
-  EXPECT_EQ(two->graph.num_nodes(), 3u);
-  EXPECT_EQ(two->graph.num_edges(), 0u);
+  EXPECT_EQ(two->graph().num_nodes(), 3u);
+  EXPECT_EQ(two->graph().num_edges(), 0u);
 }
 
 TEST(DeltaStore, LogicalEdgesAreCanonicallyOrdered) {
@@ -115,6 +115,76 @@ TEST(DeltaStore, LogicalEdgesAreCanonicallyOrdered) {
   EXPECT_EQ(edges[0], (EdgeKey{0, 1, "a"}));
   EXPECT_EQ(edges[1], (EdgeKey{0, 1, "z"}));
   EXPECT_EQ(edges[2], (EdgeKey{2, 0, "b"}));
+}
+
+TEST(DeltaStore, PendingOpsResetAcrossPublishes) {
+  DeltaStore store;
+  NodeId a = store.AddNode("n");
+  NodeId b = store.AddNode("n");
+  ASSERT_TRUE(store.InsertEdge(a, b, "e").ok());
+  EXPECT_EQ(store.PendingOps(), 3u);
+  store.Publish();
+  EXPECT_EQ(store.PendingOps(), 0u);
+
+  // No-op writes do not count as pending; applied ones do — including
+  // an insert later cancelled by a delete (ops, not net effect).
+  ASSERT_FALSE(*store.InsertEdge(a, b, "e"));
+  EXPECT_EQ(store.PendingOps(), 0u);
+  ASSERT_TRUE(*store.InsertEdge(b, a, "e"));
+  ASSERT_TRUE(*store.DeleteEdge(b, a, "e"));
+  EXPECT_EQ(store.PendingOps(), 2u);
+  store.Publish();
+  EXPECT_EQ(store.PendingOps(), 0u);
+}
+
+TEST(DeltaStore, LogicalEdgesUnderInterleavedInsertDeleteOfSameKey) {
+  DeltaStore store;
+  store.AddNode("n");
+  store.AddNode("n");
+  ASSERT_TRUE(*store.InsertEdge(0, 1, "e"));
+  ASSERT_TRUE(*store.DeleteEdge(0, 1, "e"));
+  ASSERT_TRUE(*store.InsertEdge(0, 1, "e"));
+  ASSERT_TRUE(*store.DeleteEdge(0, 1, "e"));
+  EXPECT_TRUE(store.LogicalEdges().empty());
+  ASSERT_TRUE(*store.InsertEdge(0, 1, "e"));
+  std::vector<EdgeKey> edges = store.LogicalEdges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (EdgeKey{0, 1, "e"}));
+}
+
+TEST(DeltaStore, DeleteThenReinsertWithinOneEpochIsAnEmptyPublish) {
+  DeltaStore store;
+  store.AddNode("n");
+  store.AddNode("n");
+  ASSERT_TRUE(*store.InsertEdge(0, 1, "e"));
+  EpochPtr base = store.Publish();
+
+  // Net delta cancels to nothing: the next publish must share the
+  // previous epoch's materialization wholesale and keep its content
+  // version (the query cache stays warm across it).
+  ASSERT_TRUE(*store.DeleteEdge(0, 1, "e"));
+  ASSERT_TRUE(*store.InsertEdge(0, 1, "e"));
+  EpochPtr next = store.Publish();
+  EXPECT_EQ(next->epoch, base->epoch + 1);
+  EXPECT_EQ(next->content_version, base->content_version);
+  EXPECT_EQ(next->csr, base->csr);  // shared pointer, not a copy
+  EXPECT_TRUE(next->delta.inserted.empty());
+  EXPECT_TRUE(next->delta.deleted.empty());
+  EXPECT_EQ(next->delta.nodes_added, 0u);
+}
+
+TEST(DeltaStore, ContentVersionBumpsOnlyOnContentChange) {
+  DeltaStore store;
+  EpochPtr empty = store.Publish();
+  EXPECT_EQ(empty->content_version, 0u);  // still the empty graph
+
+  store.AddNode("n");
+  EpochPtr one = store.Publish();
+  EXPECT_EQ(one->content_version, empty->content_version + 1);
+
+  EpochPtr two = store.Publish();  // nothing pending
+  EXPECT_EQ(two->epoch, one->epoch + 1);
+  EXPECT_EQ(two->content_version, one->content_version);
 }
 
 // ---------------------------------------------------------------------------
@@ -142,27 +212,32 @@ void BuildReference(const RefModel& ref, LabeledGraph* graph,
 void ExpectSnapshotsIdentical(const EpochSnapshot& got,
                               const LabeledGraph& want_graph,
                               const CsrSnapshot& want_csr) {
-  ASSERT_EQ(got.graph.num_nodes(), want_graph.num_nodes());
-  ASSERT_EQ(got.graph.num_edges(), want_graph.num_edges());
-  for (NodeId n = 0; n < got.graph.num_nodes(); ++n) {
-    ASSERT_EQ(got.graph.NodeLabelString(n), want_graph.NodeLabelString(n));
+  ASSERT_EQ(got.graph().num_nodes(), want_graph.num_nodes());
+  ASSERT_EQ(got.graph().num_edges(), want_graph.num_edges());
+  for (NodeId n = 0; n < got.graph().num_nodes(); ++n) {
+    ASSERT_EQ(got.graph().NodeLabelString(n), want_graph.NodeLabelString(n));
   }
   // Edge lists compare in edge-id order — materialization order itself
   // is part of the contract (it determines label interning).
-  ASSERT_EQ(got.csr.ToEdgeList(), want_csr.ToEdgeList());
-  ASSERT_EQ(got.csr.num_labels(), want_csr.num_labels());
-  for (LabelId l = 0; l < got.csr.num_labels(); ++l) {
-    ASSERT_EQ(got.csr.LabelName(l), want_csr.LabelName(l));
-    ASSERT_EQ(got.csr.CountForLabel(l), want_csr.CountForLabel(l));
+  ASSERT_EQ(got.csr->ToEdgeList(), want_csr.ToEdgeList());
+  ASSERT_EQ(got.csr->num_labels(), want_csr.num_labels());
+  for (LabelId l = 0; l < got.csr->num_labels(); ++l) {
+    ASSERT_EQ(got.csr->LabelName(l), want_csr.LabelName(l));
+    ASSERT_EQ(got.csr->CountForLabel(l), want_csr.CountForLabel(l));
   }
-  ASSERT_TRUE(got.csr.MatchesTopology(got.graph.topology()));
+  ASSERT_TRUE(got.csr->MatchesTopology(got.graph().topology()));
+  // The strongest form: every member of the snapshot (offset arrays,
+  // partitioned views, interning tables) compares equal — bit-identity
+  // of the incremental merge with the from-scratch build.
+  ASSERT_TRUE(*got.csr == want_csr);
 }
 
 TEST(DeltaStoreDifferential, PublishedEpochsMatchFromScratchBuilds) {
   const std::vector<std::string> kLabels = {"a", "b", "c", "rides"};
   for (uint64_t seed = 0; seed < 32; ++seed) {
     Rng rng(seed);
-    DeltaStore store;
+    DeltaStore store;  // incremental publication (the default)
+    DeltaStore full(DeltaStoreOptions{/*incremental_publish=*/false});
     RefModel ref;
     uint64_t published = 0;
 
@@ -172,6 +247,7 @@ TEST(DeltaStoreDifferential, PublishedEpochsMatchFromScratchBuilds) {
       if (pick < 20 || ref.nodes.empty()) {
         const std::string& label = kLabels[rng.Below(kLabels.size())];
         NodeId id = store.AddNode(label);
+        ASSERT_EQ(full.AddNode(label), id) << "seed " << seed;
         ASSERT_EQ(id, ref.nodes.size()) << "seed " << seed;
         ref.nodes.push_back(label);
       } else if (pick < 60) {
@@ -180,6 +256,7 @@ TEST(DeltaStoreDifferential, PublishedEpochsMatchFromScratchBuilds) {
                   kLabels[rng.Below(kLabels.size())]};
         auto applied = store.InsertEdge(e.from, e.to, e.label);
         ASSERT_TRUE(applied.ok()) << "seed " << seed;
+        ASSERT_TRUE(full.InsertEdge(e.from, e.to, e.label).ok());
         // Duplicate inserts happen naturally: applied iff it was new.
         EXPECT_EQ(*applied, ref.edges.insert(e).second) << "seed " << seed;
       } else if (pick < 90) {
@@ -197,6 +274,7 @@ TEST(DeltaStoreDifferential, PublishedEpochsMatchFromScratchBuilds) {
         }
         auto applied = store.DeleteEdge(e.from, e.to, e.label);
         ASSERT_TRUE(applied.ok()) << "seed " << seed;
+        ASSERT_TRUE(full.DeleteEdge(e.from, e.to, e.label).ok());
         EXPECT_EQ(*applied, ref.edges.erase(e) > 0) << "seed " << seed;
       } else {
         EpochPtr snap = store.Publish();
@@ -205,6 +283,10 @@ TEST(DeltaStoreDifferential, PublishedEpochsMatchFromScratchBuilds) {
         CsrSnapshot want_csr;
         BuildReference(ref, &want_graph, &want_csr);
         ExpectSnapshotsIdentical(*snap, want_graph, want_csr);
+        // The from-scratch publication path must agree member-for-member
+        // with the incremental merge — the cross-path differential.
+        EpochPtr fsnap = full.Publish();
+        ASSERT_TRUE(*fsnap->csr == *snap->csr) << "seed " << seed;
       }
     }
 
@@ -224,7 +306,7 @@ TEST(DeltaStoreDifferential, PublishedEpochsMatchFromScratchBuilds) {
       ASSERT_TRUE(replay.InsertEdge(e.from, e.to, e.label).ok());
     }
     EpochPtr replayed = replay.Publish();
-    ExpectSnapshotsIdentical(*replayed, snap->graph, snap->csr);
+    ExpectSnapshotsIdentical(*replayed, snap->graph(), *snap->csr);
   }
 }
 

@@ -1,6 +1,7 @@
 // Plan/result cache semantics of the serving layer: hit at the same
-// epoch, miss after Publish(), invalidation exactly once per epoch bump,
-// canonical-text keying, and the obs counter trail
+// epoch, miss after a content-changing Publish(), invalidation exactly
+// once per *content change* (empty publishes bump the epoch but keep
+// the cache), canonical-text keying, and the obs counter trail
 // (serve.cache.hit/miss/invalidate).
 
 #include <gtest/gtest.h>
@@ -79,7 +80,7 @@ TEST_F(ServeCacheTest, HitAtSameEpochMissAfterPublish) {
   }
 }
 
-TEST_F(ServeCacheTest, HandleLinePublishInvalidatesExactlyOnce) {
+TEST_F(ServeCacheTest, PublishInvalidatesOnlyOnContentChange) {
   const std::string query =
       R"j({"op":"query","lang":"crpq","text":"q(x, y) :- (x) -[ rides ]-> (y)"})j";
 
@@ -89,7 +90,24 @@ TEST_F(ServeCacheTest, HandleLinePublishInvalidatesExactlyOnce) {
   EXPECT_NE(server_.HandleLine(query).find("\"cached\":true"),
             std::string::npos);
 
-  // One publish — exactly one invalidation, even with nothing pending.
+  // An *empty* publish bumps the epoch but republishes identical
+  // content: the cache survives, the next request still hits, and the
+  // served answer reports the new epoch.
+  const uint64_t epoch_before = server_.store().CurrentEpoch();
+  server_.HandleLine(R"({"op":"publish"})");
+  if (obs::kCompiledIn) {
+    EXPECT_EQ(Count("serve.cache.invalidate"), inval0);
+  }
+  EXPECT_EQ(server_.cache().size(), 1u);
+  std::string after_empty = server_.HandleLine(query);
+  EXPECT_NE(after_empty.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(after_empty.find("\"epoch\":" +
+                             std::to_string(epoch_before + 1)),
+            std::string::npos);
+
+  // A content-changing publish — exactly one invalidation, and the next
+  // request recomputes.
+  server_.HandleLine(R"({"op":"add_node","label":"late"})");
   server_.HandleLine(R"({"op":"publish"})");
   if (obs::kCompiledIn) {
     EXPECT_EQ(Count("serve.cache.invalidate"), inval0 + 1);
@@ -101,11 +119,13 @@ TEST_F(ServeCacheTest, HandleLinePublishInvalidatesExactlyOnce) {
   EXPECT_NE(server_.HandleLine(query).find("\"cached\":true"),
             std::string::npos);
 
+  // Back-to-back empty publishes: no further invalidations.
   server_.HandleLine(R"({"op":"publish"})");
   server_.HandleLine(R"({"op":"publish"})");
   if (obs::kCompiledIn) {
-    EXPECT_EQ(Count("serve.cache.invalidate"), inval0 + 3);
+    EXPECT_EQ(Count("serve.cache.invalidate"), inval0 + 1);
   }
+  EXPECT_EQ(server_.cache().size(), 1u);
 }
 
 TEST_F(ServeCacheTest, CanonicalTextSharesOneEntry) {

@@ -162,7 +162,8 @@ TEST(ServeConcurrent, PinnedEpochIsImmuneToLaterPublishes) {
 }
 
 /// Deterministic jsonl workload: writes, publishes, queries in all three
-/// front-ends (with repeats for cache hits) and malformed lines.
+/// front-ends (with repeats for cache hits), analytics requests against
+/// the maintained views, and malformed lines.
 std::string WorkloadScript() {
   Rng rng(0xFEEDull);
   std::ostringstream out;
@@ -192,6 +193,40 @@ std::string WorkloadScript() {
       out << R"({"op":"stats"})" << "\n";
     } else if (pick < 66) {
       out << "{\"op\":\"nonsense\"}\n";  // Structured error path.
+    } else if (pick < 78) {
+      // Analytics over the maintained views. Runs on the dispatcher, so
+      // the responses must be byte-identical at every worker count.
+      // Nodes may exceed the published snapshot (added but unpublished):
+      // that is the deterministic out-of-range error path.
+      switch (rng.Below(6)) {
+        case 0:
+          out << R"({"op":"analytics","id":)" << i
+              << R"(,"view":"components"})" << "\n";
+          break;
+        case 1:
+          out << R"({"op":"analytics","id":)" << i
+              << R"(,"view":"components","node":)" << rng.Below(nodes)
+              << "}\n";
+          break;
+        case 2:
+          out << R"({"op":"analytics","id":)" << i
+              << R"(,"view":"pagerank","top":3})" << "\n";
+          break;
+        case 3:
+          out << R"({"op":"analytics","id":)" << i
+              << R"(,"view":"pagerank","node":)" << rng.Below(nodes)
+              << "}\n";
+          break;
+        case 4:
+          out << R"({"op":"analytics","id":)" << i
+              << R"(,"view":"reach","label":"rides","node":)"
+              << rng.Below(nodes) << "}\n";
+          break;
+        default:
+          out << R"({"op":"analytics","id":)" << i
+              << R"(,"view":"reach","label":"knows"})" << "\n";
+          break;
+      }
     } else {
       const Request& q = queries[rng.Below(queries.size())];
       const bool profile = rng.Bernoulli(0.4);

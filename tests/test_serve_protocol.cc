@@ -141,6 +141,55 @@ TEST(ParseRequestLine, ParsesProfileFlagAndMetricsOp) {
   EXPECT_EQ(req.id, 5u);
 }
 
+TEST(ParseRequestLine, ValidatesAnalyticsRequests) {
+  Request req;
+  EXPECT_TRUE(
+      ParseRequestLine(R"({"op":"analytics","view":"components"})", &req)
+          .ok());
+  EXPECT_EQ(req.op, RequestOp::kAnalytics);
+  EXPECT_EQ(req.view, "components");
+  EXPECT_FALSE(req.has_node);
+
+  EXPECT_TRUE(ParseRequestLine(
+                  R"({"op":"analytics","view":"components","node":7})", &req)
+                  .ok());
+  EXPECT_TRUE(req.has_node);
+  EXPECT_EQ(req.node, 7u);
+
+  EXPECT_TRUE(ParseRequestLine(
+                  R"({"op":"analytics","view":"pagerank","top":5})", &req)
+                  .ok());
+  EXPECT_EQ(req.view, "pagerank");
+  EXPECT_EQ(req.top, 5u);
+
+  EXPECT_TRUE(
+      ParseRequestLine(
+          R"({"op":"analytics","view":"reach","label":"rides","node":2})",
+          &req)
+          .ok());
+  EXPECT_EQ(req.label, "rides");
+
+  // Label-only reach (served as the closure's nnz) is valid too.
+  EXPECT_TRUE(ParseRequestLine(
+                  R"({"op":"analytics","view":"reach","label":"rides"})", &req)
+                  .ok());
+  EXPECT_FALSE(req.has_node);
+
+  const char* bad[] = {
+      R"({"op":"analytics"})",                              // Missing view.
+      R"({"op":"analytics","view":"betweenness"})",         // Unknown view.
+      R"({"op":"analytics","view":"reach"})",               // Reach sans label.
+      R"({"op":"analytics","view":"pagerank"})",            // No node, no top.
+      R"({"op":"analytics","view":"pagerank","top":0})",    // Zero top.
+      R"({"op":"analytics","view":"pagerank","top":9999999})",
+      R"({"op":"analytics","view":"components","node":-1})",
+      R"({"op":"analytics","view":"components","node":0.5})",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseRequestLine(line, &req).ok()) << "accepted: " << line;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Stats and metrics responses.
 
@@ -311,6 +360,9 @@ TEST(ServeProtocolFuzz, MutatedRequestsNeverCrashOrPartiallyApply) {
       R"j({"op":"query","lang":"crpq","text":"q(x) :- (x: person)"})j",
       R"({"op":"query","lang":"bgp","text":"?x rides ?y","threads":2})",
       R"({"op":"explain","lang":"bgp","text":"?x rides ?y"})",
+      R"({"op":"analytics","view":"components","node":1})",
+      R"({"op":"analytics","view":"pagerank","top":3})",
+      R"({"op":"analytics","view":"reach","label":"rides","node":0})",
   };
 
   Server server;
