@@ -1,0 +1,97 @@
+#include "pathalg/cfpq_matrix.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace kgq {
+
+namespace {
+
+/// C = A \ B elementwise (entries of A absent from B, same shape).
+/// Canonical-CSR output, linear merge per row.
+BoolCsr Subtract(const BoolCsr& a, const BoolCsr& b) {
+  BoolCsr out;
+  out.num_rows = a.num_rows;
+  out.num_cols = a.num_cols;
+  out.offsets.assign(a.num_rows + 1, 0);
+  out.cols.reserve(a.nnz());
+  for (size_t i = 0; i < a.num_rows; ++i) {
+    size_t ka = a.offsets[i], kb = b.offsets[i];
+    while (ka < a.offsets[i + 1]) {
+      uint32_t c = a.cols[ka];
+      while (kb < b.offsets[i + 1] && b.cols[kb] < c) ++kb;
+      if (kb >= b.offsets[i + 1] || b.cols[kb] != c) out.cols.push_back(c);
+      ++ka;
+    }
+    out.offsets[i + 1] = out.cols.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BoolCsr> CfpqSolveMatrix(const CsrSnapshot& snap,
+                                const CnfGrammar& grammar,
+                                uint32_t nonterminal,
+                                const ParallelOptions& par) {
+  if (nonterminal >= grammar.num_nonterminals()) {
+    return Status::InvalidArgument("nonterminal id out of range");
+  }
+  const size_t n = snap.num_nodes();
+  const size_t nts = grammar.num_nonterminals();
+  BoolCsr empty = BoolCsr::FromEntries(n, n, {});
+
+  // Seed: nullable diagonals + per-label terminal matrices. Every seed
+  // fact is "new", so the first round's deltas are the relations.
+  std::vector<BoolCsr> rel(nts, empty);
+  for (uint32_t a = 0; a < nts; ++a) {
+    if (grammar.nullable(a)) rel[a] = BoolCsr::Identity(n);
+  }
+  for (const CnfGrammar::TermProd& t : grammar.term_prods()) {
+    rel[t.lhs] =
+        BoolUnion(rel[t.lhs], BoolCsrForLabel(snap, t.label, t.backward));
+  }
+  std::vector<BoolCsr> delta = rel;
+
+  // Semi-naive rounds: products of two *old* facts were formed in an
+  // earlier round, so (Δ×R) ∪ (R×Δ) masked by R covers everything new
+  // (Δ×Δ ⊆ Δ×R since Δ ⊆ R). Relations are updated only between
+  // rounds, keeping each round's masks consistent and the result
+  // schedule-independent.
+  size_t rounds = 0;
+  size_t new_entries = 0;
+  auto any_delta = [&] {
+    for (const BoolCsr& d : delta) {
+      if (d.nnz() != 0) return true;
+    }
+    return false;
+  };
+  while (any_delta()) {
+    ++rounds;
+    std::vector<BoolCsr> next(nts, empty);
+    for (const CnfGrammar::UnitProd& p : grammar.unit_prods()) {
+      next[p.lhs] = BoolUnion(next[p.lhs], Subtract(delta[p.rhs], rel[p.lhs]));
+    }
+    for (const CnfGrammar::BinProd& p : grammar.bin_prods()) {
+      next[p.lhs] = BoolUnion(
+          next[p.lhs], BoolSpGemmDelta(delta[p.left], rel[p.right],
+                                       rel[p.lhs], par));
+      next[p.lhs] = BoolUnion(
+          next[p.lhs], BoolSpGemmDelta(rel[p.left], delta[p.right],
+                                       rel[p.lhs], par));
+    }
+    for (uint32_t a = 0; a < nts; ++a) {
+      new_entries += next[a].nnz();
+      if (next[a].nnz() != 0) rel[a] = BoolUnion(rel[a], next[a]);
+    }
+    delta = std::move(next);
+  }
+  KGQ_HISTOGRAM_RECORD("cfpq.fixpoint_rounds", static_cast<double>(rounds));
+  KGQ_COUNTER_ADD("cfpq.spgemm.entries", new_entries);
+  return std::move(rel[nonterminal]);
+}
+
+}  // namespace kgq

@@ -54,6 +54,15 @@ BoolCsr BoolCsr::FromSnapshotLabel(const CsrSnapshot& snap, LabelId label,
   return FromEntries(snap.num_nodes(), snap.num_nodes(), std::move(es));
 }
 
+BoolCsr BoolCsrForLabel(const CsrSnapshot& snap, std::string_view label,
+                        bool transpose) {
+  std::optional<LabelId> id = snap.FindLabel(label);
+  if (!id.has_value()) {
+    return BoolCsr::FromEntries(snap.num_nodes(), snap.num_nodes(), {});
+  }
+  return BoolCsr::FromSnapshotLabel(snap, *id, transpose);
+}
+
 bool BoolCsr::Test(size_t r, size_t c) const {
   const uint32_t* lo = cols.data() + offsets[r];
   const uint32_t* hi = cols.data() + offsets[r + 1];

@@ -2,6 +2,7 @@
 #define KGQ_PATHALG_MATRIX_RPQ_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "graph/csr_snapshot.h"
@@ -66,6 +67,14 @@ struct BoolCsr {
   bool Test(size_t r, size_t c) const;
   bool operator==(const BoolCsr&) const = default;
 };
+
+/// One label's adjacency matrix by *spelling*: FindLabel +
+/// FromSnapshotLabel, or the n×n empty matrix when no edge carries the
+/// label. The shared per-label constructor used by the matrix RPQ
+/// engine, the CFPQ fixpoint (pathalg/cfpq_matrix.h) and the serve
+/// layer's closure views (serve/view_cache.cc).
+BoolCsr BoolCsrForLabel(const CsrSnapshot& snap, std::string_view label,
+                        bool transpose = false);
 
 /// C = A ×_bool B over the (∨, ∧) semiring: C(i, j) ⟺ ∃k A(i, k) ∧
 /// B(k, j). With `complement_mask`, entries present in the mask are

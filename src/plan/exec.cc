@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "pathalg/cfpq_matrix.h"
 #include "pathalg/pairs.h"
+#include "rpq/cfpq_reference.h"
 #include "rpq/path_nfa.h"
 #include "rpq/test_eval.h"
 
@@ -206,6 +208,9 @@ class Executor {
   }
 
   Result<RowSet> PathAtom(const LogicalOp& op) {
+    if (op.path->kind() == PathExpr::Kind::kContextFree) {
+      return CfPathAtom(op);
+    }
     RowSet rs;
     rs.schema = op.schema;
     const bool diagonal = (op.src_var == op.dst_var);
@@ -217,7 +222,8 @@ class Executor {
                      &dst_bound, &dst_at)) {
       return rs;
     }
-    KGQ_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Compile(view_, *op.path));
+    KGQ_ASSIGN_OR_RETURN(PathNfa nfa,
+                         PathNfa::Compile(view_, *op.path->regex()));
     if (csr_ != nullptr) {
       // Attach is best-effort: topology was pre-checked, and a label
       // mismatch silently falls back to bitset filtering inside the
@@ -260,6 +266,59 @@ class Executor {
       evaluate();
     } else {
       evaluate();
+    }
+    KGQ_COUNTER_ADD("plan.rows.path_atom", rs.rows.size());
+    return rs;
+  }
+
+  /// Context-free PathAtom: the full pair relation of the grammar
+  /// nonterminal (matrix fixpoint with a snapshot + planner opt-in, the
+  /// CYK-style reference otherwise — bit-identical), then endpoint
+  /// bounds filter the relation. Unlike the regular engines there is no
+  /// single-source shortcut: the grammar's derivations are not
+  /// direction-local, so the fixpoint always runs whole-graph.
+  Result<RowSet> CfPathAtom(const LogicalOp& op) {
+    KGQ_SPAN("plan.op.cfpq");
+    RowSet rs;
+    rs.schema = op.schema;
+    const bool diagonal = (op.src_var == op.dst_var);
+    bool src_bound = false, dst_bound = false;
+    NodeId src_at = kNoNode, dst_at = kNoNode;
+    if (!UsableBound(op.has_bound_src, op.bound_src, view_.num_nodes(),
+                     &src_bound, &src_at) ||
+        !UsableBound(op.has_bound_dst, op.bound_dst, view_.num_nodes(),
+                     &dst_bound, &dst_at)) {
+      return rs;
+    }
+    const CnfGrammar& grammar = *op.path->grammar();
+    const uint32_t nt = op.path->nonterminal();
+    const bool matrix = op.use_matrix_rpq && csr_ != nullptr;
+    ProfileEngine(matrix ? "cfpq-matrix" : "cfpq-ref");
+    auto emit = [&](NodeId a, NodeId b) {
+      if (src_bound && a != src_at) return;
+      if (dst_bound && b != dst_at) return;
+      if (diagonal) {
+        if (a == b) rs.rows.push_back({a});
+      } else {
+        rs.rows.push_back({a, b});
+      }
+    };
+    if (matrix) {
+      KGQ_ASSIGN_OR_RETURN(
+          BoolCsr rel,
+          CfpqSolveMatrix(*csr_, grammar, nt, options_.parallel));
+      for (size_t a = 0; a < rel.num_rows; ++a) {
+        for (size_t k = rel.offsets[a]; k < rel.offsets[a + 1]; ++k) {
+          emit(static_cast<NodeId>(a), rel.cols[k]);
+        }
+      }
+    } else {
+      KGQ_ASSIGN_OR_RETURN(std::vector<Bitset> rel,
+                           CfpqReferenceRelation(view_, grammar, nt));
+      for (NodeId a = 0; a < rel.size(); ++a) {
+        rel[a].ForEach(
+            [&](size_t b) { emit(a, static_cast<NodeId>(b)); });
+      }
     }
     KGQ_COUNTER_ADD("plan.rows.path_atom", rs.rows.size());
     return rs;

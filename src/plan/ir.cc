@@ -74,7 +74,11 @@ void Render(const LogicalOp& op, size_t indent, std::string* out) {
       if (op.has_bound_dst) {
         out->append(" " + op.dst_var + "=" + std::to_string(op.bound_dst));
       }
-      if (op.use_matrix_rpq) out->append(" engine=matrix");
+      if (op.use_matrix_rpq) {
+        out->append(op.path->kind() == PathExpr::Kind::kContextFree
+                        ? " engine=cfpq-matrix"
+                        : " engine=matrix");
+      }
       break;
     case LogicalKind::kHashJoin: {
       // The join keys: variables produced by both children.

@@ -4,9 +4,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/multigraph.h"
+#include "rpq/path_expr.h"
 #include "rpq/regex.h"
 
 namespace kgq {
@@ -25,11 +27,24 @@ namespace kgq {
 
 /// One binary atom: some path from `src` to `dst` conforming to `path`
 /// (existential pair semantics). `src == dst` is allowed and means the
-/// pair relation's diagonal.
+/// pair relation's diagonal. The path is a pluggable PathExpr — regular
+/// (the classic CRPQ atom) or context-free (a grammar nonterminal);
+/// the RegexPtr constructor keeps the pervasive
+/// `{src, dst, regex}` construction sites working unchanged.
 struct PatternAtom {
+  PatternAtom() = default;
+  PatternAtom(std::string src_in, std::string dst_in, PathExprPtr path_in)
+      : src(std::move(src_in)),
+        dst(std::move(dst_in)),
+        path(std::move(path_in)) {}
+  PatternAtom(std::string src_in, std::string dst_in, RegexPtr regex)
+      : src(std::move(src_in)),
+        dst(std::move(dst_in)),
+        path(PathExpr::Regular(std::move(regex))) {}
+
   std::string src;
   std::string dst;
-  RegexPtr path;  ///< Never null.
+  PathExprPtr path;  ///< Never null.
 };
 
 /// Front-end-neutral conjunctive query with regular path atoms (a CRPQ).
@@ -54,7 +69,8 @@ enum class LogicalKind {
   kNodeScan,  ///< All nodes satisfying a test → 1 column.
   kEdgeScan,  ///< All edges with one label → 2 columns (label-partition
               ///< fast path of a single-atom PathAtom).
-  kPathAtom,  ///< Pair semantics of a regular path expression.
+  kPathAtom,  ///< Pair semantics of a path expression (regular or
+              ///< context-free).
   kHashJoin,  ///< Natural join of two subplans on their shared vars.
   kFilter,    ///< Keep rows whose `var` passes a test / equals a node.
   kProject,   ///< Column selection + sort + dedup + limit.
@@ -77,18 +93,21 @@ class LogicalOp {
   /// (src_var, dst_var); equal names select the diagonal (1 column).
   std::string src_var;
   std::string dst_var;
-  /// kPathAtom: the regular path expression (endpoint tests already
-  /// folded in when the pushdown rule ran).
-  RegexPtr path;
+  /// kPathAtom: the path expression. For regular atoms, endpoint tests
+  /// are already folded in when the pushdown rule ran; context-free
+  /// atoms keep endpoint tests as adjacent Filters instead.
+  PathExprPtr path;
   /// kEdgeScan: label spelling; `backward` traverses against edge
   /// direction (the ℓ⁻ atom).
   std::string label;
   bool backward = false;
-  /// kPathAtom: evaluate on the boolean-matrix RPQ engine
-  /// (pathalg/matrix_rpq) instead of per-source configuration BFS. Set
-  /// by the planner's matrix_rpq rule; the executor honors it only when
-  /// a usable snapshot is attached (both engines are bit-identical, so
-  /// the flag is pure physics — never semantics).
+  /// kPathAtom: evaluate on the boolean-matrix engine — matrix RPQ
+  /// (pathalg/matrix_rpq) for regular atoms, the CFPQ fixpoint
+  /// (pathalg/cfpq_matrix) for context-free atoms — instead of the
+  /// per-source/naive reference path. Set by the planner's matrix_rpq
+  /// rule; the executor honors it only when a usable snapshot is
+  /// attached (the engines are bit-identical, so the flag is pure
+  /// physics — never semantics).
   bool use_matrix_rpq = false;
   /// kNodeScan / kFilter: the test (null = none).
   TestPtr test;

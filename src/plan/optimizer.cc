@@ -96,14 +96,19 @@ bool SharesVar(const LogicalOp& a, const LogicalOp& b) {
 }
 
 /// The matrix_rpq rule: should this PathAtom leaf run on the boolean-
-/// matrix engine? kAuto picks it only for bulk evaluations — no bound
-/// endpoint (a bound source is one BFS, which the fixpoint's dense
-/// N-column frontier would dwarf), a graph big enough for word-level
-/// batching to pay (≥ 64 nodes, one frontier word), and an estimated
-/// pair count of at least one per node (a dense-enough relation that
-/// per-source BFS would re-traverse shared structure n times over).
+/// matrix engine (matrix RPQ for regular atoms, the CFPQ fixpoint for
+/// context-free ones)? kAuto picks it only for bulk evaluations — no
+/// bound endpoint (a bound source is one BFS, which the fixpoint's
+/// dense N-column frontier would dwarf; context-free atoms always
+/// compute the full relation, but a bound endpoint still signals a
+/// selective query), a graph big enough for word-level batching to pay
+/// (≥ 64 nodes, one frontier word), and an estimated pair count of at
+/// least one per node (a dense-enough relation that the per-source /
+/// naive evaluation would re-traverse shared structure n times over).
+/// `est_pairs` is the atom's pair-relation estimate
+/// (EstimatePathPairs / EstimateCfpqPairs), before endpoint scaling.
 bool ChooseMatrixRpq(const LogicalOp& leaf, const GraphStats& stats,
-                     MatrixRpqMode mode, const Regex& path) {
+                     MatrixRpqMode mode, double est_pairs) {
   switch (mode) {
     case MatrixRpqMode::kOff:
       return false;
@@ -115,7 +120,7 @@ bool ChooseMatrixRpq(const LogicalOp& leaf, const GraphStats& stats,
   if (leaf.has_bound_src || leaf.has_bound_dst) return false;
   double n = stats.num_nodes();
   if (n < 64.0) return false;
-  return stats.EstimatePathPairs(path) >= n;
+  return est_pairs >= n;
 }
 
 }  // namespace
@@ -192,7 +197,8 @@ Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
     bool backward = false;
     OpPtr leaf;
     if (options.edge_scan_fastpath &&
-        IsSingleLabelAtom(*a.path, &label, &backward)) {
+        a.path->kind() == PathExpr::Kind::kRegular &&
+        IsSingleLabelAtom(*a.path->regex(), &label, &backward)) {
       KGQ_COUNTER_INC("plan.optimizer.edge_scan_fastpath");
       leaf = MakeOp(LogicalKind::kEdgeScan);
       leaf->src_var = a.src;
@@ -233,11 +239,61 @@ Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
         defer_restrictions(a.src);
         defer_restrictions(a.dst);
       }
+    } else if (a.path->kind() == PathExpr::Kind::kContextFree) {
+      // Context-free atom: a grammar relation cannot absorb node tests
+      // into the path the way regexes fold them — endpoint tests stay
+      // as leaf-adjacent Filters (the EdgeScan pattern); constant
+      // bindings sink into the leaf's bound fields.
+      leaf = MakeOp(LogicalKind::kPathAtom);
+      leaf->src_var = a.src;
+      leaf->dst_var = a.dst;
+      leaf->path = a.path;
+      leaf->schema = PairSchema(a.src, a.dst);
+      if (options.push_filters) {
+        NodeId node = kNoNode;
+        if (bound_of(a.src, &node)) {
+          leaf->bound_src = node;
+          leaf->has_bound_src = true;
+          KGQ_COUNTER_INC("plan.optimizer.filters_pushed");
+        }
+        if (a.src != a.dst && bound_of(a.dst, &node)) {
+          leaf->bound_dst = node;
+          leaf->has_bound_dst = true;
+          KGQ_COUNTER_INC("plan.optimizer.filters_pushed");
+        }
+      } else {
+        defer_restrictions(a.src);
+        defer_restrictions(a.dst);
+      }
+      double est_pairs =
+          stats.EstimateCfpqPairs(*a.path->grammar(), a.path->nonterminal());
+      leaf->est_rows = est_pairs;
+      if (a.src == a.dst) leaf->est_rows /= n;
+      if (leaf->has_bound_src) leaf->est_rows /= n;
+      if (leaf->has_bound_dst) leaf->est_rows /= n;
+      leaf->use_matrix_rpq =
+          ChooseMatrixRpq(*leaf, stats, options.matrix_rpq, est_pairs);
+      if (leaf->use_matrix_rpq) {
+        KGQ_COUNTER_INC("plan.optimizer.matrix_rpq");
+      }
+      if (options.push_filters) {
+        if (TestPtr t = test_of(a.src)) {
+          leaf = MakeTestFilter(std::move(leaf), a.src, std::move(t), stats);
+          KGQ_COUNTER_INC("plan.optimizer.filters_pushed");
+        }
+        if (a.src != a.dst) {
+          if (TestPtr t = test_of(a.dst)) {
+            leaf =
+                MakeTestFilter(std::move(leaf), a.dst, std::move(t), stats);
+            KGQ_COUNTER_INC("plan.optimizer.filters_pushed");
+          }
+        }
+      }
     } else {
       leaf = MakeOp(LogicalKind::kPathAtom);
       leaf->src_var = a.src;
       leaf->dst_var = a.dst;
-      RegexPtr full = a.path;
+      RegexPtr full = a.path->regex();
       if (options.push_filters) {
         // Fold endpoint tests into the regex — the same wrapping the
         // reference evaluators apply hop by hop.
@@ -266,14 +322,16 @@ Result<LogicalOpPtr> PlanQuery(const ConjunctiveQuery& query,
         defer_restrictions(a.src);
         defer_restrictions(a.dst);
       }
-      leaf->path = full;
+      leaf->path =
+          full == a.path->regex() ? a.path : PathExpr::Regular(full);
       leaf->schema = PairSchema(a.src, a.dst);
-      leaf->est_rows = stats.EstimatePathPairs(*full);
+      double est_pairs = stats.EstimatePathPairs(*full);
+      leaf->est_rows = est_pairs;
       if (a.src == a.dst) leaf->est_rows /= n;
       if (leaf->has_bound_src) leaf->est_rows /= n;
       if (leaf->has_bound_dst) leaf->est_rows /= n;
       leaf->use_matrix_rpq =
-          ChooseMatrixRpq(*leaf, stats, options.matrix_rpq, *full);
+          ChooseMatrixRpq(*leaf, stats, options.matrix_rpq, est_pairs);
       if (leaf->use_matrix_rpq) {
         KGQ_COUNTER_INC("plan.optimizer.matrix_rpq");
       }

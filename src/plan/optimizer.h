@@ -26,9 +26,10 @@ enum class MatrixRpqMode {
 /// baseline bench_e11 compares against.
 struct PlannerOptions {
   /// Fold node tests and constant bindings into the leaves they
-  /// restrict (PathAtom leaves absorb endpoint tests into the regex;
-  /// EdgeScan/NodeScan leaves keep them as adjacent Filters / leaf
-  /// bindings).
+  /// restrict (regular PathAtom leaves absorb endpoint tests into the
+  /// regex; EdgeScan/NodeScan and context-free PathAtom leaves keep
+  /// them as adjacent Filters / leaf bindings — grammar relations
+  /// cannot fold node tests into the path).
   bool push_filters = true;
   /// Greedy join reordering by cardinality estimate: start from the
   /// smallest leaf, repeatedly join the connected leaf minimizing the
@@ -38,11 +39,13 @@ struct PlannerOptions {
   /// EdgeScan(label) — executed over the snapshot's contiguous label
   /// partitions instead of a product-automaton run.
   bool edge_scan_fastpath = true;
-  /// Annotate PathAtom leaves with the boolean-matrix RPQ engine
-  /// (pathalg/matrix_rpq). Purely physical: both engines return
-  /// bit-identical rows, the rule only moves the work onto one masked
-  /// SpGEMM per frontier generation (64 sources per word) when the atom
-  /// is a bulk all-pairs evaluation. The executor falls back to the BFS
+  /// Annotate PathAtom leaves with the boolean-matrix engine: matrix
+  /// RPQ (pathalg/matrix_rpq) for regular atoms, the CFPQ fixpoint
+  /// (pathalg/cfpq_matrix) for context-free atoms. Purely physical:
+  /// the engines return bit-identical rows, the rule only moves the
+  /// work onto masked SpGEMM sweeps when the atom is a bulk all-pairs
+  /// evaluation (EstimateCfpqPairs drives the context-free cost
+  /// estimate). The executor falls back to the BFS / CYK-reference
   /// engine when no usable snapshot is attached.
   MatrixRpqMode matrix_rpq = MatrixRpqMode::kAuto;
 };

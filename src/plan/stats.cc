@@ -91,4 +91,40 @@ double GraphStats::EstimatePathPairs(const Regex& r) const {
   return Clamp(num_edges_);
 }
 
+double GraphStats::EstimateCfpqPairs(const CnfGrammar& grammar,
+                                     uint32_t nonterminal) const {
+  double n = std::max(num_nodes_, 1.0);
+  const size_t nts = grammar.num_nonterminals();
+  std::vector<double> est(nts, 0.0);
+
+  // Bounded monotone relaxation: grow every nonterminal's estimate by
+  // re-applying the production rules a fixed number of rounds. The
+  // estimates only ever increase and clamp at n², so 8 rounds is a
+  // stable surrogate for the (possibly slow) true fixpoint.
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    // One relaxation step: each nonterminal's fresh estimate is the sum
+    // of its productions' contributions under the current estimates
+    // (union adds, like the Regex kUnion rule), floored by the current
+    // value so the sequence is monotone.
+    std::vector<double> sum(nts, 0.0);
+    for (uint32_t a = 0; a < nts; ++a) {
+      if (grammar.nullable(a)) sum[a] += n;
+    }
+    for (const CnfGrammar::TermProd& t : grammar.term_prods()) {
+      sum[t.lhs] += LabelFrequency(t.label);
+    }
+    for (const CnfGrammar::UnitProd& p : grammar.unit_prods()) {
+      sum[p.lhs] += est[p.rhs];
+    }
+    for (const CnfGrammar::BinProd& p : grammar.bin_prods()) {
+      sum[p.lhs] += est[p.left] * est[p.right] / n;
+    }
+    for (uint32_t a = 0; a < nts; ++a) {
+      est[a] = Clamp(std::max(est[a], sum[a]));
+    }
+  }
+  return Clamp(est[nonterminal]);
+}
+
 }  // namespace kgq

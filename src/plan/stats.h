@@ -7,6 +7,7 @@
 
 #include "graph/csr_snapshot.h"
 #include "graph/graph_view.h"
+#include "rpq/path_expr.h"
 #include "rpq/regex.h"
 
 namespace kgq {
@@ -58,6 +59,19 @@ class GraphStats {
   /// saturates towards n² with the base relation's fan-out. Clamped to
   /// [0, n²].
   double EstimatePathPairs(const Regex& r) const;
+
+  /// Estimated number of (a, b) pairs derived by `nonterminal` of a
+  /// context-free grammar — the cardinality of a context-free PathAtom
+  /// leaf. A bounded monotone relaxation over the CNF tables (8
+  /// rounds): nullable seeds the diagonal (n), terminal productions
+  /// their label frequency, unit productions copy, binary productions
+  /// join through the shared midpoint (|X|·|Y| / n, the same rule
+  /// concatenation uses); per-production contributions add per round
+  /// and each estimate clamps to [0, n²]. Recursion in the grammar is
+  /// what the extra rounds approximate — a fixpoint surrogate, not a
+  /// fixpoint.
+  double EstimateCfpqPairs(const CnfGrammar& grammar,
+                           uint32_t nonterminal) const;
 
   /// Estimated number of edges matched by an arbitrary edge test:
   /// exact label frequency for plain ℓ atoms, a fixed fraction of the

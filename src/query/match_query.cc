@@ -6,7 +6,9 @@
 #include <functional>
 
 #include "pathalg/pairs.h"
+#include "rpq/cfpq_reference.h"
 #include "rpq/parser.h"
+#include "rpq/path_expr.h"
 #include "rpq/path_nfa.h"
 #include "rpq/test_eval.h"
 #include "util/text_scanner.h"
@@ -34,7 +36,11 @@ Result<std::pair<std::string, TestPtr>> ParseNodePattern(TextScanner* scan) {
 }  // namespace
 
 std::string MatchQuery::ToString() const {
-  std::string out = "MATCH ";
+  std::string out;
+  for (const CnfGrammarPtr& g : grammars) {
+    out += g->surface().ToString() + " ";
+  }
+  out += "MATCH ";
   for (size_t i = 0; i < nodes.size(); ++i) {
     out += "(" + nodes[i].var;
     if (nodes[i].test) out += ": " + nodes[i].test->ToString();
@@ -52,17 +58,29 @@ std::string MatchQuery::ToString() const {
 
 Result<MatchQuery> ParseMatchQuery(std::string_view text) {
   TextScanner scan(text);
+  MatchQuery query;
+  while (scan.AcceptKeyword("GRAMMAR")) {
+    KGQ_ASSIGN_OR_RETURN(CfGrammar surface, ParseGrammarBlock(&scan));
+    for (const CnfGrammarPtr& g : query.grammars) {
+      if (g->name() == surface.name) {
+        return Status::ParseError("duplicate grammar '" + surface.name +
+                                  "'");
+      }
+    }
+    KGQ_ASSIGN_OR_RETURN(CnfGrammarPtr g, CnfGrammar::Normalize(surface));
+    query.grammars.push_back(std::move(g));
+  }
   if (!scan.AcceptKeyword("MATCH")) {
     return Status::ParseError("query must start with MATCH");
   }
-  MatchQuery query;
   {
     KGQ_ASSIGN_OR_RETURN(auto first, ParseNodePattern(&scan));
     query.nodes.push_back({std::move(first.first), std::move(first.second)});
   }
   while (scan.AcceptSeq("-[")) {
     KGQ_ASSIGN_OR_RETURN(std::string raw, scan.TakeUntilPathClose());
-    KGQ_ASSIGN_OR_RETURN(RegexPtr path, ParseRegex(raw));
+    KGQ_ASSIGN_OR_RETURN(PathExprPtr path,
+                         ResolvePathExpr(raw, query.grammars));
     query.paths.push_back(std::move(path));
     KGQ_ASSIGN_OR_RETURN(auto next, ParseNodePattern(&scan));
     query.nodes.push_back({std::move(next.first), std::move(next.second)});
@@ -146,7 +164,28 @@ Result<QueryResult> ExecuteMatch(const GraphView& view,
   std::vector<std::vector<Bitset>> hops;
   hops.reserve(query.paths.size());
   for (size_t i = 0; i < query.paths.size(); ++i) {
-    RegexPtr full = query.paths[i];
+    if (query.paths[i]->kind() == PathExpr::Kind::kContextFree) {
+      // Context-free hop: the naive reference relation with endpoint
+      // tests masked onto it (grammar relations cannot absorb node
+      // tests the way regexes fold them).
+      KGQ_ASSIGN_OR_RETURN(
+          std::vector<Bitset> rel,
+          CfpqReferenceRelation(view, *query.paths[i]->grammar(),
+                                query.paths[i]->nonterminal()));
+      if (query.nodes[i].test) {
+        Bitset ok = MatchNodes(view, *query.nodes[i].test);
+        for (size_t u = 0; u < rel.size(); ++u) {
+          if (!ok.Test(u)) rel[u].ClearAll();
+        }
+      }
+      if (query.nodes[i + 1].test) {
+        Bitset ok = MatchNodes(view, *query.nodes[i + 1].test);
+        for (Bitset& row : rel) row &= ok;
+      }
+      hops.push_back(std::move(rel));
+      continue;
+    }
+    RegexPtr full = query.paths[i]->regex();
     if (query.nodes[i].test) {
       full = Regex::Concat(Regex::NodeTest(query.nodes[i].test),
                            std::move(full));

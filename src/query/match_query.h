@@ -20,28 +20,36 @@ struct NodePattern {
 
 /// A small declarative query language in the spirit of the languages the
 /// tutorial surveys (Cypher, PGQL, G-CORE, SPARQL property paths): node
-/// extraction by pattern matching along a chain of regular path
-/// expressions:
+/// extraction by pattern matching along a chain of path expressions:
 ///
+///   grammar SG { SG -> cites^- SG cites | cites^- cites }
 ///   MATCH (x: person) -[ rides ]-> (b: bus) -[ rides^- ]-> (y: infected)
 ///   WHERE x.age = "34" AND y.name = "Pedro"
 ///   RETURN x, b, y
 ///   LIMIT 10
 ///
+/// * zero or more `grammar NAME { ... }` preambles before MATCH declare
+///   context-free grammars (rpq/path_expr.h); hops reference them as
+///   `-[ NAME ]->` or `-[ NAME.NT ]->`, mixing freely with regex hops;
 /// * node patterns: `(var)` or `(var: test)` with the rpq test grammar
 ///   (so `(x: [person | infected])` works); variables must be distinct;
-/// * each hop is any expression of the Section 4 regex grammar;
+/// * each hop is any expression of the Section 4 regex grammar, or a
+///   declared grammar reference;
 /// * WHERE adds property-equality conjuncts on declared variables;
 /// * per-hop evaluation uses existential pair semantics
-///   (pathalg/pairs.h); the chain is joined hop by hop;
+///   (pathalg/pairs.h; rpq/cfpq_reference.h for context-free hops); the
+///   chain is joined hop by hop;
 /// * RETURN projects (deduplicated, sorted rows); LIMIT truncates.
 struct MatchQuery {
-  std::vector<NodePattern> nodes;  ///< k+1 patterns.
-  std::vector<RegexPtr> paths;     ///< k hops (≥ 1).
+  /// Declared grammars, in preamble order (names unique).
+  std::vector<CnfGrammarPtr> grammars;
+  std::vector<NodePattern> nodes;   ///< k+1 patterns.
+  std::vector<PathExprPtr> paths;   ///< k hops (≥ 1).
   std::vector<std::string> returns;
   size_t limit = 0;  ///< 0 = no limit.
 
-  /// Renders back in the concrete syntax.
+  /// Renders back in the concrete syntax (grammar preambles first) —
+  /// the canonical text serve-layer caches key on.
   std::string ToString() const;
 };
 

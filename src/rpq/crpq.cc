@@ -7,7 +7,9 @@
 
 #include "pathalg/pairs.h"
 #include "plan/stats.h"
+#include "rpq/cfpq_reference.h"
 #include "rpq/parser.h"
+#include "rpq/path_expr.h"
 #include "rpq/path_nfa.h"
 #include "rpq/test_eval.h"
 #include "util/text_scanner.h"
@@ -35,7 +37,11 @@ Result<std::pair<std::string, TestPtr>> ParseCrpqNode(TextScanner* scan) {
 }  // namespace
 
 std::string Crpq::ToString() const {
-  std::string out = name + "(";
+  std::string out;
+  for (const CnfGrammarPtr& g : grammars) {
+    out += g->surface().ToString() + " ";
+  }
+  out += name + "(";
   for (size_t i = 0; i < head.size(); ++i) {
     if (i > 0) out += ", ";
     out += head[i];
@@ -72,6 +78,17 @@ std::string Crpq::ToString() const {
 Result<Crpq> ParseCrpq(std::string_view text) {
   TextScanner scan(text);
   Crpq q;
+  while (scan.AcceptKeyword("GRAMMAR")) {
+    KGQ_ASSIGN_OR_RETURN(CfGrammar surface, ParseGrammarBlock(&scan));
+    for (const CnfGrammarPtr& g : q.grammars) {
+      if (g->name() == surface.name) {
+        return Status::ParseError("duplicate grammar '" + surface.name +
+                                  "'");
+      }
+    }
+    KGQ_ASSIGN_OR_RETURN(CnfGrammarPtr g, CnfGrammar::Normalize(surface));
+    q.grammars.push_back(std::move(g));
+  }
   KGQ_ASSIGN_OR_RETURN(q.name, scan.TakeIdentifier());
   if (!scan.AcceptChar('(')) {
     return Status::ParseError("expected '(' after head predicate");
@@ -99,7 +116,8 @@ Result<Crpq> ParseCrpq(std::string_view text) {
     add_test(prev, std::move(node.second));
     while (scan.AcceptSeq("-[")) {
       KGQ_ASSIGN_OR_RETURN(std::string raw, scan.TakeUntilPathClose());
-      KGQ_ASSIGN_OR_RETURN(RegexPtr path, ParseRegex(raw));
+      KGQ_ASSIGN_OR_RETURN(PathExprPtr path,
+                           ResolvePathExpr(raw, q.grammars));
       KGQ_ASSIGN_OR_RETURN(auto next, ParseCrpqNode(&scan));
       q.atoms.push_back({prev, next.first, std::move(path)});
       prev = next.first;
@@ -173,7 +191,32 @@ Result<RowSet> EvalCrpqReference(const GraphView& view, const Crpq& q) {
   std::vector<std::vector<Bitset>> rels;
   rels.reserve(cq.atoms.size());
   for (const PatternAtom& a : cq.atoms) {
-    RegexPtr full = a.path;
+    if (a.path->kind() == PathExpr::Kind::kContextFree) {
+      // Context-free atom: the naive reference relation, with endpoint
+      // tests masked onto it (grammar relations cannot absorb tests
+      // into the path the way regexes fold them).
+      KGQ_ASSIGN_OR_RETURN(
+          std::vector<Bitset> rel,
+          CfpqReferenceRelation(view, *a.path->grammar(),
+                                a.path->nonterminal()));
+      auto it = cq.node_tests.find(a.src);
+      if (it != cq.node_tests.end()) {
+        Bitset ok = MatchNodes(view, *it->second);
+        for (size_t u = 0; u < rel.size(); ++u) {
+          if (!ok.Test(u)) rel[u].ClearAll();
+        }
+      }
+      if (a.dst != a.src) {
+        it = cq.node_tests.find(a.dst);
+        if (it != cq.node_tests.end()) {
+          Bitset ok = MatchNodes(view, *it->second);
+          for (Bitset& row : rel) row &= ok;
+        }
+      }
+      rels.push_back(std::move(rel));
+      continue;
+    }
+    RegexPtr full = a.path->regex();
     auto it = cq.node_tests.find(a.src);
     if (it != cq.node_tests.end()) {
       full = Regex::Concat(Regex::NodeTest(it->second), std::move(full));

@@ -14,18 +14,25 @@
 
 namespace kgq {
 
-/// A conjunctive regular path query — the class the paper's Section 4
-/// builds up to: a conjunction of regular path atoms over shared
+/// A conjunctive path query — the class the paper's Section 4 builds up
+/// to, extended past regular: a conjunction of path atoms (regular
+/// expressions or context-free grammar nonterminals) over shared
 /// variables, with node-test restrictions and a projected head.
 /// Datalog-ish concrete syntax:
 ///
+///   grammar SG { SG -> cites^- SG cites | cites^- cites }
 ///   q(x, z) :- (x: person) -[ writes ]-> (y),
 ///              (y) -[ cites* ]-> (z),
+///              (z) -[ SG ]-> (z),
 ///              (w: venue)
 ///              LIMIT 5
 ///
+/// * zero or more `grammar NAME { ... }` preambles declare context-free
+///   grammars (rpq/path_expr.h has the block syntax); atoms reference
+///   them as `-[ NAME ]->` (start nonterminal; grammar names shadow
+///   edge labels) or `-[ NAME.NT ]->`, mixing freely with regex atoms;
 /// * conjuncts are comma-separated; each is a node pattern optionally
-///   followed by a chain of `-[ regex ]-> (node)` hops (a chain of k
+///   followed by a chain of `-[ pathexpr ]-> (node)` hops (a chain of k
 ///   hops contributes k atoms);
 /// * a bare `(w: venue)` conjunct declares a variable restricted by a
 ///   node test but constrained by no path atom;
@@ -36,12 +43,17 @@ namespace kgq {
 struct Crpq {
   std::string name = "q";
   std::vector<std::string> head;
+  /// Declared grammars, in preamble order (normalized; the surface form
+  /// is retained inside for rendering). Names are unique.
+  std::vector<CnfGrammarPtr> grammars;
   std::vector<PatternAtom> atoms;  ///< May be empty (pure node scans).
   std::map<std::string, TestPtr> node_tests;
   size_t limit = 0;  ///< 0 = no limit.
 
-  /// Renders back in the concrete syntax (tests printed at each
-  /// variable's first occurrence).
+  /// Renders back in the concrete syntax: grammar preambles first, then
+  /// the rule (tests printed at each variable's first occurrence). This
+  /// is the canonical text the serve layer keys caches on — grammars
+  /// fold into the key automatically.
   std::string ToString() const;
 };
 
@@ -70,11 +82,14 @@ struct CrpqOptions {
 Result<RowSet> EvalCrpq(const GraphView& view, const Crpq& q,
                         const CrpqOptions& options = {});
 
-/// Reference oracle: per-atom AllPairs relations (endpoint tests folded
-/// into the regex), nested-loop joined by DFS in textual order,
-/// test-only variables extended by node scans, then the canonical
-/// sort/dedup/limit. Sequential, no planner — the ground truth
-/// tests/test_plan_differential.cc checks EvalCrpq against.
+/// Reference oracle: per-atom pair relations (regular atoms via
+/// AllPairs with endpoint tests folded into the regex; context-free
+/// atoms via the naive CYK-style CfpqReferenceRelation with endpoint
+/// tests masked onto the relation), nested-loop joined by DFS in
+/// textual order, test-only variables extended by node scans, then the
+/// canonical sort/dedup/limit. Sequential, no planner — the ground
+/// truth tests/test_plan_differential.cc and
+/// tests/test_cfpq_differential.cc check EvalCrpq against.
 Result<RowSet> EvalCrpqReference(const GraphView& view, const Crpq& q);
 
 /// Parse + planned execution convenience.

@@ -1,0 +1,291 @@
+#include "rpq/path_expr.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "rpq/parser.h"
+#include "util/text_scanner.h"
+
+namespace kgq {
+
+// ---------------------------------------------------------------------
+// Surface grammar
+
+std::string CfGrammar::ToString() const {
+  // Group alternatives by LHS in first-appearance order; the canonical
+  // spacing below is what query ToString() embeds into cache keys.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const Production*>> by_lhs;
+  for (const Production& p : productions) {
+    auto [it, fresh] = by_lhs.try_emplace(p.lhs);
+    if (fresh) order.push_back(p.lhs);
+    it->second.push_back(&p);
+  }
+  std::string out = "grammar " + name + " { ";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += " ; ";
+    out += order[i] + " ->";
+    const auto& prods = by_lhs[order[i]];
+    for (size_t j = 0; j < prods.size(); ++j) {
+      if (j > 0) out += " |";
+      if (prods[j]->rhs.empty()) {
+        out += " eps";
+      } else {
+        for (const Symbol& s : prods[j]->rhs) {
+          out += " " + s.text + (s.backward ? "^-" : "");
+        }
+      }
+    }
+  }
+  out += " }";
+  return out;
+}
+
+Result<CfGrammar> ParseGrammarBlock(TextScanner* scan) {
+  CfGrammar g;
+  KGQ_ASSIGN_OR_RETURN(g.name, scan->TakeIdentifier());
+  if (!scan->AcceptChar('{')) {
+    return Status::ParseError("expected '{' after grammar name '" + g.name +
+                              "'");
+  }
+  while (true) {
+    if (scan->AcceptChar('}')) break;
+    KGQ_ASSIGN_OR_RETURN(std::string lhs, scan->TakeIdentifier());
+    if (!scan->AcceptSeq("->")) {
+      return Status::ParseError("expected '->' after nonterminal '" + lhs +
+                                "'");
+    }
+    bool more_alternatives = true;
+    while (more_alternatives) {
+      CfGrammar::Production prod;
+      prod.lhs = lhs;
+      bool saw_eps = false;
+      while (true) {
+        char c = scan->Peek();
+        if (c == '|' || c == ';' || c == '}' || c == '\0') break;
+        KGQ_ASSIGN_OR_RETURN(std::string sym, scan->TakeIdentifier());
+        if (sym == "eps") {
+          saw_eps = true;
+          continue;
+        }
+        bool backward = scan->AcceptSeq("^-");
+        prod.rhs.push_back({std::move(sym), backward});
+      }
+      if (saw_eps && !prod.rhs.empty()) {
+        return Status::ParseError(
+            "malformed grammar '" + g.name +
+            "': eps must be an entire alternative of '" + lhs + "'");
+      }
+      if (!saw_eps && prod.rhs.empty()) {
+        return Status::ParseError("malformed grammar '" + g.name +
+                                  "': empty alternative for '" + lhs +
+                                  "' (use eps for the empty word)");
+      }
+      g.productions.push_back(std::move(prod));
+      more_alternatives = scan->AcceptChar('|');
+    }
+    if (scan->AcceptChar(';')) continue;
+    if (scan->AcceptChar('}')) break;
+    return Status::ParseError("expected ';' or '}' in grammar '" + g.name +
+                              "'");
+  }
+  if (g.productions.empty()) {
+    return Status::ParseError("malformed grammar '" + g.name +
+                              "': no productions");
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------
+// Normalization
+
+Result<CnfGrammarPtr> CnfGrammar::Normalize(const CfGrammar& g) {
+  if (g.name.empty()) {
+    return Status::ParseError("grammar has no name");
+  }
+  if (g.productions.empty()) {
+    return Status::ParseError("malformed grammar '" + g.name +
+                              "': no productions");
+  }
+  auto out = std::make_shared<CnfGrammar>();
+  out->surface_ = g;
+
+  // Surface nonterminals: LHS symbols in first-appearance order.
+  std::map<std::string, uint32_t> ids;
+  for (const CfGrammar::Production& p : g.productions) {
+    if (ids.emplace(p.lhs, out->names_.size()).second) {
+      out->names_.push_back(p.lhs);
+    }
+  }
+  out->num_surface_ = out->names_.size();
+  auto start_it = ids.find(g.name);
+  if (start_it == ids.end()) {
+    return Status::ParseError("malformed grammar '" + g.name +
+                              "': the start symbol '" + g.name +
+                              "' has no production");
+  }
+  out->start_ = start_it->second;
+
+  // Terminal promotion for binary positions: one fresh preterminal per
+  // distinct (label, direction), deterministic by first use.
+  std::map<std::pair<std::string, bool>, uint32_t> preterms;
+  auto fresh_nt = [&](const std::string& base) {
+    uint32_t id = static_cast<uint32_t>(out->names_.size());
+    out->names_.push_back(base);
+    return id;
+  };
+  auto operand_id =
+      [&](const CfGrammar::Symbol& s) -> Result<uint32_t> {
+    auto it = ids.find(s.text);
+    if (it != ids.end()) {
+      if (s.backward) {
+        return Status::ParseError("malformed grammar '" + g.name +
+                                  "': cannot invert nonterminal '" +
+                                  s.text + "'");
+      }
+      return it->second;
+    }
+    auto key = std::make_pair(s.text, s.backward);
+    auto pit = preterms.find(key);
+    if (pit != preterms.end()) return pit->second;
+    uint32_t id =
+        fresh_nt("_t_" + s.text + (s.backward ? "_bwd" : ""));
+    preterms.emplace(key, id);
+    out->term_prods_.push_back({id, s.text, s.backward});
+    return id;
+  };
+
+  for (const CfGrammar::Production& p : g.productions) {
+    uint32_t lhs = ids[p.lhs];
+    if (p.rhs.empty()) {
+      // A → ε.
+      if (out->nullable_.size() < out->names_.size()) {
+        out->nullable_.resize(out->names_.size(), 0);
+      }
+      out->nullable_[lhs] = 1;
+      continue;
+    }
+    if (p.rhs.size() == 1) {
+      const CfGrammar::Symbol& s = p.rhs[0];
+      auto it = ids.find(s.text);
+      if (it != ids.end()) {
+        if (s.backward) {
+          return Status::ParseError("malformed grammar '" + g.name +
+                                    "': cannot invert nonterminal '" +
+                                    s.text + "'");
+        }
+        out->unit_prods_.push_back({lhs, it->second});
+      } else {
+        out->term_prods_.push_back({lhs, s.text, s.backward});
+      }
+      continue;
+    }
+    // A → s1 s2 ... sk, k ≥ 2: binarize right-to-left with fresh
+    // helpers; every operand becomes a nonterminal id.
+    std::vector<uint32_t> ops;
+    ops.reserve(p.rhs.size());
+    for (const CfGrammar::Symbol& s : p.rhs) {
+      KGQ_ASSIGN_OR_RETURN(uint32_t id, operand_id(s));
+      ops.push_back(id);
+    }
+    uint32_t tail = ops.back();
+    for (size_t i = ops.size() - 2; i >= 1; --i) {
+      uint32_t helper = fresh_nt(
+          "_b_" + p.lhs + "_" + std::to_string(out->bin_prods_.size()));
+      out->bin_prods_.push_back({helper, ops[i], tail});
+      tail = helper;
+    }
+    out->bin_prods_.push_back({lhs, ops[0], tail});
+  }
+  out->nullable_.resize(out->names_.size(), 0);
+  return CnfGrammarPtr(std::move(out));
+}
+
+std::optional<uint32_t> CnfGrammar::FindNonterminal(
+    std::string_view name) const {
+  for (uint32_t id = 0; id < num_surface_; ++id) {
+    if (names_[id] == name) return id;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// PathExpr
+
+PathExprPtr PathExpr::Regular(RegexPtr regex) {
+  auto e = std::shared_ptr<PathExpr>(new PathExpr(Kind::kRegular));
+  e->regex_ = std::move(regex);
+  return e;
+}
+
+PathExprPtr PathExpr::ContextFree(CnfGrammarPtr grammar,
+                                  uint32_t nonterminal) {
+  auto e = std::shared_ptr<PathExpr>(new PathExpr(Kind::kContextFree));
+  e->grammar_ = std::move(grammar);
+  e->nonterminal_ = nonterminal;
+  return e;
+}
+
+std::string PathExpr::ToString() const {
+  if (kind_ == Kind::kRegular) return regex_->ToString();
+  if (nonterminal_ == grammar_->start()) return grammar_->name();
+  return grammar_->name() + "." +
+         grammar_->NonterminalName(nonterminal_);
+}
+
+Result<PathExprPtr> ResolvePathExpr(
+    std::string_view raw, const std::vector<CnfGrammarPtr>& grammars) {
+  // Trim; then check for the two grammar-reference shapes.
+  size_t b = 0, e = raw.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(raw[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(raw[e - 1]))) --e;
+  std::string_view text = raw.substr(b, e - b);
+
+  auto is_ident = [](std::string_view s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto find_grammar =
+      [&](std::string_view name) -> const CnfGrammarPtr* {
+    for (const CnfGrammarPtr& g : grammars) {
+      if (g->name() == name) return &g;
+    }
+    return nullptr;
+  };
+
+  size_t dot = text.find('.');
+  if (dot != std::string_view::npos) {
+    std::string_view gname = text.substr(0, dot);
+    std::string_view nt = text.substr(dot + 1);
+    if (is_ident(gname) && is_ident(nt)) {
+      const CnfGrammarPtr* g = find_grammar(gname);
+      if (g == nullptr) {
+        return Status::ParseError("unknown grammar '" + std::string(gname) +
+                                  "' in path atom");
+      }
+      std::optional<uint32_t> id = (*g)->FindNonterminal(nt);
+      if (!id.has_value()) {
+        return Status::ParseError("unknown nonterminal '" + std::string(nt) +
+                                  "' in grammar '" + std::string(gname) +
+                                  "'");
+      }
+      return PathExpr::ContextFree(*g, *id);
+    }
+  } else if (is_ident(text)) {
+    if (const CnfGrammarPtr* g = find_grammar(text)) {
+      return PathExpr::ContextFree(*g, (*g)->start());
+    }
+  }
+  KGQ_ASSIGN_OR_RETURN(RegexPtr regex, ParseRegex(raw));
+  return PathExpr::Regular(std::move(regex));
+}
+
+}  // namespace kgq

@@ -31,14 +31,10 @@ struct Dsu {
   }
 };
 
-/// The label's adjacency matrix at `snap` (empty when no edge carries
-/// the label).
+/// The label's adjacency matrix at `snap` — the shared per-label
+/// constructor from pathalg/matrix_rpq.h.
 BoolCsr AdjForLabel(const EpochSnapshot& snap, std::string_view label) {
-  std::optional<LabelId> id = snap.csr->FindLabel(label);
-  if (!id.has_value()) {
-    return BoolCsr::FromEntries(snap.num_nodes(), snap.num_nodes(), {});
-  }
-  return BoolCsr::FromSnapshotLabel(*snap.csr, *id);
+  return BoolCsrForLabel(*snap.csr, label);
 }
 
 /// Extends a closure matrix to `n` nodes (appended nodes have empty

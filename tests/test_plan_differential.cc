@@ -167,7 +167,9 @@ TEST_P(PlanDifferential, PlannedMatchQueryMatchesReference) {
         np.test = TestExpr::Label(rng.Bernoulli(0.5) ? "p" : "q");
       }
       mq.nodes.push_back(std::move(np));
-      if (i < hops) mq.paths.push_back(RandomPath(&rng, 2));
+      if (i < hops) {
+        mq.paths.push_back(PathExpr::Regular(RandomPath(&rng, 2)));
+      }
     }
     mq.returns = {"x0", "x" + std::to_string(hops)};
     if (rng.Bernoulli(0.3)) mq.limit = 1 + rng.Below(8);

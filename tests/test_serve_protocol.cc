@@ -428,6 +428,90 @@ TEST(ServeProtocolFuzz, RandomGarbageLines) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Context-free path queries through the protocol: grammar preambles ride
+// inside the query text (no new protocol fields), so cache keys fold
+// them in automatically; malformed grammars come back as structured
+// ParseError responses, never as dropped lines.
+
+TEST(ServeCfpq, GrammarQueriesAndErrorPaths) {
+  Server server;
+  // Papers 1 and 2 both cite paper 0 — the same-generation relation is
+  // {1, 2}² (each reaches the other, and itself, through the shared
+  // citation).
+  (void)server.HandleLine(R"({"op":"add_node","label":"paper"})");
+  (void)server.HandleLine(R"({"op":"add_node","label":"paper"})");
+  (void)server.HandleLine(R"({"op":"add_node","label":"paper"})");
+  (void)server.HandleLine(
+      R"({"op":"insert_edge","from":1,"to":0,"label":"cites"})");
+  (void)server.HandleLine(
+      R"({"op":"insert_edge","from":2,"to":0,"label":"cites"})");
+  (void)server.HandleLine(R"({"op":"publish"})");
+
+  const std::string kPreamble =
+      "grammar SG { SG -> cites SG cites^- | cites cites^- } ";
+  auto expect_sg_rows = [](const JsonValue& json) {
+    const JsonValue* rows = json.Find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->items.size(), 4u);  // {1,2} x {1,2}.
+    for (const JsonValue& row : rows->items) {
+      ASSERT_EQ(row.items.size(), 2u);
+      EXPECT_GE(row.items[0].number, 1.0);
+      EXPECT_LE(row.items[1].number, 2.0);
+    }
+  };
+
+  // The same CF query through both graph front-ends.
+  {
+    const std::string resp = server.HandleLine(
+        R"({"op":"query","id":1,"lang":"crpq","text":")" + kPreamble +
+        R"x(q(x, y) :- (x) -[ SG ]-> (y)"})x");
+    Result<JsonValue> json = ParseJson(resp);
+    ASSERT_TRUE(json.ok()) << resp;
+    EXPECT_EQ(json->Find("ok")->boolean, true) << resp;
+    expect_sg_rows(*json);
+  }
+  {
+    const std::string resp = server.HandleLine(
+        R"({"op":"query","id":2,"lang":"match","text":")" + kPreamble +
+        R"x(MATCH (x) -[ SG ]-> (y) RETURN x, y"})x");
+    Result<JsonValue> json = ParseJson(resp);
+    ASSERT_TRUE(json.ok()) << resp;
+    EXPECT_EQ(json->Find("ok")->boolean, true) << resp;
+    expect_sg_rows(*json);
+  }
+
+  // Grammar misuse answers with ok:false + {code, error}, id preserved.
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"grammar G { } q(x) :- (x) -[ a ]-> (y)", "no productions"},
+      {"grammar G { X -> a } q(x) :- (x) -[ G ]-> (y)",
+       "has no production"},
+      {"grammar G { G -> a eps } q(x) :- (x) -[ G ]-> (y)",
+       "eps must be an entire alternative"},
+      {"grammar G { G -> a } grammar G { G -> b } q(x) :- "
+       "(x) -[ G ]-> (y)",
+       "duplicate grammar"},
+      {"grammar G { G -> a } q(x) :- (x) -[ G.Zzz ]-> (y)",
+       "unknown nonterminal"},
+      {"q(x) :- (x) -[ H.X ]-> (y)", "unknown grammar"},
+  };
+  for (const auto& [text, needle] : bad) {
+    std::string line = R"({"op":"query","id":7,"lang":"crpq","text":)";
+    AppendJsonString(&line, text);
+    line += "}";
+    const std::string resp = server.HandleLine(line);
+    Result<JsonValue> json = ParseJson(resp);
+    ASSERT_TRUE(json.ok()) << resp;
+    EXPECT_EQ(IntMember(*json, "id"), 7u);
+    EXPECT_EQ(json->Find("ok")->boolean, false) << resp;
+    ASSERT_NE(json->Find("code"), nullptr) << resp;
+    EXPECT_EQ(json->Find("code")->string, "ParseError") << resp;
+    ASSERT_NE(json->Find("error"), nullptr) << resp;
+    EXPECT_NE(json->Find("error")->string.find(needle), std::string::npos)
+        << resp;
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace kgq

@@ -43,13 +43,49 @@
 
 namespace {
 
-void Usage(const char* argv0) {
-  std::fprintf(stderr,
+void Usage(FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--workers N] [--queue N] [--query-threads N]\n"
                "          [--max-query-threads N] [--cache N | --no-cache]\n"
                "          [--slow-ms N] [--metrics-interval SECONDS]\n"
                "          [--socket PATH]\n",
                argv0);
+}
+
+/// The full per-flag listing printed by --help (to stdout, exit 0;
+/// unknown flags print the brief usage to stderr and exit 2).
+void Help(const char* argv0) {
+  Usage(stdout, argv0);
+  std::fprintf(
+      stdout,
+      "\n"
+      "Reads one jsonl request per line from stdin (or a unix socket\n"
+      "with --socket) and writes one jsonl response per request, in\n"
+      "input order. See README \"Serving layer\" for the protocol.\n"
+      "\n"
+      "Options:\n"
+      "  --workers N            query worker threads (default 4;\n"
+      "                         responses stay in input order at any N)\n"
+      "  --queue N              in-flight query admission queue before\n"
+      "                         the dispatcher blocks (default 128)\n"
+      "  --query-threads N      intra-query parallelism per request\n"
+      "                         (default 1; requests may override with\n"
+      "                         \"threads\")\n"
+      "  --max-query-threads N  cap on per-request \"threads\" overrides\n"
+      "                         (default 8)\n"
+      "  --cache N              plan/result cache entries (default\n"
+      "                         1024)\n"
+      "  --no-cache             disable the query cache (same as\n"
+      "                         --cache 0)\n"
+      "  --slow-ms N            log queries slower than N milliseconds\n"
+      "                         to stderr (one JSON line: query text,\n"
+      "                         epoch, duration, top-3 operators)\n"
+      "  --metrics-interval N   every N seconds, export one metrics\n"
+      "                         JSON line (registry dump + latency\n"
+      "                         quantiles) to stderr\n"
+      "  --socket PATH          serve on a unix socket instead of\n"
+      "                         stdin/stdout (one connection at a time)\n"
+      "  --help, -h             print this listing and exit\n");
 }
 
 bool ParseSize(const char* text, size_t* out) {
@@ -236,14 +272,14 @@ int main(int argc, char** argv) {
       ok = p != nullptr && *p != '\0';
       if (ok) socket_path = p;
     } else if (arg == "--help" || arg == "-h") {
-      Usage(argv[0]);
+      Help(argv[0]);
       return 0;
     } else {
       ok = false;
     }
     if (!ok) {
       std::fprintf(stderr, "kgq-serve: bad argument: %s\n", arg.c_str());
-      Usage(argv[0]);
+      Usage(stderr, argv[0]);
       return 2;
     }
   }
